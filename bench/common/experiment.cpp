@@ -1,0 +1,197 @@
+#include "experiment.hpp"
+
+#include <cstdlib>
+#include <ostream>
+
+namespace hpcwhisk::bench {
+
+ExperimentConfig apply_env(ExperimentConfig cfg) {
+  if (std::getenv("HW_BENCH_QUICK") != nullptr) {
+    cfg.nodes = std::max<std::uint32_t>(64, cfg.nodes / 4);
+    cfg.window = sim::SimTime::seconds(cfg.window.to_seconds() / 4.0);
+    cfg.burn_in = sim::SimTime::hours(2);
+  }
+  if (const char* seed = std::getenv("HW_SEED")) {
+    cfg.seed = static_cast<std::uint64_t>(std::strtoull(seed, nullptr, 10));
+  }
+  return cfg;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  ExperimentResult result;
+  result.simulation = std::make_unique<sim::Simulation>();
+  sim::Simulation& simulation = *result.simulation;
+
+  core::HpcWhiskSystem::Config sys_cfg;
+  sys_cfg.seed = cfg.seed;
+  sys_cfg.slurm.node_count = cfg.nodes;
+  sys_cfg.partitions = core::default_partitions(cfg.grace);
+  sys_cfg.slurm.pilot_placement = cfg.placement;
+  sys_cfg.manager.model = cfg.pilots.value_or(core::SupplyModel::kFib);
+  sys_cfg.manager.fib_per_length = cfg.fib_per_length;
+  sys_cfg.manager.replenish_interval = cfg.replenish_interval;
+  if (!cfg.fib_lengths.empty()) sys_cfg.manager.fib_lengths = cfg.fib_lengths;
+  result.system = std::make_unique<core::HpcWhiskSystem>(simulation, sys_cfg);
+  core::HpcWhiskSystem& system = *result.system;
+
+  trace::HpcWorkloadGenerator::Config wl_cfg;
+  result.workload = std::make_unique<trace::HpcWorkloadGenerator>(
+      simulation, system.slurm(), wl_cfg, sim::Rng{cfg.seed ^ 0x9E3779B9ULL});
+
+  result.log =
+      std::make_unique<analysis::NodeStateLog>(cfg.nodes, sim::SimTime::zero());
+  system.slurm().set_node_observer(
+      [log = result.log.get()](const slurm::NodeTransition& t) {
+        log->record(t);
+      });
+
+  result.measure_start = cfg.burn_in;
+  result.measure_end = cfg.burn_in + cfg.window;
+
+  result.workload->start();
+  if (cfg.pilots.has_value()) system.start();
+
+  // OW-level sampler (10 s) during the measurement window. All lambda
+  // state is shared_ptr-owned: the result object is returned by value and
+  // must not be captured by reference in pending events.
+  auto ow_samples = std::make_shared<std::vector<ExperimentResult::OwSample>>();
+  const sim::SimTime measure_end = result.measure_end;
+  if (cfg.pilots.has_value()) {
+    simulation.at(result.measure_start, [&simulation, &system, ow_samples,
+                                         measure_end] {
+      auto sampler = std::make_shared<sim::PeriodicHandle>();
+      *sampler = simulation.every(
+          sim::SimTime::seconds(10),
+          [&simulation, &system, ow_samples, measure_end, sampler] {
+            if (simulation.now() > measure_end) {
+              sampler->stop();
+              return;
+            }
+            ExperimentResult::OwSample s;
+            s.at = simulation.now();
+            const auto phases = system.manager().phase_counts();
+            s.warming = static_cast<std::uint32_t>(phases.warming_up);
+            s.healthy =
+                static_cast<std::uint32_t>(system.controller().healthy_count());
+            s.unresponsive =
+                static_cast<std::uint32_t>(system.controller().count_with_health(
+                    whisk::InvokerHealth::kUnresponsive));
+            ow_samples->push_back(s);
+          });
+    });
+  }
+
+  // FaaS load during the measurement window.
+  std::shared_ptr<trace::FaasLoadGenerator> faas;
+  if (cfg.faas_qps > 0) {
+    const auto names = trace::register_sleep_functions(system.functions(),
+                                                       cfg.faas_functions);
+    trace::FaasLoadGenerator::Config faas_cfg;
+    faas_cfg.rate_qps = cfg.faas_qps;
+    faas_cfg.functions = names;
+    faas = std::make_shared<trace::FaasLoadGenerator>(
+        simulation, faas_cfg,
+        [&system](const std::string& fn) { (void)system.controller().submit(fn); },
+        sim::Rng{cfg.seed ^ 0xC0FFEEULL});
+    simulation.at(result.measure_start,
+                  [faas, measure_end] { faas->start(measure_end); });
+  }
+
+  simulation.run_until(result.measure_end);
+  result.log->finalize(result.measure_end);
+  result.ow_samples = std::move(*ow_samples);
+  if (faas) result.faas_issued = faas->issued();
+
+  const auto all = result.log->sample_counts(sim::SimTime::seconds(10));
+  result.samples.reserve(all.size());
+  for (const auto& s : all) {
+    if (s.at >= result.measure_start) result.samples.push_back(s);
+  }
+  return result;
+}
+
+CoverageSummary summarize_coverage(const ExperimentResult& result,
+                                   const std::vector<sim::SimTime>& lengths,
+                                   sim::SimTime max_job_length) {
+  CoverageSummary out;
+  // A-posteriori clairvoyant bound over the run's own availability log,
+  // restricted to the measurement window (paper Sec. IV-A "Simulation").
+  analysis::ClairvoyantSimulator::Config sim_cfg;
+  sim_cfg.job_lengths = lengths;
+  sim_cfg.max_job_length = max_job_length;
+  sim_cfg.allow_preemption_cut = true;  // pilots are preemptible
+  analysis::ClairvoyantSimulator clairvoyant{sim_cfg};
+  // Like the paper, the a-posteriori simulation works from the sampled
+  // Slurm-level logs, not second-accurate ground truth.
+  const auto periods = result.log->sampled_period_intervals(
+      sim::SimTime::seconds(10),
+      {slurm::ObservedNodeState::kIdle, slurm::ObservedNodeState::kPilot});
+  out.simulation =
+      clairvoyant.run(periods, result.measure_start, result.measure_end);
+
+  out.slurm_level = analysis::slurm_level_report(result.samples);
+
+  std::vector<double> healthy, warming, unresp;
+  std::size_t zero = 0, zero_run = 0, longest = 0;
+  for (const auto& s : result.ow_samples) {
+    healthy.push_back(s.healthy);
+    warming.push_back(s.warming);
+    unresp.push_back(s.unresponsive);
+    if (s.healthy == 0) {
+      ++zero;
+      longest = std::max(longest, ++zero_run);
+    } else {
+      zero_run = 0;
+    }
+  }
+  out.ow_healthy = analysis::summarize(healthy);
+  out.ow_warming = analysis::summarize(warming);
+  out.ow_unresponsive = analysis::summarize(unresp);
+  out.ow_zero_healthy_share =
+      result.ow_samples.empty()
+          ? 0.0
+          : static_cast<double>(zero) /
+                static_cast<double>(result.ow_samples.size());
+  out.ow_longest_zero_healthy =
+      sim::SimTime::seconds(10.0 * static_cast<double>(longest));
+  return out;
+}
+
+void print_coverage_table(std::ostream& os, const std::string& title,
+                          const CoverageSummary& s) {
+  using analysis::fmt;
+  using analysis::fmt_pct;
+  analysis::print_table(
+      os, title,
+      {"perspective", "state", "25%", "50%", "75%", "avg", "share of idle",
+       "not used"},
+      {
+          {"Simulation", "warm up", fmt(s.simulation.warming_workers.p25, 0),
+           fmt(s.simulation.warming_workers.p50, 0),
+           fmt(s.simulation.warming_workers.p75, 0),
+           fmt(s.simulation.warming_workers.avg, 2),
+           fmt_pct(s.simulation.warmup_share), ""},
+          {"Simulation", "ready", fmt(s.simulation.ready_workers.p25, 0),
+           fmt(s.simulation.ready_workers.p50, 0),
+           fmt(s.simulation.ready_workers.p75, 0),
+           fmt(s.simulation.ready_workers.avg, 2),
+           fmt_pct(s.simulation.ready_share),
+           fmt_pct(s.simulation.unused_share)},
+          {"Slurm-level", "all states", fmt(s.slurm_level.pilot_workers.p25, 0),
+           fmt(s.slurm_level.pilot_workers.p50, 0),
+           fmt(s.slurm_level.pilot_workers.p75, 0),
+           fmt(s.slurm_level.pilot_workers.avg, 2),
+           fmt_pct(s.slurm_level.coverage), fmt_pct(s.slurm_level.unused)},
+          {"OW-level", "warm up", fmt(s.ow_warming.p25, 0),
+           fmt(s.ow_warming.p50, 0), fmt(s.ow_warming.p75, 0),
+           fmt(s.ow_warming.avg, 2), "", ""},
+          {"OW-level", "healthy", fmt(s.ow_healthy.p25, 0),
+           fmt(s.ow_healthy.p50, 0), fmt(s.ow_healthy.p75, 0),
+           fmt(s.ow_healthy.avg, 2), "", ""},
+          {"OW-level", "irresp.", fmt(s.ow_unresponsive.p25, 0),
+           fmt(s.ow_unresponsive.p50, 0), fmt(s.ow_unresponsive.p75, 0),
+           fmt(s.ow_unresponsive.avg, 2), "", ""},
+      });
+}
+
+}  // namespace hpcwhisk::bench

@@ -1,0 +1,100 @@
+#pragma once
+// Shared experiment driver for the reproduction benches: wires the full
+// HPC-Whisk system (Fig. 4) to the calibrated Prometheus-like workload,
+// runs a burn-in plus a measured window, and returns every log the
+// paper's three perspectives need.
+//
+// Environment knobs (all optional):
+//   HW_BENCH_QUICK=1   quarter-scale cluster and window (smoke runs)
+//   HW_SEED=<n>        base RNG seed (default 1)
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpcwhisk/analysis/clairvoyant.hpp"
+#include "hpcwhisk/analysis/node_state_log.hpp"
+#include "hpcwhisk/analysis/report.hpp"
+#include "hpcwhisk/analysis/stats.hpp"
+#include "hpcwhisk/core/job_manager.hpp"
+#include "hpcwhisk/core/system.hpp"
+#include "hpcwhisk/trace/faas_workload.hpp"
+#include "hpcwhisk/trace/hpc_workload.hpp"
+
+namespace hpcwhisk::bench {
+
+struct ExperimentConfig {
+  /// Cluster size (Prometheus main partition).
+  std::uint32_t nodes{2239};
+  /// Burn-in discarded before measurement (cluster fill-up).
+  sim::SimTime burn_in{sim::SimTime::hours(4)};
+  /// Measured window (the paper's experiments run 24 h).
+  sim::SimTime window{sim::SimTime::hours(24)};
+  /// Pilot supply model; nullopt = no pilots (baseline idleness runs).
+  std::optional<core::SupplyModel> pilots;
+  /// FaaS load (the responsiveness experiment): QPS over `faas_functions`
+  /// distinct 10 ms sleep functions; 0 = no FaaS load.
+  double faas_qps{0.0};
+  std::size_t faas_functions{100};
+  std::uint64_t seed{1};
+  /// Extra tuning hooks.
+  slurm::PilotPlacement placement{slurm::PilotPlacement::kPreemptAware};
+  sim::SimTime grace{sim::SimTime::minutes(3)};
+  std::size_t fib_per_length{10};
+  std::vector<sim::SimTime> fib_lengths;  // empty => set A1
+  sim::SimTime replenish_interval{sim::SimTime::seconds(15)};
+};
+
+/// Applies HW_BENCH_QUICK / HW_SEED to a config.
+ExperimentConfig apply_env(ExperimentConfig cfg);
+
+struct ExperimentResult {
+  sim::SimTime measure_start;
+  sim::SimTime measure_end;
+  /// Ground-truth node-state log over the whole run (burn-in included;
+  /// filter samples by measure_start).
+  std::unique_ptr<analysis::NodeStateLog> log;
+  /// Slurm-level samples (10 s), measurement window only.
+  std::vector<analysis::StateCounts> samples;
+  /// The live system (activation records, counters, manager stats).
+  std::unique_ptr<sim::Simulation> simulation;
+  std::unique_ptr<core::HpcWhiskSystem> system;
+  std::unique_ptr<trace::HpcWorkloadGenerator> workload;
+  std::uint64_t faas_issued{0};
+
+  /// OW-level perspective sampled every 10 s during the window:
+  /// healthy / warming / unresponsive invoker counts.
+  struct OwSample {
+    sim::SimTime at;
+    std::uint32_t warming{0};
+    std::uint32_t healthy{0};
+    std::uint32_t unresponsive{0};
+  };
+  std::vector<OwSample> ow_samples;
+};
+
+/// Runs the experiment to completion and collects all perspectives.
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// The paper's three-perspective coverage summary (Tables II/III).
+struct CoverageSummary {
+  analysis::ClairvoyantSimulator::Result simulation;  ///< a-posteriori bound
+  analysis::SlurmLevelReport slurm_level;
+  analysis::Summary ow_healthy;
+  analysis::Summary ow_warming;
+  analysis::Summary ow_unresponsive;
+  double ow_zero_healthy_share{0};
+  sim::SimTime ow_longest_zero_healthy;
+};
+
+CoverageSummary summarize_coverage(const ExperimentResult& result,
+                                   const std::vector<sim::SimTime>& lengths,
+                                   sim::SimTime max_job_length);
+
+/// Prints a Table II / III style comparison.
+void print_coverage_table(std::ostream& os, const std::string& title,
+                          const CoverageSummary& summary);
+
+}  // namespace hpcwhisk::bench

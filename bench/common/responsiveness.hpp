@@ -1,0 +1,20 @@
+#pragma once
+// Shared implementation of the responsiveness experiment (Sec. V-C,
+// Figs. 5b/6b): a steady open-loop 10 QPS of 10-ms sleep functions over
+// 100 distinct names, issued against the controller for a full
+// production day; per-minute success/failed/lost counts plus the
+// acceptance (non-503) rate.
+
+#include <iosfwd>
+
+#include "experiment.hpp"
+
+namespace hpcwhisk::bench {
+
+/// Runs the experiment and prints the Fig. 5b/6b series and summary.
+/// `paper_invoked` / `paper_success`: the paper's percentages for the
+/// side-by-side table (95.29/95.19 for fib, 78.28/96.99 for var).
+int run_responsiveness(std::ostream& os, core::SupplyModel model,
+                       double paper_invoked_pct, double paper_success_pct);
+
+}  // namespace hpcwhisk::bench

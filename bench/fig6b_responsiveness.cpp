@@ -1,0 +1,12 @@
+// Fig. 6b reproduction: responsiveness of the var-model infrastructure
+// (paper: only 78.28% invoked because the thinner invoker pool 503s more
+// often — including an ~85-minute outage; 96.99% of invoked succeed).
+
+#include <iostream>
+
+#include "common/responsiveness.hpp"
+
+int main() {
+  return hpcwhisk::bench::run_responsiveness(
+      std::cout, hpcwhisk::core::SupplyModel::kVar, 78.28, 96.99);
+}

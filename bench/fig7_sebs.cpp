@@ -1,0 +1,104 @@
+// Fig. 7 reproduction: the three compute-intensive SeBS functions (bfs,
+// mst, pagerank) executed as real single-threaded C++ kernels, compared
+// between a "Prometheus node" (this machine, full speed) and "AWS Lambda
+// at 2048 MB" (same kernel, with the calibrated platform model applied:
+// CPU share 2048/1792 capped at 1, times the published ~15% hardware
+// slowdown of Lambda relative to the HPC node).
+//
+// The paper reports *internal execution time* over 200 warm invocations;
+// we do the same via google-benchmark's manual timing. Absolute numbers
+// reflect this host; the Prometheus-vs-Lambda *ratio* is the result.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "hpcwhisk/cloud/lambda_service.hpp"
+#include "hpcwhisk/sebs/graph.hpp"
+#include "hpcwhisk/sebs/kernels.hpp"
+
+namespace {
+
+using namespace hpcwhisk;
+
+// One shared input per kernel (SeBS measures warm invocations on a fixed
+// input).
+const sebs::Graph& bfs_graph() {
+  static const sebs::Graph graph = sebs::make_uniform_graph(100'000, 8.0, 42);
+  return graph;
+}
+const sebs::Graph& pr_graph() {
+  static const sebs::Graph graph =
+      sebs::make_preferential_graph(50'000, 6, 43);
+  return graph;
+}
+const std::vector<sebs::WeightedEdge>& mst_edges() {
+  static const std::vector<sebs::WeightedEdge> edges =
+      sebs::make_weighted_edges(50'000, 6.0, 1'000'000, 44);
+  return edges;
+}
+
+/// Lambda-at-2048MB dilation relative to the HPC node: the published
+/// ~15% node advantage plus the (capped) CPU share.
+double lambda_dilation() {
+  cloud::LambdaService::Config cfg;
+  const double share =
+      std::min(1.0, 2048.0 / static_cast<double>(cfg.full_vcpu_memory_mb));
+  return cfg.compute_slowdown / share;
+}
+
+template <typename Kernel>
+void run_platform(benchmark::State& state, Kernel&& kernel, double dilation) {
+  for (auto _ : state) {
+    const auto begin = std::chrono::steady_clock::now();
+    kernel();
+    const auto end = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(end - begin).count() * dilation;
+    state.SetIterationTime(seconds);
+  }
+  state.counters["dilation"] = dilation;
+}
+
+void BM_bfs_prometheus(benchmark::State& state) {
+  run_platform(state, [] {
+    benchmark::DoNotOptimize(sebs::bfs(bfs_graph(), 0));
+  }, 1.0);
+}
+void BM_bfs_lambda2048(benchmark::State& state) {
+  run_platform(state, [] {
+    benchmark::DoNotOptimize(sebs::bfs(bfs_graph(), 0));
+  }, lambda_dilation());
+}
+void BM_mst_prometheus(benchmark::State& state) {
+  run_platform(state, [] {
+    benchmark::DoNotOptimize(sebs::mst(50'000, mst_edges()));
+  }, 1.0);
+}
+void BM_mst_lambda2048(benchmark::State& state) {
+  run_platform(state, [] {
+    benchmark::DoNotOptimize(sebs::mst(50'000, mst_edges()));
+  }, lambda_dilation());
+}
+void BM_pagerank_prometheus(benchmark::State& state) {
+  run_platform(state, [] {
+    benchmark::DoNotOptimize(sebs::pagerank(pr_graph(), 0.85, 20));
+  }, 1.0);
+}
+void BM_pagerank_lambda2048(benchmark::State& state) {
+  run_platform(state, [] {
+    benchmark::DoNotOptimize(sebs::pagerank(pr_graph(), 0.85, 20));
+  }, lambda_dilation());
+}
+
+// 200 invocations each, matching the paper's warm-performance protocol.
+BENCHMARK(BM_bfs_prometheus)->UseManualTime()->Iterations(200)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_bfs_lambda2048)->UseManualTime()->Iterations(200)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_mst_prometheus)->UseManualTime()->Iterations(200)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_mst_lambda2048)->UseManualTime()->Iterations(200)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_pagerank_prometheus)->UseManualTime()->Iterations(200)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_pagerank_lambda2048)->UseManualTime()->Iterations(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

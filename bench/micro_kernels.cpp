@@ -1,0 +1,114 @@
+// Micro-benchmarks of the substrates: message-broker throughput, the
+// container pool's fast paths, the event queue, and SeBS kernel scaling.
+// These are performance benches for the library itself, not paper
+// reproductions.
+
+#include <benchmark/benchmark.h>
+
+#include "hpcwhisk/mq/broker.hpp"
+#include "hpcwhisk/runtime/container_pool.hpp"
+#include "hpcwhisk/sebs/graph.hpp"
+#include "hpcwhisk/sebs/kernels.hpp"
+#include "hpcwhisk/sim/event_queue.hpp"
+#include "hpcwhisk/sim/rng.hpp"
+
+namespace {
+
+using namespace hpcwhisk;
+
+void BM_topic_publish_poll(benchmark::State& state) {
+  mq::Broker broker;
+  mq::Topic& topic = broker.topic("bench");
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    mq::Message m;
+    m.id = id++;
+    topic.publish(std::move(m), sim::SimTime::zero());
+    benchmark::DoNotOptimize(topic.poll_one());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_topic_publish_poll);
+
+void BM_topic_batch_poll(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  mq::Broker broker;
+  mq::Topic& topic = broker.topic("bench");
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      mq::Message m;
+      m.id = i;
+      topic.publish(std::move(m), sim::SimTime::zero());
+    }
+    benchmark::DoNotOptimize(topic.poll(batch));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_topic_batch_poll)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_event_queue_schedule_pop(benchmark::State& state) {
+  sim::EventQueue queue;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    queue.schedule(sim::SimTime::micros(t++), [] {});
+    benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_event_queue_schedule_pop);
+
+void BM_container_pool_warm_path(benchmark::State& state) {
+  runtime::ContainerPool::Config cfg;
+  runtime::ContainerPool pool{cfg, runtime::RuntimeProfile::singularity(),
+                              sim::Rng{1}};
+  // Prime a warm container.
+  const auto first = pool.acquire("fn", 256, sim::SimTime::zero());
+  pool.mark_running(first.container, sim::SimTime::zero());
+  pool.release(first.container, sim::SimTime::zero());
+  sim::SimTime now = sim::SimTime::zero();
+  for (auto _ : state) {
+    now += sim::SimTime::millis(1);
+    const auto r = pool.acquire("fn", 256, now);
+    pool.mark_running(r.container, now);
+    pool.release(r.container, now);
+    benchmark::DoNotOptimize(r.container);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_container_pool_warm_path);
+
+void BM_bfs_scaling(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const sebs::Graph graph = sebs::make_uniform_graph(n, 8.0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sebs::bfs(graph, 0));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_bfs_scaling)->Range(1 << 12, 1 << 17)->Complexity(benchmark::oN);
+
+void BM_pagerank_scaling(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const sebs::Graph graph = sebs::make_preferential_graph(n, 6, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sebs::pagerank(graph, 0.85, 10));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_pagerank_scaling)->Range(1 << 12, 1 << 16)->Complexity(benchmark::oN);
+
+void BM_mst_scaling(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto edges = sebs::make_weighted_edges(n, 6.0, 1'000'000, 9);
+  for (auto _ : state) {
+    auto copy = edges;  // Kruskal sorts in place
+    benchmark::DoNotOptimize(sebs::mst(n, std::move(copy)));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_mst_scaling)->Range(1 << 12, 1 << 16)->Complexity(benchmark::oNLogN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

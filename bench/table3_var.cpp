@@ -1,0 +1,98 @@
+// Table III + Figs. 6a/6c reproduction: the 24-hour production-day run
+// with the var job manager (flexible 2-120 min jobs sized by Slurm).
+//
+// Paper's headline: var covers only 68% of the available surface against
+// its own 84% clairvoyant bound — the scheduler's variable-length sizing
+// path is too slow for the environment's churn (Sec. V-B2). Our model
+// reproduces that as a slower var placement cadence plus stale sizing.
+
+#include <iostream>
+
+#include "common/experiment.hpp"
+
+using namespace hpcwhisk;
+
+int main() {
+  bench::ExperimentConfig cfg;
+  cfg.pilots = core::SupplyModel::kVar;
+  cfg = bench::apply_env(cfg);
+
+  std::cout << "bench: table3_var (seed " << cfg.seed << ", " << cfg.nodes
+            << " nodes, " << cfg.window.to_string() << " window)\n\n";
+
+  const auto result = bench::run_experiment(cfg);
+  const auto summary = bench::summarize_coverage(
+      result, core::job_length_set("C2"), sim::SimTime::minutes(120));
+
+  bench::print_coverage_table(std::cout, "Table III: var job manager",
+                              summary);
+
+  analysis::print_table(
+      std::cout, "Table III headline comparison",
+      {"metric", "paper", "measured"},
+      {
+          {"Slurm-level coverage", "68%",
+           analysis::fmt_pct(summary.slurm_level.coverage)},
+          {"surface lost vs clairvoyant bound",
+           "~5% (fib) / ~16% (var)",
+           analysis::fmt_pct(1.0 - summary.slurm_level.coverage -
+                             (1.0 - summary.simulation.ready_share -
+                              summary.simulation.warmup_share))},
+          {"clairvoyant warm-up share", "2.61% (fib) / 3.18% (var)",
+           analysis::fmt_pct(summary.simulation.warmup_share)},
+          {"avg available nodes", "7.38",
+           analysis::fmt(summary.slurm_level.available_nodes.avg, 2)},
+          {"avg healthy invokers (OW)", "4.96",
+           analysis::fmt(summary.ow_healthy.avg, 2)},
+          {"time with no healthy invoker", "218 min of 24 h (15.1%)",
+           analysis::fmt_pct(summary.ow_zero_healthy_share)},
+          {"longest no-invoker period", "85 min",
+           summary.ow_longest_zero_healthy.to_string()},
+      });
+
+  std::vector<double> serving_min;
+  for (const auto d : result.system->manager().serving_durations())
+    serving_min.push_back(d.to_minutes());
+  const auto serving = analysis::summarize(serving_min);
+  analysis::print_table(
+      std::cout, "var invoker serving durations [min]",
+      {"metric", "paper", "measured"},
+      {
+          {"median", "~7", analysis::fmt(serving.p50, 1)},
+          {"P75", "14.5", analysis::fmt(serving.p75, 1)},
+          {"mean", "> 14", analysis::fmt(serving.avg, 1)},
+      });
+
+  // ---- Fig. 6a: three-perspective worker time series --------------------
+  std::vector<double> sim_series;
+  for (const auto v : summary.simulation.ready_series)
+    sim_series.push_back(v);
+  analysis::print_series(std::cout, "Fig 6a (Simulation): ready workers",
+                         sim_series, 10.0, 96);
+  std::vector<double> slurm_series, idle_series;
+  for (const auto& s : result.samples) {
+    slurm_series.push_back(s.pilot);
+    idle_series.push_back(s.idle);
+  }
+  analysis::print_series(std::cout, "Fig 6a (Slurm-level): worker jobs",
+                         slurm_series, 10.0, 96);
+  std::vector<double> ow_series;
+  for (const auto& s : result.ow_samples) ow_series.push_back(s.healthy);
+  analysis::print_series(std::cout, "Fig 6a (OW-level): healthy invokers",
+                         ow_series, 10.0, 96);
+
+  // ---- Fig. 6c: CDFs of node counts -------------------------------------
+  std::vector<double> avail_series;
+  for (const auto& s : result.samples) avail_series.push_back(s.available());
+  analysis::print_cdf(std::cout, "Fig 6c: idle nodes (green)",
+                      analysis::cdf_points(idle_series, 30));
+  analysis::print_cdf(std::cout, "Fig 6c: OpenWhisk nodes (orange)",
+                      analysis::cdf_points(slurm_series, 30));
+  analysis::print_cdf(std::cout, "Fig 6c: originally-idle nodes (black)",
+                      analysis::cdf_points(avail_series, 30));
+
+  std::cout << "shape check: var coverage must sit well below fib's "
+               "(bench table2_fib)\nand well below its own Simulation "
+               "bound — the paper's central var-vs-fib finding.\n";
+  return 0;
+}

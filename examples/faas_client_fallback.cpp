@@ -1,0 +1,83 @@
+// faas_client_fallback: Alg. 1 in action.
+//
+// Demonstrates the client-side wrapper that makes HPC-Whisk usable
+// despite non-availability periods (Sec. III-E): when the controller
+// returns 503 (no invokers), the wrapper offloads calls to a commercial
+// cloud for 60 s before retrying the cluster.
+//
+// The scenario stages a real outage: a small cluster whose nodes are
+// all claimed by HPC work for a while, so the invoker fleet drains to
+// zero and recovers later.
+
+#include <cstdio>
+#include <iostream>
+
+#include "hpcwhisk/core/system.hpp"
+
+using namespace hpcwhisk;
+
+int main() {
+  sim::Simulation simulation;
+  core::HpcWhiskSystem::Config cfg;
+  cfg.slurm.node_count = 4;
+  cfg.slurm.min_pass_gap = sim::SimTime::zero();
+  cfg.manager.fib_lengths = core::job_length_set("C1");
+  cfg.manager.fib_per_length = 2;
+  core::HpcWhiskSystem system{simulation, cfg};
+
+  system.functions().put(whisk::fixed_duration_function(
+      "analyze", sim::SimTime::millis(50), 128));
+
+  system.start();
+
+  // Stage the outage: at t=5min an HPC job takes the whole cluster for
+  // 10 minutes. Every pilot is preempted; the controller will 503.
+  simulation.at(sim::SimTime::minutes(5), [&system] {
+    slurm::JobSpec spec;
+    spec.partition = "hpc";
+    spec.num_nodes = 4;
+    spec.time_limit = sim::SimTime::minutes(10);
+    spec.actual_runtime = sim::SimTime::minutes(10);
+    system.slurm().submit(spec);
+  });
+
+  // A client calling once per second through the Alg. 1 wrapper, logging
+  // which backend served each minute.
+  struct MinuteStats {
+    int hpc{0};
+    int commercial{0};
+  };
+  std::vector<MinuteStats> minutes(26);
+  simulation.every(sim::SimTime::seconds(1), [&] {
+    const auto now = simulation.now();
+    if (now > sim::SimTime::minutes(25)) return;
+    const auto result = system.client().invoke("analyze");
+    auto& m = minutes[static_cast<std::size_t>(now / sim::SimTime::minutes(1))];
+    if (result.backend == core::ClientWrapper::Backend::kHpcWhisk) {
+      ++m.hpc;
+    } else {
+      ++m.commercial;
+    }
+  });
+
+  simulation.run_until(sim::SimTime::minutes(26));
+
+  std::cout << "per-minute backend split (Alg. 1 wrapper):\n"
+               "  minute | HPC-Whisk | commercial\n";
+  for (std::size_t i = 0; i < minutes.size(); ++i) {
+    std::printf("  %6zu | %9d | %10d%s\n", i, minutes[i].hpc,
+                minutes[i].commercial,
+                (i >= 5 && i < 15) ? "   <- cluster busy with HPC job" : "");
+  }
+
+  const auto& wc = system.client().counters();
+  std::cout << "\nwrapper counters: " << wc.hpcwhisk_calls
+            << " on-cluster, " << wc.commercial_calls << " offloaded, "
+            << wc.rejections_seen << " 503s observed\n"
+            << "commercial invocations completed: "
+            << system.commercial().completed() << "\n"
+            << "\nno call was ever lost: 503s trigger the 60 s fallback\n"
+               "window; accepted calls survive worker churn via the fast "
+               "lane.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// joblength_tuning: use the a-posteriori simulator to tune pilot job
+// lengths for *your* cluster (the Sec. IV-B methodology as a tool).
+//
+// Generates a week of the calibrated workload, extracts the idleness
+// periods, and evaluates both the paper's candidate sets and any custom
+// set passed on the command line (comma-separated minutes):
+//
+//   $ ./joblength_tuning              # evaluate the paper's sets
+//   $ ./joblength_tuning 2,6,18,54    # evaluate a custom set too
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "hpcwhisk/analysis/clairvoyant.hpp"
+#include "hpcwhisk/analysis/node_state_log.hpp"
+#include "hpcwhisk/analysis/report.hpp"
+#include "hpcwhisk/core/system.hpp"
+#include "hpcwhisk/trace/hpc_workload.hpp"
+
+using namespace hpcwhisk;
+
+int main(int argc, char** argv) {
+  // A compact cluster keeps this example fast; the method is the point.
+  constexpr std::uint32_t kNodes = 560;
+  const auto horizon = sim::SimTime::days(3);
+  const auto burn_in = sim::SimTime::hours(4);
+
+  sim::Simulation simulation;
+  slurm::Slurmctld ctld{simulation, {.node_count = kNodes},
+                        core::default_partitions()};
+  trace::HpcWorkloadGenerator workload{simulation, ctld, {}, sim::Rng{11}};
+  analysis::NodeStateLog log{kNodes, sim::SimTime::zero()};
+  ctld.set_node_observer(
+      [&log](const slurm::NodeTransition& t) { log.record(t); });
+
+  std::cout << "simulating " << horizon.to_string() << " of a " << kNodes
+            << "-node cluster to collect idleness periods...\n";
+  workload.start();
+  simulation.run_until(horizon);
+  log.finalize(horizon);
+  const auto periods = log.merged_periods({slurm::ObservedNodeState::kIdle});
+
+  const auto evaluate = [&](const std::string& name,
+                            std::vector<sim::SimTime> lengths) {
+    analysis::ClairvoyantSimulator::Config cfg;
+    cfg.job_lengths = std::move(lengths);
+    const analysis::ClairvoyantSimulator clairvoyant{cfg};
+    const auto r = clairvoyant.run(periods, burn_in, horizon);
+    std::vector<std::string> row{
+        name,
+        std::to_string(r.jobs),
+        analysis::fmt_pct(r.warmup_share),
+        analysis::fmt_pct(r.ready_share),
+        analysis::fmt_pct(r.unused_share),
+        analysis::fmt(r.ready_workers.avg, 2),
+    };
+    return row;
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& name : {"A1", "A2", "A3", "B", "C1", "C2"})
+    rows.push_back(evaluate(name, core::job_length_set(name)));
+
+  if (argc > 1) {
+    std::vector<sim::SimTime> custom;
+    std::stringstream ss{argv[1]};
+    std::string token;
+    while (std::getline(ss, token, ','))
+      custom.push_back(sim::SimTime::minutes(std::atof(token.c_str())));
+    std::sort(custom.begin(), custom.end());
+    rows.push_back(evaluate(std::string("custom{") + argv[1] + "}",
+                            std::move(custom)));
+  }
+
+  analysis::print_table(
+      std::cout, "clairvoyant evaluation of pilot job-length sets",
+      {"set", "# jobs", "warm up", "ready", "not used", "avg ready workers"},
+      rows);
+  std::cout << "pick the set with the highest ready share for your fib job "
+               "manager\n(the paper picked A1 this way; Table I).\n";
+  return 0;
+}

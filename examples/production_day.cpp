@@ -1,0 +1,112 @@
+// production_day: a Prometheus-scale day in the life of HPC-Whisk.
+//
+// Runs the calibrated 2239-node workload with the fib job manager and a
+// steady FaaS load, then prints the operator's dashboard: idle surface,
+// coverage, invoker fleet health, and FaaS quality of service.
+//
+//   $ ./production_day [hours] [fib|var] [seed]
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "hpcwhisk/analysis/node_state_log.hpp"
+#include "hpcwhisk/analysis/report.hpp"
+#include "hpcwhisk/core/system.hpp"
+#include "hpcwhisk/slurm/status.hpp"
+#include "hpcwhisk/trace/faas_workload.hpp"
+#include "hpcwhisk/trace/hpc_workload.hpp"
+
+using namespace hpcwhisk;
+
+int main(int argc, char** argv) {
+  const double hours = argc > 1 ? std::atof(argv[1]) : 8.0;
+  const bool var = argc > 2 && std::strcmp(argv[2], "var") == 0;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  sim::Simulation simulation;
+  core::HpcWhiskSystem::Config cfg;
+  cfg.seed = seed;
+  cfg.slurm.node_count = 2239;
+  cfg.manager.model = var ? core::SupplyModel::kVar : core::SupplyModel::kFib;
+  core::HpcWhiskSystem system{simulation, cfg};
+
+  trace::HpcWorkloadGenerator workload{simulation, system.slurm(), {},
+                                       sim::Rng{seed ^ 0xABCDEF}};
+  analysis::NodeStateLog log{2239, sim::SimTime::zero()};
+  system.slurm().set_node_observer(
+      [&log](const slurm::NodeTransition& t) { log.record(t); });
+
+  const auto functions =
+      trace::register_sleep_functions(system.functions(), 100);
+  trace::FaasLoadGenerator::Config faas_cfg;
+  faas_cfg.rate_qps = 10.0;
+  faas_cfg.functions = functions;
+  trace::FaasLoadGenerator faas{
+      simulation, faas_cfg,
+      [&system](const std::string& fn) { (void)system.client().invoke(fn); },
+      sim::Rng{seed ^ 0xFEED}};
+
+  workload.start();
+  system.start();
+  const auto burn_in = sim::SimTime::hours(4);
+  const auto horizon = burn_in + sim::SimTime::hours(hours);
+  simulation.at(burn_in, [&faas, horizon] { faas.start(horizon); });
+  simulation.run_until(horizon);
+  log.finalize(horizon);
+
+  std::cout << "cluster state at end of day (sinfo):\n"
+            << slurm::format_sinfo(system.slurm()) << "\n";
+
+  std::cout << "production_day: " << (var ? "var" : "fib") << " manager, "
+            << hours << " h measured after " << burn_in.to_string()
+            << " burn-in, seed " << seed << "\n\n";
+
+  std::vector<analysis::StateCounts> samples;
+  for (const auto& s : log.sample_counts(sim::SimTime::seconds(10)))
+    if (s.at >= burn_in) samples.push_back(s);
+  const auto report = analysis::slurm_level_report(samples);
+
+  analysis::print_table(
+      std::cout, "cluster dashboard",
+      {"metric", "value"},
+      {
+          {"avg nodes available (would-be idle)",
+           analysis::fmt(report.available_nodes.avg, 2)},
+          {"avg nodes running FaaS pilots",
+           analysis::fmt(report.pilot_workers.avg, 2)},
+          {"idle surface converted to FaaS",
+           analysis::fmt_pct(report.coverage)},
+          {"time with zero available nodes",
+           analysis::fmt_pct(report.zero_available_share)},
+      });
+
+  const auto& cc = system.controller().counters();
+  const auto& wc = system.client().counters();
+  const auto& mc = system.manager().counters();
+  analysis::print_table(
+      std::cout, "FaaS quality of service (Alg. 1 wrapper active)",
+      {"metric", "value"},
+      {
+          {"calls issued", std::to_string(wc.hpcwhisk_calls +
+                                          wc.commercial_calls)},
+          {"served on-cluster", std::to_string(wc.hpcwhisk_calls)},
+          {"offloaded to commercial cloud",
+           std::to_string(wc.commercial_calls)},
+          {"on-cluster completions", std::to_string(cc.completed)},
+          {"on-cluster timeouts", std::to_string(cc.timed_out)},
+          {"executions interrupted by drains (requeued)",
+           std::to_string(cc.interrupted)},
+      });
+  analysis::print_table(
+      std::cout, "pilot fleet",
+      {"metric", "value"},
+      {
+          {"pilots started", std::to_string(mc.started)},
+          {"preempted by HPC jobs", std::to_string(mc.preempted)},
+          {"ran to their own limit", std::to_string(mc.timed_out)},
+          {"HPC jobs completed meanwhile",
+           std::to_string(system.slurm().counters().completed)},
+      });
+  return 0;
+}

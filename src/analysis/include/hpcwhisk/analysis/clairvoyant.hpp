@@ -1,0 +1,67 @@
+#pragma once
+// The paper's a-posteriori, clairvoyant simulator (Sec. IV-A/IV-B): given
+// the exact availability periods of every node, greedily fill each period
+// with pilot jobs, longest-first, and account every second of the idle
+// surface as warm-up / ready / not-used. This produces Table I and the
+// "Simulation" rows (upper bounds) of Tables II and III.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hpcwhisk/analysis/node_state_log.hpp"
+#include "hpcwhisk/analysis/stats.hpp"
+#include "hpcwhisk/sim/time.hpp"
+
+namespace hpcwhisk::analysis {
+
+class ClairvoyantSimulator {
+ public:
+  struct Config {
+    /// Candidate job lengths (must be sorted ascending; Table I sets).
+    std::vector<sim::SimTime> job_lengths;
+    /// Warm-up charged to the head of every job (Table I assumes 20 s).
+    sim::SimTime warmup{sim::SimTime::seconds(20)};
+    /// Jobs never exceed this (backfill window: 120 min).
+    sim::SimTime max_job_length{sim::SimTime::minutes(120)};
+    /// Sampling interval for the ready-worker time series.
+    sim::SimTime sample_interval{sim::SimTime::seconds(10)};
+    /// Strict fitting (false, Table I): a job is only placed if its full
+    /// length fits the remaining period; leftovers are "not used".
+    /// Preemption-cut (true, Tables II/III bounds): the final job of a
+    /// period is truncated at the period end — the correct upper bound
+    /// for a system whose pilots are preemptible and can therefore
+    /// harvest arbitrarily short holes at only the warm-up cost.
+    bool allow_preemption_cut{false};
+  };
+
+  struct Result {
+    std::uint64_t jobs{0};
+    /// Shares of the total availability surface, summing to 1.
+    double warmup_share{0};
+    double ready_share{0};
+    double unused_share{0};
+    /// Distribution of the number of simultaneously ready workers.
+    Summary ready_workers;
+    Summary warming_workers;
+    /// Fraction of time with zero ready workers.
+    double non_availability{0};
+    /// Sampled ready-worker counts (the Fig. 5a/6a "Simulation" panel).
+    std::vector<std::uint32_t> ready_series;
+    sim::SimTime sample_interval;
+  };
+
+  ClairvoyantSimulator(Config config);
+
+  /// `periods`: per-node availability periods (from
+  /// NodeStateLog::merged_periods({kIdle, kPilot}) or {kIdle}).
+  /// `horizon_start/end`: the observation window for time-share stats.
+  [[nodiscard]] Result run(const std::vector<NodeInterval>& periods,
+                           sim::SimTime horizon_start,
+                           sim::SimTime horizon_end) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace hpcwhisk::analysis

@@ -1,0 +1,51 @@
+#pragma once
+// Aggregation of the paper's measurement perspectives plus plain-text
+// table/series printers used by every bench binary.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hpcwhisk/analysis/node_state_log.hpp"
+#include "hpcwhisk/analysis/stats.hpp"
+
+namespace hpcwhisk::analysis {
+
+/// The Slurm-level perspective of Tables II/III: sampled node lists.
+struct SlurmLevelReport {
+  Summary pilot_workers;      ///< "# of workers, all states"
+  Summary available_nodes;    ///< idle + pilot (the harvestable baseline)
+  Summary idle_nodes;         ///< nodes left idle
+  double coverage{0};         ///< share of available time spent in pilots
+  double unused{0};           ///< share of available time left idle
+  double zero_available_share{0};
+  double zero_pilot_share{0};
+  std::size_t samples{0};
+};
+
+[[nodiscard]] SlurmLevelReport slurm_level_report(
+    const std::vector<StateCounts>& samples);
+
+// --- Plain-text output helpers -------------------------------------------
+
+/// Prints a fixed-width table. Every row must have headers.size() cells.
+void print_table(std::ostream& os, const std::string& title,
+                 const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Prints a CDF as "value prob" rows (one series of a figure).
+void print_cdf(std::ostream& os, const std::string& name,
+               const std::vector<CdfPoint>& points);
+
+/// Prints a time series, downsampled to at most `max_points` rows of
+/// "t_seconds value".
+void print_series(std::ostream& os, const std::string& name,
+                  const std::vector<double>& values, double dt_seconds,
+                  std::size_t max_points = 48);
+
+/// Formats a double with fixed precision (helper for table rows).
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 2);
+
+}  // namespace hpcwhisk::analysis

@@ -1,0 +1,115 @@
+#include "hpcwhisk/analysis/clairvoyant.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcwhisk::analysis {
+
+ClairvoyantSimulator::ClairvoyantSimulator(Config config)
+    : config_{std::move(config)} {
+  if (config_.job_lengths.empty())
+    throw std::invalid_argument("ClairvoyantSimulator: no job lengths");
+  if (!std::is_sorted(config_.job_lengths.begin(), config_.job_lengths.end()))
+    throw std::invalid_argument("ClairvoyantSimulator: lengths must ascend");
+  if (config_.warmup < sim::SimTime::zero())
+    throw std::invalid_argument("ClairvoyantSimulator: negative warmup");
+}
+
+ClairvoyantSimulator::Result ClairvoyantSimulator::run(
+    const std::vector<NodeInterval>& periods, sim::SimTime horizon_start,
+    sim::SimTime horizon_end) const {
+  if (horizon_end <= horizon_start)
+    throw std::invalid_argument("ClairvoyantSimulator: empty horizon");
+
+  Result result;
+  result.sample_interval = config_.sample_interval;
+  const sim::SimTime shortest = config_.job_lengths.front();
+
+  double warmup_s = 0, ready_s = 0, unused_s = 0;
+
+  // Ready/warming intervals across all nodes, as +1/-1 edge events.
+  struct Edge {
+    sim::SimTime at;
+    std::int32_t ready_delta;
+    std::int32_t warming_delta;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(periods.size() * 4);
+
+  for (const NodeInterval& period : periods) {
+    sim::SimTime cursor = std::max(period.start, horizon_start);
+    const sim::SimTime end = std::min(period.end, horizon_end);
+    while (cursor < end) {
+      const sim::SimTime remaining = end - cursor;
+      if (remaining < shortest && !config_.allow_preemption_cut) {
+        unused_s += remaining.to_seconds();
+        break;
+      }
+      // Greedy: longest candidate that fits both the hole and the cap;
+      // in preemption-cut mode the job may be truncated at the period end.
+      sim::SimTime len;
+      if (remaining < shortest) {
+        len = remaining;  // truncated final job (preemption-cut mode)
+      } else {
+        const sim::SimTime fit = std::min(remaining, config_.max_job_length);
+        const auto it = std::upper_bound(config_.job_lengths.begin(),
+                                         config_.job_lengths.end(), fit);
+        len = *(it - 1);
+        if (config_.allow_preemption_cut && len < remaining &&
+            remaining <= config_.max_job_length) {
+          // The next-longer candidate would overshoot: truncate it at the
+          // period end instead of leaving a sub-optimal remainder chain.
+          const auto next = std::upper_bound(config_.job_lengths.begin(),
+                                             config_.job_lengths.end(), len);
+          if (next != config_.job_lengths.end()) len = remaining;
+        }
+      }
+      ++result.jobs;
+      const sim::SimTime warm = std::min(config_.warmup, len);
+      warmup_s += warm.to_seconds();
+      ready_s += (len - warm).to_seconds();
+      edges.push_back({cursor, 0, +1});
+      edges.push_back({cursor + warm, +1, -1});
+      edges.push_back({cursor + len, -1, 0});
+      cursor += len;
+    }
+  }
+
+  const double total = warmup_s + ready_s + unused_s;
+  if (total > 0) {
+    result.warmup_share = warmup_s / total;
+    result.ready_share = ready_s / total;
+    result.unused_share = unused_s / total;
+  }
+
+  // Sample ready/warming counts over the horizon.
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.at < b.at; });
+  std::vector<double> ready_counts;
+  std::vector<double> warming_counts;
+  std::int32_t ready = 0, warming = 0;
+  std::size_t e = 0;
+  std::size_t zero_samples = 0, samples = 0;
+  for (sim::SimTime t = horizon_start; t <= horizon_end;
+       t += config_.sample_interval) {
+    while (e < edges.size() && edges[e].at <= t) {
+      ready += edges[e].ready_delta;
+      warming += edges[e].warming_delta;
+      ++e;
+    }
+    ready_counts.push_back(ready);
+    warming_counts.push_back(warming);
+    result.ready_series.push_back(static_cast<std::uint32_t>(ready));
+    ++samples;
+    if (ready == 0) ++zero_samples;
+  }
+  result.ready_workers = summarize(ready_counts);
+  result.warming_workers = summarize(warming_counts);
+  result.non_availability =
+      samples == 0 ? 0.0
+                   : static_cast<double>(zero_samples) /
+                         static_cast<double>(samples);
+  return result;
+}
+
+}  // namespace hpcwhisk::analysis

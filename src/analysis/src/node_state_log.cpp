@@ -1,0 +1,178 @@
+#include "hpcwhisk/analysis/node_state_log.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace hpcwhisk::analysis {
+
+NodeStateLog::NodeStateLog(std::uint32_t node_count, sim::SimTime start_time)
+    : start_{start_time}, end_{start_time} {
+  open_state_.assign(node_count, slurm::ObservedNodeState::kIdle);
+  open_since_.assign(node_count, start_time);
+}
+
+void NodeStateLog::record(const slurm::NodeTransition& t) {
+  if (finalized_) throw std::logic_error("NodeStateLog: already finalized");
+  const auto node = t.node;
+  if (node >= open_state_.size())
+    throw std::out_of_range("NodeStateLog: node out of range");
+  if (t.state == open_state_[node]) return;  // no observable change
+  if (t.when > open_since_[node]) {
+    intervals_.push_back(
+        NodeInterval{node, open_state_[node], open_since_[node], t.when});
+  }
+  open_state_[node] = t.state;
+  open_since_[node] = t.when;
+  end_ = std::max(end_, t.when);
+}
+
+void NodeStateLog::finalize(sim::SimTime end_time) {
+  if (finalized_) return;
+  finalized_ = true;
+  end_ = end_time;
+  for (std::uint32_t n = 0; n < open_state_.size(); ++n) {
+    if (end_time > open_since_[n]) {
+      intervals_.push_back(
+          NodeInterval{n, open_state_[n], open_since_[n], end_time});
+    }
+  }
+  std::stable_sort(intervals_.begin(), intervals_.end(),
+                   [](const NodeInterval& a, const NodeInterval& b) {
+                     if (a.node != b.node) return a.node < b.node;
+                     return a.start < b.start;
+                   });
+}
+
+std::vector<NodeInterval> NodeStateLog::merged_periods(
+    std::initializer_list<slurm::ObservedNodeState> states) const {
+  const auto qualifies = [&states](slurm::ObservedNodeState s) {
+    for (const auto q : states)
+      if (q == s) return true;
+    return false;
+  };
+  // Before finalize() the interval list is in event order; merging needs
+  // node-major time order, so sort a copy (finalize() sorts in place).
+  std::vector<NodeInterval> sorted_copy;
+  const std::vector<NodeInterval>* source = &intervals_;
+  if (!finalized_) {
+    sorted_copy = intervals_;
+    std::stable_sort(sorted_copy.begin(), sorted_copy.end(),
+                     [](const NodeInterval& a, const NodeInterval& b) {
+                       if (a.node != b.node) return a.node < b.node;
+                       return a.start < b.start;
+                     });
+    source = &sorted_copy;
+  }
+  std::vector<NodeInterval> out;
+  for (const NodeInterval& iv : *source) {
+    if (!qualifies(iv.state)) continue;
+    if (!out.empty() && out.back().node == iv.node &&
+        out.back().end == iv.start) {
+      out.back().end = iv.end;  // merge adjacent qualifying intervals
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+std::vector<StateCounts> NodeStateLog::sample_counts(
+    sim::SimTime interval) const {
+  if (interval <= sim::SimTime::zero())
+    throw std::invalid_argument("sample_counts: non-positive interval");
+  // Sweep the (node-major) intervals into a per-sample accumulation.
+  const std::size_t samples =
+      static_cast<std::size_t>((end_ - start_) / interval) + 1;
+  std::vector<StateCounts> out(samples);
+  for (std::size_t i = 0; i < samples; ++i)
+    out[i].at = start_ + interval * static_cast<std::int64_t>(i);
+
+  for (const NodeInterval& iv : intervals_) {
+    // Sample s covers instant start_ + s*interval; interval [a, b) covers
+    // samples ceil((a-start)/dt) .. ceil((b-start)/dt)-1 — except we use
+    // half-open on the right so a state change exactly at the sample
+    // instant is observed as the *new* state.
+    const std::int64_t dt = interval.ticks();
+    std::int64_t first = ((iv.start - start_).ticks() + dt - 1) / dt;
+    std::int64_t last = ((iv.end - start_).ticks() - 1) / dt;
+    first = std::max<std::int64_t>(first, 0);
+    last = std::min<std::int64_t>(last, static_cast<std::int64_t>(samples) - 1);
+    for (std::int64_t s = first; s <= last; ++s) {
+      switch (iv.state) {
+        case slurm::ObservedNodeState::kIdle: ++out[s].idle; break;
+        case slurm::ObservedNodeState::kHpc: ++out[s].hpc; break;
+        case slurm::ObservedNodeState::kPilot: ++out[s].pilot; break;
+        case slurm::ObservedNodeState::kDown: ++out[s].down; break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<sim::SimTime> NodeStateLog::sampled_periods(
+    sim::SimTime interval,
+    std::initializer_list<slurm::ObservedNodeState> states) const {
+  std::vector<sim::SimTime> out;
+  for (const NodeInterval& iv : sampled_period_intervals(interval, states))
+    out.push_back(iv.length());
+  return out;
+}
+
+std::vector<NodeInterval> NodeStateLog::sampled_period_intervals(
+    sim::SimTime interval,
+    std::initializer_list<slurm::ObservedNodeState> states) const {
+  if (interval <= sim::SimTime::zero())
+    throw std::invalid_argument("sampled_periods: non-positive interval");
+  const std::int64_t dt = interval.ticks();
+  const std::int64_t max_sample = (end_ - start_).ticks() / dt;
+
+  std::vector<NodeInterval> periods;
+  const auto qualifying = merged_periods(states);
+  // merged_periods is node-major and time-sorted; walk runs of covered
+  // sample indices per node.
+  std::uint32_t cur_node = UINT32_MAX;
+  std::int64_t run_start = -1, run_end = -2;  // inclusive sample indices
+  const auto flush = [&] {
+    if (run_end >= run_start && run_start >= 0) {
+      NodeInterval iv;
+      iv.node = cur_node;
+      iv.state = *states.begin();
+      iv.start = start_ + sim::SimTime::micros(run_start * dt);
+      iv.end = start_ + sim::SimTime::micros((run_end + 1) * dt);
+      periods.push_back(iv);
+    }
+  };
+  for (const NodeInterval& iv : qualifying) {
+    std::int64_t first = ((iv.start - start_).ticks() + dt - 1) / dt;
+    std::int64_t last = ((iv.end - start_).ticks() - 1) / dt;
+    first = std::max<std::int64_t>(first, 0);
+    last = std::min(last, max_sample);
+    if (last < first) continue;  // sliver between samples: invisible
+    if (iv.node != cur_node || first > run_end + 1) {
+      flush();
+      cur_node = iv.node;
+      run_start = first;
+      run_end = last;
+    } else {
+      run_end = std::max(run_end, last);
+    }
+  }
+  flush();
+  return periods;
+}
+
+double NodeStateLog::time_weighted_mean_available() const {
+  const double horizon = (end_ - start_).to_seconds();
+  if (horizon <= 0) return 0.0;
+  double area = 0.0;
+  for (const NodeInterval& iv : intervals_) {
+    if (iv.state == slurm::ObservedNodeState::kIdle ||
+        iv.state == slurm::ObservedNodeState::kPilot) {
+      area += iv.length().to_seconds();
+    }
+  }
+  return area / horizon;
+}
+
+}  // namespace hpcwhisk::analysis

@@ -1,0 +1,111 @@
+#include "hpcwhisk/analysis/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace hpcwhisk::analysis {
+
+SlurmLevelReport slurm_level_report(const std::vector<StateCounts>& samples) {
+  SlurmLevelReport report;
+  report.samples = samples.size();
+  if (samples.empty()) return report;
+
+  std::vector<double> pilots, available, idle;
+  pilots.reserve(samples.size());
+  available.reserve(samples.size());
+  idle.reserve(samples.size());
+  std::uint64_t pilot_sum = 0, avail_sum = 0;
+  std::size_t zero_avail = 0, zero_pilot = 0;
+  for (const StateCounts& s : samples) {
+    pilots.push_back(s.pilot);
+    available.push_back(s.available());
+    idle.push_back(s.idle);
+    pilot_sum += s.pilot;
+    avail_sum += s.available();
+    if (s.available() == 0) ++zero_avail;
+    if (s.pilot == 0) ++zero_pilot;
+  }
+  report.pilot_workers = summarize(pilots);
+  report.available_nodes = summarize(available);
+  report.idle_nodes = summarize(idle);
+  report.coverage = avail_sum == 0 ? 0.0
+                                   : static_cast<double>(pilot_sum) /
+                                         static_cast<double>(avail_sum);
+  report.unused = 1.0 - report.coverage;
+  report.zero_available_share =
+      static_cast<double>(zero_avail) / static_cast<double>(samples.size());
+  report.zero_pilot_share =
+      static_cast<double>(zero_pilot) / static_cast<double>(samples.size());
+  return report;
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void print_table(std::ostream& os, const std::string& title,
+                 const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  os << "== " << title << " ==\n";
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  print_row(headers);
+  std::size_t total = 1;
+  for (const std::size_t w : widths) total += w + 3;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows) print_row(row);
+  os << '\n';
+}
+
+void print_cdf(std::ostream& os, const std::string& name,
+               const std::vector<CdfPoint>& points) {
+  os << "-- CDF: " << name << " --\n";
+  for (const CdfPoint& p : points)
+    os << fmt(p.value, 3) << ' ' << fmt(p.prob, 4) << '\n';
+  os << '\n';
+}
+
+void print_series(std::ostream& os, const std::string& name,
+                  const std::vector<double>& values, double dt_seconds,
+                  std::size_t max_points) {
+  os << "-- series: " << name << " (t_seconds value) --\n";
+  if (values.empty()) {
+    os << "(empty)\n\n";
+    return;
+  }
+  const std::size_t step = std::max<std::size_t>(1, values.size() / max_points);
+  for (std::size_t i = 0; i < values.size(); i += step) {
+    // Aggregate the bucket by averaging so bursts are not aliased away.
+    double sum = 0;
+    std::size_t n = 0;
+    for (std::size_t j = i; j < std::min(values.size(), i + step); ++j) {
+      sum += values[j];
+      ++n;
+    }
+    os << fmt(static_cast<double>(i) * dt_seconds, 0) << ' '
+       << fmt(sum / static_cast<double>(n), 2) << '\n';
+  }
+  os << '\n';
+}
+
+}  // namespace hpcwhisk::analysis

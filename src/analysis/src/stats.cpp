@@ -1,0 +1,69 @@
+#include "hpcwhisk/analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcwhisk::analysis {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const std::size_t k = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(values.size())));
+  const std::size_t idx = k == 0 ? 0 : k - 1;
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(idx),
+                   values.end());
+  return values[idx];
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const auto at = [&sorted](double p) {
+    const std::size_t k = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(sorted.size())));
+    return sorted[k == 0 ? 0 : k - 1];
+  };
+  s.p25 = at(0.25);
+  s.p50 = at(0.50);
+  s.p75 = at(0.75);
+  s.avg = mean(values);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  return s;
+}
+
+std::vector<CdfPoint> cdf_points(std::vector<double> values,
+                                 std::size_t max_points) {
+  std::vector<CdfPoint> out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = step - 1; i < n; i += step) {
+    out.push_back({values[i], static_cast<double>(i + 1) / n});
+  }
+  if (out.empty() || out.back().prob < 1.0)
+    out.push_back({values.back(), 1.0});
+  return out;
+}
+
+double fraction_at_most(const std::vector<double>& values, double x) {
+  if (values.empty()) return 0.0;
+  std::size_t count = 0;
+  for (const double v : values)
+    if (v <= x) ++count;
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+}  // namespace hpcwhisk::analysis

@@ -1,0 +1,66 @@
+#include "hpcwhisk/cloud/lambda_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcwhisk::cloud {
+
+LambdaService::LambdaService(sim::Simulation& simulation,
+                             const whisk::FunctionRegistry& registry,
+                             Config config, sim::Rng rng)
+    : sim_{simulation},
+      registry_{registry},
+      config_{config},
+      rng_{rng},
+      cold_start_{config.cold_start_median_s, config.cold_start_p95_s, 0.95},
+      overhead_{config.overhead_median_s, config.overhead_p95_s, 0.95} {}
+
+double LambdaService::cpu_share(std::int64_t memory_mb) const {
+  const double share = static_cast<double>(memory_mb) /
+                       static_cast<double>(config_.full_vcpu_memory_mb);
+  return std::min(1.0, share);
+}
+
+std::uint64_t LambdaService::invoke(const std::string& function,
+                                    std::int64_t memory_mb) {
+  const whisk::FunctionSpec& spec = registry_.at(function);
+  const sim::SimTime now = sim_.now();
+
+  InvocationRecord rec;
+  rec.id = records_.size();
+  rec.function = function;
+  rec.submit_time = now;
+
+  const auto warm = warm_until_.find(function);
+  rec.cold_start = warm == warm_until_.end() || warm->second < now;
+
+  sim::SimTime latency = sim::SimTime::seconds(overhead_.sample(rng_));
+  if (rec.cold_start)
+    latency += sim::SimTime::seconds(cold_start_.sample(rng_));
+
+  // Internal execution: the function body, dilated by the CPU share and
+  // the platform's compute slowdown relative to an HPC node.
+  const double dilation = config_.compute_slowdown / cpu_share(memory_mb);
+  rec.internal_duration =
+      sim::SimTime::seconds(spec.duration(rng_).to_seconds() * dilation);
+  latency += rec.internal_duration;
+
+  const std::uint64_t id = rec.id;
+  records_.push_back(std::move(rec));
+  warm_until_[function] = now + latency + config_.keep_warm;
+
+  sim_.after(latency, [this, id] {
+    records_[id].end_time = sim_.now();
+    ++completed_;
+  });
+  return id;
+}
+
+const LambdaService::InvocationRecord& LambdaService::invocation(
+    std::uint64_t id) const {
+  if (id >= records_.size())
+    throw std::out_of_range("LambdaService::invocation: unknown id");
+  return records_[id];
+}
+
+}  // namespace hpcwhisk::cloud

@@ -1,0 +1,58 @@
+#pragma once
+// Alg. 1 of the paper: a client-side wrapper that shields FaaS users from
+// the cluster's non-availability periods (Sec. III-E). Whenever HPC-Whisk
+// answers 503 (no invoker), calls are offloaded to a commercial cloud for
+// a cool-down window (60 s by default), then HPC-Whisk is retried.
+
+#include <cstdint>
+#include <string>
+
+#include "hpcwhisk/cloud/lambda_service.hpp"
+#include "hpcwhisk/sim/simulation.hpp"
+#include "hpcwhisk/whisk/controller.hpp"
+
+namespace hpcwhisk::core {
+
+class ClientWrapper {
+ public:
+  struct Config {
+    /// How long to keep offloading after a 503.
+    sim::SimTime fallback_window{sim::SimTime::seconds(60)};
+    /// Memory configuration used for commercial invocations.
+    std::int64_t commercial_memory_mb{2048};
+  };
+
+  ClientWrapper(sim::Simulation& simulation, whisk::Controller& controller,
+                cloud::LambdaService& commercial, Config config);
+
+  enum class Backend { kHpcWhisk, kCommercial };
+
+  struct Result {
+    Backend backend{Backend::kHpcWhisk};
+    /// Activation id (HPC-Whisk) or invocation id (commercial).
+    std::uint64_t id{0};
+  };
+
+  /// Invokes `function`, implementing Alg. 1: try HPC-Whisk unless inside
+  /// the fallback window; on 503, remember the time and recurse into the
+  /// commercial backend. Never fails to place the call.
+  Result invoke(const std::string& function);
+
+  struct Counters {
+    std::uint64_t hpcwhisk_calls{0};
+    std::uint64_t commercial_calls{0};
+    std::uint64_t rejections_seen{0};
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  sim::Simulation& sim_;
+  whisk::Controller& controller_;
+  cloud::LambdaService& commercial_;
+  Config config_;
+  /// Alg. 1's Last_503 variable ("1970-01-01" => never).
+  sim::SimTime last_503_{sim::SimTime::micros(-1)};
+  Counters counters_;
+};
+
+}  // namespace hpcwhisk::core

@@ -1,0 +1,69 @@
+#pragma once
+// End-to-end wiring of an HPC-Whisk deployment (Fig. 4): Slurm cluster,
+// message broker, OpenWhisk controller, job manager, and optionally the
+// commercial fallback. This is the top-level entry point of the library;
+// see examples/quickstart.cpp for typical use.
+
+#include <memory>
+
+#include "hpcwhisk/cloud/lambda_service.hpp"
+#include "hpcwhisk/core/client_wrapper.hpp"
+#include "hpcwhisk/core/job_manager.hpp"
+#include "hpcwhisk/mq/broker.hpp"
+#include "hpcwhisk/sim/simulation.hpp"
+#include "hpcwhisk/slurm/slurmctld.hpp"
+#include "hpcwhisk/whisk/controller.hpp"
+#include "hpcwhisk/whisk/function.hpp"
+
+namespace hpcwhisk::core {
+
+/// Canonical partition layout: one "hpc" partition at tier 1 (never
+/// preempted) and one "pilot" partition at tier 0 with PreemptMode=CANCEL
+/// and a 3-minute grace (Sec. III-D a).
+[[nodiscard]] std::vector<slurm::Partition> default_partitions(
+    sim::SimTime grace = sim::SimTime::minutes(3));
+
+class HpcWhiskSystem {
+ public:
+  struct Config {
+    slurm::Slurmctld::Config slurm;
+    std::vector<slurm::Partition> partitions;  // empty => defaults
+    whisk::Controller::Config controller;
+    JobManager::Config manager;
+    cloud::LambdaService::Config commercial;
+    ClientWrapper::Config wrapper;
+    std::uint64_t seed{1};
+  };
+
+  /// Functions must be registered on `registry` before invocations; the
+  /// registry may keep growing afterwards.
+  HpcWhiskSystem(sim::Simulation& simulation, Config config);
+
+  HpcWhiskSystem(const HpcWhiskSystem&) = delete;
+  HpcWhiskSystem& operator=(const HpcWhiskSystem&) = delete;
+
+  /// Starts the pilot job supply.
+  void start() { manager_->start(); }
+
+  whisk::FunctionRegistry& functions() { return registry_; }
+  slurm::Slurmctld& slurm() { return *slurmctld_; }
+  whisk::Controller& controller() { return *controller_; }
+  JobManager& manager() { return *manager_; }
+  mq::Broker& broker() { return broker_; }
+  cloud::LambdaService& commercial() { return *commercial_; }
+  ClientWrapper& client() { return *client_; }
+  [[nodiscard]] const whisk::FunctionRegistry& functions() const {
+    return registry_;
+  }
+
+ private:
+  whisk::FunctionRegistry registry_;
+  mq::Broker broker_;
+  std::unique_ptr<slurm::Slurmctld> slurmctld_;
+  std::unique_ptr<whisk::Controller> controller_;
+  std::unique_ptr<JobManager> manager_;
+  std::unique_ptr<cloud::LambdaService> commercial_;
+  std::unique_ptr<ClientWrapper> client_;
+};
+
+}  // namespace hpcwhisk::core

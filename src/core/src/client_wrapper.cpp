@@ -1,0 +1,34 @@
+#include "hpcwhisk/core/client_wrapper.hpp"
+
+namespace hpcwhisk::core {
+
+ClientWrapper::ClientWrapper(sim::Simulation& simulation,
+                             whisk::Controller& controller,
+                             cloud::LambdaService& commercial, Config config)
+    : sim_{simulation},
+      controller_{controller},
+      commercial_{commercial},
+      config_{config} {}
+
+ClientWrapper::Result ClientWrapper::invoke(const std::string& function) {
+  const sim::SimTime now = sim_.now();
+  const bool in_fallback = last_503_ >= sim::SimTime::zero() &&
+                           now - last_503_ <= config_.fallback_window;
+  if (!in_fallback) {
+    const auto result = controller_.submit(function);
+    if (result.accepted) {
+      ++counters_.hpcwhisk_calls;
+      return Result{Backend::kHpcWhisk, result.activation};
+    }
+    // 503: remember and fall through to the commercial backend (the
+    // recursive call of Alg. 1, unrolled).
+    ++counters_.rejections_seen;
+    last_503_ = now;
+  }
+  ++counters_.commercial_calls;
+  const std::uint64_t id =
+      commercial_.invoke(function, config_.commercial_memory_mb);
+  return Result{Backend::kCommercial, id};
+}
+
+}  // namespace hpcwhisk::core

@@ -1,0 +1,60 @@
+#include "hpcwhisk/core/pilot.hpp"
+
+namespace hpcwhisk::core {
+
+PilotJob::PilotJob(sim::Simulation& simulation, slurm::Slurmctld& slurmctld,
+                   slurm::JobId slurm_job,
+                   std::unique_ptr<whisk::Invoker> invoker, sim::SimTime warmup)
+    : sim_{simulation},
+      slurmctld_{slurmctld},
+      slurm_job_{slurm_job},
+      invoker_{std::move(invoker)},
+      started_at_{simulation.now()} {
+  warmup_event_ = sim_.after(warmup, [this] {
+    if (phase_ != Phase::kWarmingUp) return;
+    phase_ = Phase::kServing;
+    serving_since_ = sim_.now();
+    invoker_->start();
+  });
+}
+
+PilotJob::~PilotJob() {
+  if (phase_ != Phase::kExited) {
+    sim_.cancel(warmup_event_);
+    invoker_->hard_kill();
+  }
+}
+
+void PilotJob::on_sigterm() {
+  switch (phase_) {
+    case Phase::kWarmingUp:
+      // Not registered yet: nothing to hand off; exit immediately.
+      sim_.cancel(warmup_event_);
+      phase_ = Phase::kExited;
+      slurmctld_.job_exited(slurm_job_);
+      return;
+    case Phase::kServing: {
+      phase_ = Phase::kDraining;
+      invoker_->sigterm([this] {
+        if (phase_ != Phase::kDraining) return;
+        phase_ = Phase::kExited;
+        slurmctld_.job_exited(slurm_job_);
+      });
+      return;
+    }
+    case Phase::kDraining:
+    case Phase::kExited:
+      return;  // duplicate signal
+  }
+}
+
+void PilotJob::on_job_end() {
+  if (phase_ == Phase::kExited) return;
+  // SIGKILL landed before the drain finished (non-interruptible work), or
+  // the node failed: whatever is left is lost.
+  sim_.cancel(warmup_event_);
+  invoker_->hard_kill();
+  phase_ = Phase::kExited;
+}
+
+}  // namespace hpcwhisk::core

@@ -1,0 +1,37 @@
+#include "hpcwhisk/core/system.hpp"
+
+namespace hpcwhisk::core {
+
+std::vector<slurm::Partition> default_partitions(sim::SimTime grace) {
+  slurm::Partition hpc;
+  hpc.name = "hpc";
+  hpc.priority_tier = 1;
+  hpc.preempt_mode = slurm::PreemptMode::kOff;
+
+  slurm::Partition pilot;
+  pilot.name = "pilot";
+  pilot.priority_tier = 0;
+  pilot.preempt_mode = slurm::PreemptMode::kCancel;
+  pilot.grace_time = grace;
+  pilot.max_time = sim::SimTime::hours(2);
+  return {hpc, pilot};
+}
+
+HpcWhiskSystem::HpcWhiskSystem(sim::Simulation& simulation, Config config) {
+  if (config.partitions.empty()) config.partitions = default_partitions();
+  sim::Rng rng{config.seed};
+  slurmctld_ = std::make_unique<slurm::Slurmctld>(simulation, config.slurm,
+                                                  config.partitions);
+  controller_ = std::make_unique<whisk::Controller>(simulation, broker_,
+                                                    registry_,
+                                                    config.controller);
+  manager_ = std::make_unique<JobManager>(simulation, *slurmctld_, broker_,
+                                          registry_, *controller_,
+                                          config.manager, rng.fork());
+  commercial_ = std::make_unique<cloud::LambdaService>(
+      simulation, registry_, config.commercial, rng.fork());
+  client_ = std::make_unique<ClientWrapper>(simulation, *controller_,
+                                            *commercial_, config.wrapper);
+}
+
+}  // namespace hpcwhisk::core

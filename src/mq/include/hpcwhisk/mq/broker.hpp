@@ -1,0 +1,42 @@
+#pragma once
+// Named-topic broker. HPC-Whisk uses one topic per invoker plus a single
+// global "fast lane" topic that drained invokers re-publish into and that
+// every invoker polls before its own topic (Sec. III-C of the paper).
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hpcwhisk/mq/topic.hpp"
+
+namespace hpcwhisk::mq {
+
+class Broker {
+ public:
+  /// Conventional name of the global fast-lane topic.
+  static constexpr const char* kFastLane = "fast-lane";
+
+  Broker();
+
+  /// Returns the topic, creating it if absent. The pointer stays valid for
+  /// the broker's lifetime (topics are never destroyed, matching Kafka's
+  /// durable-topic semantics within a run).
+  Topic& topic(const std::string& name);
+
+  /// Returns the topic or nullptr if it was never created.
+  [[nodiscard]] Topic* find(const std::string& name);
+
+  Topic& fast_lane() { return *fast_lane_; }
+
+  [[nodiscard]] std::vector<std::string> topic_names() const;
+  [[nodiscard]] std::size_t topic_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Topic>> topics_;
+  Topic* fast_lane_{nullptr};
+};
+
+}  // namespace hpcwhisk::mq

@@ -1,0 +1,86 @@
+#pragma once
+// Offset-based, append-only message log with consumer groups — the
+// full-fidelity Kafka-topic model.
+//
+// The HPC-Whisk protocols only need the destructive pull-queue view
+// (mq::Topic): the invoker owns its topic exclusively and messages are
+// explicitly re-published on hand-off. Log exists for the use cases
+// Topic deliberately omits — replay, multiple independent consumer
+// groups, committed offsets, and lag monitoring — and is tested to the
+// same standard.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hpcwhisk/mq/message.hpp"
+
+namespace hpcwhisk::mq {
+
+using Offset = std::uint64_t;
+
+class Log {
+ public:
+  explicit Log(std::string name) : name_{std::move(name)} {}
+
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Appends a message; returns its offset (monotonic from 0).
+  Offset append(Message msg, sim::SimTime now);
+
+  /// Reads up to `max_count` messages starting at `from` (inclusive),
+  /// without consuming anything. Offsets older than the retention floor
+  /// are skipped forward.
+  [[nodiscard]] std::vector<Message> read(Offset from,
+                                          std::size_t max_count) const;
+
+  // --- Consumer groups ----------------------------------------------------
+  // Each group holds one committed offset: the next offset it will read.
+  // poll() reads from the committed position WITHOUT advancing it;
+  // commit() advances. (At-least-once consumption: crash between poll
+  // and commit re-delivers.)
+
+  /// Creates the group positioned at the current end (only new messages)
+  /// or at the retention floor. No-op if the group exists.
+  void create_group(const std::string& group, bool from_beginning = false);
+
+  [[nodiscard]] std::vector<Message> poll(const std::string& group,
+                                          std::size_t max_count) const;
+
+  /// Advances the group's committed offset to `next` (must not exceed
+  /// end_offset; must not move backwards unless `allow_rewind`).
+  void commit(const std::string& group, Offset next,
+              bool allow_rewind = false);
+
+  /// Messages between the group's committed offset and the log end.
+  [[nodiscard]] std::uint64_t lag(const std::string& group) const;
+
+  [[nodiscard]] Offset committed(const std::string& group) const;
+
+  // --- Retention -----------------------------------------------------------
+
+  /// Discards messages below `floor` (committed offsets are clamped up).
+  void trim(Offset floor);
+
+  [[nodiscard]] Offset begin_offset() const;
+  [[nodiscard]] Offset end_offset() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  [[nodiscard]] const Offset* find_group(const std::string& group) const;
+
+  const std::string name_;
+  mutable std::mutex mu_;
+  std::deque<Message> entries_;  // entries_[i] has offset base_ + i
+  Offset base_{0};
+  std::unordered_map<std::string, Offset> groups_;
+};
+
+}  // namespace hpcwhisk::mq

@@ -1,0 +1,61 @@
+#pragma once
+// A FIFO topic with pull-based consumption, mirroring how OpenWhisk
+// invokers consume their individual Kafka topics.
+//
+// Thread-safe: the simulator itself is single-threaded, but benchmark
+// harnesses drive independent brokers from worker threads, so the topic
+// guards its queue with a mutex (uncontended locks are cheap).
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpcwhisk/mq/message.hpp"
+
+namespace hpcwhisk::mq {
+
+class Topic {
+ public:
+  explicit Topic(std::string name) : name_{std::move(name)} {}
+
+  Topic(const Topic&) = delete;
+  Topic& operator=(const Topic&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Appends a message to the tail. Stamps first_published on the first
+  /// publish and bumps delivery_count.
+  void publish(Message msg, sim::SimTime now);
+
+  /// Pops up to `max_count` messages from the head (FIFO).
+  [[nodiscard]] std::vector<Message> poll(std::size_t max_count);
+
+  /// Pops a single message, if any.
+  [[nodiscard]] std::optional<Message> poll_one();
+
+  /// Removes and returns *all* queued messages. Used by the controller to
+  /// move a draining invoker's unpulled backlog to the fast-lane topic.
+  [[nodiscard]] std::vector<Message> drain();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Lifetime counters (monotonic).
+  struct Counters {
+    std::uint64_t published{0};
+    std::uint64_t consumed{0};
+    std::uint64_t drained{0};
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  const std::string name_;
+  mutable std::mutex mu_;
+  std::deque<Message> queue_;
+  Counters counters_;
+};
+
+}  // namespace hpcwhisk::mq

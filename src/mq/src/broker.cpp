@@ -1,0 +1,35 @@
+#include "hpcwhisk/mq/broker.hpp"
+
+namespace hpcwhisk::mq {
+
+Broker::Broker() { fast_lane_ = &topic(kFastLane); }
+
+Topic& Broker::topic(const std::string& name) {
+  std::lock_guard lock{mu_};
+  auto it = topics_.find(name);
+  if (it == topics_.end()) {
+    it = topics_.emplace(name, std::make_unique<Topic>(name)).first;
+  }
+  return *it->second;
+}
+
+Topic* Broker::find(const std::string& name) {
+  std::lock_guard lock{mu_};
+  const auto it = topics_.find(name);
+  return it == topics_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Broker::topic_names() const {
+  std::lock_guard lock{mu_};
+  std::vector<std::string> names;
+  names.reserve(topics_.size());
+  for (const auto& [name, _] : topics_) names.push_back(name);
+  return names;
+}
+
+std::size_t Broker::topic_count() const {
+  std::lock_guard lock{mu_};
+  return topics_.size();
+}
+
+}  // namespace hpcwhisk::mq

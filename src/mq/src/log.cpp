@@ -1,0 +1,105 @@
+#include "hpcwhisk/mq/log.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcwhisk::mq {
+
+Offset Log::append(Message msg, sim::SimTime now) {
+  std::lock_guard lock{mu_};
+  if (msg.delivery_count == 0) msg.first_published = now;
+  ++msg.delivery_count;
+  entries_.push_back(std::move(msg));
+  return base_ + entries_.size() - 1;
+}
+
+std::vector<Message> Log::read(Offset from, std::size_t max_count) const {
+  std::lock_guard lock{mu_};
+  const Offset start = std::max(from, base_);
+  const Offset end = base_ + entries_.size();
+  std::vector<Message> out;
+  for (Offset o = start; o < end && out.size() < max_count; ++o) {
+    out.push_back(entries_[o - base_]);
+  }
+  return out;
+}
+
+void Log::create_group(const std::string& group, bool from_beginning) {
+  std::lock_guard lock{mu_};
+  const Offset pos = from_beginning ? base_ : base_ + entries_.size();
+  groups_.emplace(group, pos);
+}
+
+const Offset* Log::find_group(const std::string& group) const {
+  const auto it = groups_.find(group);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+std::vector<Message> Log::poll(const std::string& group,
+                               std::size_t max_count) const {
+  Offset from;
+  {
+    std::lock_guard lock{mu_};
+    const Offset* pos = find_group(group);
+    if (pos == nullptr)
+      throw std::out_of_range("Log::poll: unknown group '" + group + "'");
+    from = *pos;
+  }
+  return read(from, max_count);
+}
+
+void Log::commit(const std::string& group, Offset next, bool allow_rewind) {
+  std::lock_guard lock{mu_};
+  const auto it = groups_.find(group);
+  if (it == groups_.end())
+    throw std::out_of_range("Log::commit: unknown group '" + group + "'");
+  if (next > base_ + entries_.size())
+    throw std::invalid_argument("Log::commit: offset beyond log end");
+  if (next < it->second && !allow_rewind)
+    throw std::invalid_argument("Log::commit: offset moves backwards");
+  it->second = std::max(next, base_);
+}
+
+std::uint64_t Log::lag(const std::string& group) const {
+  std::lock_guard lock{mu_};
+  const Offset* pos = find_group(group);
+  if (pos == nullptr)
+    throw std::out_of_range("Log::lag: unknown group '" + group + "'");
+  const Offset end = base_ + entries_.size();
+  return end - std::max(*pos, base_);
+}
+
+Offset Log::committed(const std::string& group) const {
+  std::lock_guard lock{mu_};
+  const Offset* pos = find_group(group);
+  if (pos == nullptr)
+    throw std::out_of_range("Log::committed: unknown group '" + group + "'");
+  return *pos;
+}
+
+void Log::trim(Offset floor) {
+  std::lock_guard lock{mu_};
+  const Offset end = base_ + entries_.size();
+  const Offset new_base = std::min(std::max(floor, base_), end);
+  entries_.erase(entries_.begin(),
+                 entries_.begin() + static_cast<std::ptrdiff_t>(new_base - base_));
+  base_ = new_base;
+  for (auto& [group, pos] : groups_) pos = std::max(pos, base_);
+}
+
+Offset Log::begin_offset() const {
+  std::lock_guard lock{mu_};
+  return base_;
+}
+
+Offset Log::end_offset() const {
+  std::lock_guard lock{mu_};
+  return base_ + entries_.size();
+}
+
+std::size_t Log::size() const {
+  std::lock_guard lock{mu_};
+  return entries_.size();
+}
+
+}  // namespace hpcwhisk::mq

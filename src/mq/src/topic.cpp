@@ -1,0 +1,54 @@
+#include "hpcwhisk/mq/topic.hpp"
+
+namespace hpcwhisk::mq {
+
+void Topic::publish(Message msg, sim::SimTime now) {
+  std::lock_guard lock{mu_};
+  if (msg.delivery_count == 0) msg.first_published = now;
+  ++msg.delivery_count;
+  queue_.push_back(std::move(msg));
+  ++counters_.published;
+}
+
+std::vector<Message> Topic::poll(std::size_t max_count) {
+  std::lock_guard lock{mu_};
+  std::vector<Message> out;
+  const std::size_t n = std::min(max_count, queue_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  counters_.consumed += n;
+  return out;
+}
+
+std::optional<Message> Topic::poll_one() {
+  std::lock_guard lock{mu_};
+  if (queue_.empty()) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  ++counters_.consumed;
+  return m;
+}
+
+std::vector<Message> Topic::drain() {
+  std::lock_guard lock{mu_};
+  std::vector<Message> out{std::make_move_iterator(queue_.begin()),
+                           std::make_move_iterator(queue_.end())};
+  counters_.drained += out.size();
+  queue_.clear();
+  return out;
+}
+
+std::size_t Topic::size() const {
+  std::lock_guard lock{mu_};
+  return queue_.size();
+}
+
+Topic::Counters Topic::counters() const {
+  std::lock_guard lock{mu_};
+  return counters_;
+}
+
+}  // namespace hpcwhisk::mq

@@ -1,0 +1,62 @@
+#pragma once
+// Container runtime latency/capability profiles.
+//
+// HPC-Whisk replaces OpenWhisk's Docker backend with Singularity
+// (Sec. III-B): Singularity needs no root daemon on the node, which is
+// what makes the deployment non-invasive. Functionally both provide the
+// same lifecycle; they differ in start-up latencies and in whether a
+// root daemon must run on every node.
+
+#include <string>
+
+#include "hpcwhisk/sim/distributions.hpp"
+#include "hpcwhisk/sim/rng.hpp"
+#include "hpcwhisk/sim/time.hpp"
+
+namespace hpcwhisk::runtime {
+
+enum class RuntimeKind { kDocker, kSingularity };
+
+[[nodiscard]] const char* to_string(RuntimeKind kind);
+
+/// Latency model for one container runtime.
+class RuntimeProfile {
+ public:
+  struct Params {
+    RuntimeKind kind{RuntimeKind::kSingularity};
+    bool requires_root_daemon{false};
+    /// Cold start: create + boot a container for a function with no warm
+    /// instance ("usually in less than 500 ms", Sec. II).
+    double cold_start_median_s{0.35};
+    double cold_start_p95_s{0.48};
+    /// Reusing a warm (paused or idle) container.
+    double warm_start_median_s{0.010};
+    double warm_start_p95_s{0.025};
+    /// Tearing a container down (eviction before a new cold start).
+    double remove_median_s{0.050};
+    double remove_p95_s{0.120};
+  };
+
+  explicit RuntimeProfile(Params params);
+
+  /// Default profiles roughly matching published figures.
+  static RuntimeProfile docker();
+  static RuntimeProfile singularity();
+
+  [[nodiscard]] RuntimeKind kind() const { return params_.kind; }
+  [[nodiscard]] bool requires_root_daemon() const {
+    return params_.requires_root_daemon;
+  }
+
+  [[nodiscard]] sim::SimTime sample_cold_start(sim::Rng& rng) const;
+  [[nodiscard]] sim::SimTime sample_warm_start(sim::Rng& rng) const;
+  [[nodiscard]] sim::SimTime sample_remove(sim::Rng& rng) const;
+
+ private:
+  Params params_;
+  sim::LognormalFromQuantiles cold_;
+  sim::LognormalFromQuantiles warm_;
+  sim::LognormalFromQuantiles remove_;
+};
+
+}  // namespace hpcwhisk::runtime

@@ -1,0 +1,180 @@
+#include "hpcwhisk/runtime/container_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hpcwhisk::runtime {
+
+ContainerPool::ContainerPool(Config config, RuntimeProfile profile,
+                             sim::Rng rng)
+    : config_{config}, profile_{profile}, rng_{rng} {}
+
+AcquireResult ContainerPool::acquire(const std::string& function,
+                                     std::int64_t memory_mb, sim::SimTime now) {
+  return acquire(function, std::string{}, memory_mb, now);
+}
+
+AcquireResult ContainerPool::acquire(const std::string& function,
+                                     const std::string& kind,
+                                     std::int64_t memory_mb, sim::SimTime now) {
+  // 1. Warm hit: scan the idle LRU (newest-first so the hottest container
+  //    is reused) for a container of the same function.
+  for (auto it = idle_lru_.rbegin(); it != idle_lru_.rend(); ++it) {
+    Container& c = containers_.at(*it);
+    if (c.function == function && c.memory_mb >= memory_mb) {
+      idle_lru_.erase(std::next(it).base());
+      c.state = ContainerState::kWarming;  // warm resume
+      c.last_used = now;
+      ++counters_.warm_hits;
+      return AcquireResult{AcquireResult::Kind::kWarm, c.id,
+                           profile_.sample_warm_start(rng_)};
+    }
+  }
+
+  // 2. Stem-cell hit: specialize a booted prewarmed container of the
+  //    matching kind (OpenWhisk pays roughly a warm start here, not a
+  //    cold one — the sandbox already exists).
+  if (!kind.empty() && kind == config_.prewarm_kind) {
+    for (auto it = prewarmed_.begin(); it != prewarmed_.end(); ++it) {
+      Container& c = containers_.at(*it);
+      if (c.usable_at > now || c.memory_mb < memory_mb) continue;
+      prewarmed_.erase(it);
+      c.function = function;
+      c.state = ContainerState::kWarming;
+      c.last_used = now;
+      ++counters_.prewarm_hits;
+      return AcquireResult{AcquireResult::Kind::kPrewarmed, c.id,
+                           profile_.sample_warm_start(rng_)};
+    }
+  }
+
+  // 3. Cold start, evicting idle containers if needed.
+  const auto eviction_latency = make_room(memory_mb);
+  if (!eviction_latency) {
+    ++counters_.rejections;
+    return AcquireResult{};  // kRejected
+  }
+
+  Container c;
+  c.id = next_id_++;
+  c.function = function;
+  c.memory_mb = memory_mb;
+  c.state = ContainerState::kWarming;
+  c.created_at = now;
+  c.last_used = now;
+  memory_in_use_mb_ += memory_mb;
+  const ContainerId id = c.id;
+  containers_.emplace(id, std::move(c));
+  ++counters_.cold_starts;
+  return AcquireResult{AcquireResult::Kind::kCold, id,
+                       *eviction_latency + profile_.sample_cold_start(rng_)};
+}
+
+std::optional<sim::SimTime> ContainerPool::make_room(std::int64_t memory_mb) {
+  if (memory_mb > config_.memory_mb) return std::nullopt;  // can never fit
+  sim::SimTime latency = sim::SimTime::zero();
+  while (containers_.size() >= config_.max_containers ||
+         memory_in_use_mb_ + memory_mb > config_.memory_mb) {
+    // Stem cells are the cheapest victims, then idle warm containers.
+    ContainerId victim;
+    if (!prewarmed_.empty()) {
+      victim = prewarmed_.front();
+      prewarmed_.pop_front();
+    } else if (!idle_lru_.empty()) {
+      victim = idle_lru_.front();
+      idle_lru_.pop_front();
+    } else {
+      return std::nullopt;  // all remaining are busy
+    }
+    const auto it = containers_.find(victim);
+    assert(it != containers_.end());
+    memory_in_use_mb_ -= it->second.memory_mb;
+    containers_.erase(it);
+    latency += profile_.sample_remove(rng_);
+    ++counters_.evictions;
+  }
+  return latency;
+}
+
+void ContainerPool::maintain_prewarm(sim::SimTime now) {
+  if (config_.prewarm_count == 0 || config_.prewarm_kind.empty()) return;
+  while (prewarmed_.size() < config_.prewarm_count) {
+    // Never evict for stem cells: only use genuinely free capacity.
+    if (containers_.size() >= config_.max_containers) return;
+    if (memory_in_use_mb_ + config_.prewarm_memory_mb > config_.memory_mb)
+      return;
+    Container c;
+    c.id = next_id_++;
+    c.kind = config_.prewarm_kind;
+    c.memory_mb = config_.prewarm_memory_mb;
+    c.state = ContainerState::kIdle;
+    c.created_at = now;
+    c.last_used = now;
+    c.usable_at = now + profile_.sample_cold_start(rng_);
+    memory_in_use_mb_ += c.memory_mb;
+    const ContainerId id = c.id;
+    containers_.emplace(id, std::move(c));
+    prewarmed_.push_back(id);
+  }
+}
+
+void ContainerPool::mark_running(ContainerId id, sim::SimTime now) {
+  auto& c = containers_.at(id);
+  if (c.state != ContainerState::kWarming)
+    throw std::logic_error("mark_running: container not warming");
+  c.state = ContainerState::kBusy;
+  c.last_used = now;
+  ++busy_count_;
+}
+
+void ContainerPool::release(ContainerId id, sim::SimTime now) {
+  auto& c = containers_.at(id);
+  if (c.state != ContainerState::kBusy)
+    throw std::logic_error("release: container not busy");
+  c.state = ContainerState::kIdle;
+  c.last_used = now;
+  --busy_count_;
+  idle_lru_.push_back(id);
+}
+
+void ContainerPool::remove(ContainerId id) {
+  const auto it = containers_.find(id);
+  if (it == containers_.end()) return;
+  if (it->second.state == ContainerState::kBusy) {
+    --busy_count_;
+  } else if (it->second.state == ContainerState::kIdle) {
+    idle_lru_.remove(id);
+    prewarmed_.remove(id);
+  }
+  memory_in_use_mb_ -= it->second.memory_mb;
+  containers_.erase(it);
+}
+
+std::size_t ContainerPool::reap_idle(sim::SimTime now) {
+  std::size_t reaped = 0;
+  for (auto it = idle_lru_.begin(); it != idle_lru_.end();) {
+    const Container& c = containers_.at(*it);
+    if (now - c.last_used > config_.idle_timeout) {
+      memory_in_use_mb_ -= c.memory_mb;
+      containers_.erase(*it);
+      it = idle_lru_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
+void ContainerPool::clear() {
+  containers_.clear();
+  idle_lru_.clear();
+  prewarmed_.clear();
+  busy_count_ = 0;
+  memory_in_use_mb_ = 0;
+}
+
+std::size_t ContainerPool::idle_containers() const { return idle_lru_.size(); }
+
+}  // namespace hpcwhisk::runtime

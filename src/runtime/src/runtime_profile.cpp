@@ -1,0 +1,51 @@
+#include "hpcwhisk/runtime/runtime_profile.hpp"
+
+namespace hpcwhisk::runtime {
+
+const char* to_string(RuntimeKind kind) {
+  switch (kind) {
+    case RuntimeKind::kDocker:
+      return "docker";
+    case RuntimeKind::kSingularity:
+      return "singularity";
+  }
+  return "?";
+}
+
+RuntimeProfile::RuntimeProfile(Params params)
+    : params_{params},
+      cold_{params.cold_start_median_s, params.cold_start_p95_s, 0.95},
+      warm_{params.warm_start_median_s, params.warm_start_p95_s, 0.95},
+      remove_{params.remove_median_s, params.remove_p95_s, 0.95} {}
+
+RuntimeProfile RuntimeProfile::docker() {
+  Params p;
+  p.kind = RuntimeKind::kDocker;
+  p.requires_root_daemon = true;
+  p.cold_start_median_s = 0.30;
+  p.cold_start_p95_s = 0.45;
+  return RuntimeProfile{p};
+}
+
+RuntimeProfile RuntimeProfile::singularity() {
+  Params p;
+  p.kind = RuntimeKind::kSingularity;
+  p.requires_root_daemon = false;
+  // Singularity launches a process from a SIF image; no daemon round-trip,
+  // slightly higher image-open cost. Net: comparable, sub-500 ms starts.
+  p.cold_start_median_s = 0.35;
+  p.cold_start_p95_s = 0.48;
+  return RuntimeProfile{p};
+}
+
+sim::SimTime RuntimeProfile::sample_cold_start(sim::Rng& rng) const {
+  return sim::SimTime::seconds(cold_.sample(rng));
+}
+sim::SimTime RuntimeProfile::sample_warm_start(sim::Rng& rng) const {
+  return sim::SimTime::seconds(warm_.sample(rng));
+}
+sim::SimTime RuntimeProfile::sample_remove(sim::Rng& rng) const {
+  return sim::SimTime::seconds(remove_.sample(rng));
+}
+
+}  // namespace hpcwhisk::runtime

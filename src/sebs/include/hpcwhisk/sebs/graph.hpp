@@ -1,0 +1,64 @@
+#pragma once
+// Deterministic graph generators backing the SeBS compute kernels
+// (Fig. 7 runs the suite's bfs, mst and pagerank functions; SeBS builds
+// its inputs with igraph generators — we provide equivalent uniform and
+// preferential-attachment generators).
+
+#include <cstdint>
+#include <vector>
+
+#include "hpcwhisk/sim/rng.hpp"
+
+namespace hpcwhisk::sebs {
+
+using VertexId = std::uint32_t;
+
+/// Immutable directed graph in CSR form.
+class Graph {
+ public:
+  Graph(std::vector<std::uint64_t> offsets, std::vector<VertexId> targets);
+
+  [[nodiscard]] std::size_t num_vertices() const { return offsets_.size() - 1; }
+  [[nodiscard]] std::size_t num_edges() const { return targets_.size(); }
+  [[nodiscard]] std::size_t out_degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+  /// Neighbors of v as a contiguous range.
+  [[nodiscard]] const VertexId* begin(VertexId v) const {
+    return targets_.data() + offsets_[v];
+  }
+  [[nodiscard]] const VertexId* end(VertexId v) const {
+    return targets_.data() + offsets_[v + 1];
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<VertexId> targets_;
+};
+
+/// Undirected weighted edge list (input to MST).
+struct WeightedEdge {
+  VertexId u;
+  VertexId v;
+  std::uint32_t weight;
+};
+
+/// Erdős–Rényi-style graph: n vertices, ~n*avg_degree directed edges,
+/// deterministic for a seed.
+[[nodiscard]] Graph make_uniform_graph(std::size_t n, double avg_degree,
+                                       std::uint64_t seed);
+
+/// Barabási–Albert-style preferential attachment: each new vertex links
+/// to `links_per_vertex` earlier vertices (degree-biased), then the edge
+/// set is symmetrized. Matches the skewed degree profile SeBS uses.
+[[nodiscard]] Graph make_preferential_graph(std::size_t n,
+                                            std::size_t links_per_vertex,
+                                            std::uint64_t seed);
+
+/// Connected weighted graph for MST: a random spanning backbone plus
+/// ~n*extra_degree random edges, weights uniform in [1, max_weight].
+[[nodiscard]] std::vector<WeightedEdge> make_weighted_edges(
+    std::size_t n, double extra_degree, std::uint32_t max_weight,
+    std::uint64_t seed);
+
+}  // namespace hpcwhisk::sebs

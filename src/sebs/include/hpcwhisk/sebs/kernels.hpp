@@ -1,0 +1,53 @@
+#pragma once
+// The three compute-intensive SeBS functions the paper benchmarks in
+// Fig. 7 (bfs, mst, pagerank), implemented as real single-threaded C++
+// kernels — no storage or network, exactly why the paper picked them for
+// a node-compute comparison.
+
+#include <cstdint>
+#include <vector>
+
+#include "hpcwhisk/sebs/graph.hpp"
+
+namespace hpcwhisk::sebs {
+
+inline constexpr std::uint32_t kUnreachable = 0xFFFFFFFFu;
+
+/// Level-synchronous BFS; returns hop distances (kUnreachable if not
+/// reached).
+[[nodiscard]] std::vector<std::uint32_t> bfs(const Graph& graph,
+                                             VertexId source);
+
+/// Union-find with path halving and union by size.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n);
+  VertexId find(VertexId x);
+  /// Returns false if x and y were already joined.
+  bool unite(VertexId x, VertexId y);
+  [[nodiscard]] std::size_t set_count() const { return sets_; }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t sets_;
+};
+
+struct MstResult {
+  std::uint64_t total_weight{0};
+  std::size_t edges_used{0};
+  /// Connected components remaining (1 for a connected input).
+  std::size_t components{1};
+};
+
+/// Kruskal's algorithm over the edge list.
+[[nodiscard]] MstResult mst(std::size_t num_vertices,
+                            std::vector<WeightedEdge> edges);
+
+/// Power-iteration PageRank with uniform teleport; dangling mass is
+/// redistributed uniformly. Returns the final rank vector (sums to ~1).
+[[nodiscard]] std::vector<double> pagerank(const Graph& graph,
+                                           double damping = 0.85,
+                                           int iterations = 20);
+
+}  // namespace hpcwhisk::sebs

@@ -1,0 +1,105 @@
+#include "hpcwhisk/sebs/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcwhisk::sebs {
+
+Graph::Graph(std::vector<std::uint64_t> offsets, std::vector<VertexId> targets)
+    : offsets_{std::move(offsets)}, targets_{std::move(targets)} {
+  if (offsets_.empty() || offsets_.back() != targets_.size())
+    throw std::invalid_argument("Graph: inconsistent CSR arrays");
+}
+
+namespace {
+Graph from_edge_list(std::size_t n,
+                     std::vector<std::pair<VertexId, VertexId>> edges) {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  for (const auto& [u, v] : edges) ++offsets[u + 1];
+  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+  std::vector<VertexId> targets;
+  targets.reserve(edges.size());
+  for (const auto& [u, v] : edges) targets.push_back(v);
+  return Graph{std::move(offsets), std::move(targets)};
+}
+}  // namespace
+
+Graph make_uniform_graph(std::size_t n, double avg_degree,
+                         std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("make_uniform_graph: empty graph");
+  sim::Rng rng{seed};
+  const std::size_t m = static_cast<std::size_t>(
+      avg_degree * static_cast<double>(n));
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto u = static_cast<VertexId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto v = static_cast<VertexId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return from_edge_list(n, std::move(edges));
+}
+
+Graph make_preferential_graph(std::size_t n, std::size_t links_per_vertex,
+                              std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("make_preferential_graph: too small");
+  sim::Rng rng{seed};
+  // Degree-proportional sampling via the repeated-endpoint trick: keep a
+  // flat list where every edge endpoint appears once.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * n * links_per_vertex);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(2 * n * links_per_vertex);
+  endpoints.push_back(0);
+  for (VertexId v = 1; v < n; ++v) {
+    const std::size_t links = std::min<std::size_t>(links_per_vertex, v);
+    for (std::size_t l = 0; l < links; ++l) {
+      const VertexId target = endpoints[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(endpoints.size()) - 1))];
+      edges.emplace_back(v, target);
+      edges.emplace_back(target, v);
+      endpoints.push_back(target);
+    }
+    endpoints.push_back(v);
+  }
+  return from_edge_list(n, std::move(edges));
+}
+
+std::vector<WeightedEdge> make_weighted_edges(std::size_t n,
+                                              double extra_degree,
+                                              std::uint32_t max_weight,
+                                              std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("make_weighted_edges: too small");
+  if (max_weight == 0)
+    throw std::invalid_argument("make_weighted_edges: zero max weight");
+  sim::Rng rng{seed};
+  std::vector<WeightedEdge> edges;
+  const std::size_t extra = static_cast<std::size_t>(
+      extra_degree * static_cast<double>(n));
+  edges.reserve(n - 1 + extra);
+  // Random spanning backbone guarantees connectivity.
+  for (VertexId v = 1; v < n; ++v) {
+    const auto u = static_cast<VertexId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(v) - 1));
+    edges.push_back({u, v,
+                     static_cast<std::uint32_t>(
+                         rng.uniform_int(1, max_weight))});
+  }
+  for (std::size_t i = 0; i < extra; ++i) {
+    const auto u = static_cast<VertexId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto v = static_cast<VertexId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (u == v) continue;
+    edges.push_back({u, v,
+                     static_cast<std::uint32_t>(
+                         rng.uniform_int(1, max_weight))});
+  }
+  return edges;
+}
+
+}  // namespace hpcwhisk::sebs

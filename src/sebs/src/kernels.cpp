@@ -1,0 +1,108 @@
+#include "hpcwhisk/sebs/kernels.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace hpcwhisk::sebs {
+
+std::vector<std::uint32_t> bfs(const Graph& graph, VertexId source) {
+  const std::size_t n = graph.num_vertices();
+  if (source >= n) throw std::out_of_range("bfs: source out of range");
+  std::vector<std::uint32_t> dist(n, kUnreachable);
+  std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+  dist[source] = 0;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const VertexId u : frontier) {
+      for (const VertexId* it = graph.begin(u); it != graph.end(u); ++it) {
+        if (dist[*it] == kUnreachable) {
+          dist[*it] = level;
+          next.push_back(*it);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+DisjointSets::DisjointSets(std::size_t n)
+    : parent_(n), size_(n, 1), sets_{n} {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+VertexId DisjointSets::find(VertexId x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool DisjointSets::unite(VertexId x, VertexId y) {
+  VertexId rx = find(x);
+  VertexId ry = find(y);
+  if (rx == ry) return false;
+  if (size_[rx] < size_[ry]) std::swap(rx, ry);
+  parent_[ry] = rx;
+  size_[rx] += size_[ry];
+  --sets_;
+  return true;
+}
+
+MstResult mst(std::size_t num_vertices, std::vector<WeightedEdge> edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.weight < b.weight;
+            });
+  DisjointSets dsu{num_vertices};
+  MstResult result;
+  for (const WeightedEdge& e : edges) {
+    if (e.u >= num_vertices || e.v >= num_vertices)
+      throw std::out_of_range("mst: vertex out of range");
+    if (dsu.unite(e.u, e.v)) {
+      result.total_weight += e.weight;
+      ++result.edges_used;
+      if (result.edges_used == num_vertices - 1) break;
+    }
+  }
+  result.components = dsu.set_count();
+  return result;
+}
+
+std::vector<double> pagerank(const Graph& graph, double damping,
+                             int iterations) {
+  if (damping <= 0.0 || damping >= 1.0)
+    throw std::invalid_argument("pagerank: damping must be in (0,1)");
+  if (iterations <= 0)
+    throw std::invalid_argument("pagerank: non-positive iterations");
+  const std::size_t n = graph.num_vertices();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (VertexId u = 0; u < n; ++u) {
+      const std::size_t degree = graph.out_degree(u);
+      if (degree == 0) {
+        dangling += rank[u];
+        continue;
+      }
+      const double share = rank[u] / static_cast<double>(degree);
+      for (const VertexId* v = graph.begin(u); v != graph.end(u); ++v)
+        next[*v] += share;
+    }
+    const double base = (1.0 - damping) / static_cast<double>(n) +
+                        damping * dangling / static_cast<double>(n);
+    for (std::size_t v = 0; v < n; ++v) next[v] = base + damping * next[v];
+    rank.swap(next);
+  }
+  return rank;
+}
+
+}  // namespace hpcwhisk::sebs

@@ -1,0 +1,69 @@
+#pragma once
+// Parametric and empirical distributions used to model published latency
+// and workload statistics (medians, percentiles, CDF plots).
+
+#include <vector>
+
+#include "hpcwhisk/sim/rng.hpp"
+#include "hpcwhisk/sim/time.hpp"
+
+namespace hpcwhisk::sim {
+
+/// Lognormal distribution parameterized the way papers report latencies:
+/// by median and a high percentile. Used e.g. for the HPC-Whisk warm-up
+/// time (median 12.48 s, P95 26.5 s, Sec. IV-B).
+class LognormalFromQuantiles {
+ public:
+  /// `p` is the upper quantile level in (0.5, 1), e.g. 0.95.
+  LognormalFromQuantiles(double median, double upper_quantile_value, double p);
+
+  [[nodiscard]] double sample(Rng& rng) const;
+  [[nodiscard]] double median() const;
+  [[nodiscard]] double mu() const { return mu_; }
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Bounded Pareto: heavy-tailed durations clipped to [lo, hi].
+/// Models HPC job runtimes and idle-period tails.
+class BoundedPareto {
+ public:
+  BoundedPareto(double alpha, double lo, double hi);
+  [[nodiscard]] double sample(Rng& rng) const;
+
+ private:
+  double alpha_, lo_, hi_;
+};
+
+/// Piecewise-linear empirical CDF defined by (value, probability) knots.
+/// Sampling inverts the CDF; this is how we reproduce the published CDF
+/// plots (Figs. 1 and 2) without the raw trace.
+class EmpiricalCdf {
+ public:
+  struct Knot {
+    double value;
+    double cum_prob;  // strictly increasing across knots, last == 1.0
+  };
+
+  explicit EmpiricalCdf(std::vector<Knot> knots);
+
+  /// Inverse-CDF sample (piecewise-linear between knots).
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  /// CDF evaluated at `value` (linear interpolation; 0 below, 1 above).
+  [[nodiscard]] double cdf(double value) const;
+
+  /// Quantile (inverse CDF) at probability `p` in [0, 1].
+  [[nodiscard]] double quantile(double p) const;
+
+ private:
+  std::vector<Knot> knots_;
+};
+
+/// Fits an EmpiricalCdf from raw samples (steps at each sorted sample).
+EmpiricalCdf fit_empirical_cdf(std::vector<double> samples);
+
+}  // namespace hpcwhisk::sim

@@ -1,0 +1,75 @@
+#pragma once
+// A cancellable, deterministic discrete-event queue.
+//
+// Events scheduled for the same instant fire in schedule order (FIFO),
+// which makes every simulation run bit-reproducible for a fixed seed.
+// Cancellation is O(log n) amortized via lazy deletion.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "hpcwhisk/sim/time.hpp"
+
+namespace hpcwhisk::sim {
+
+/// Opaque handle identifying a scheduled event; used to cancel it.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  constexpr bool operator==(const EventId&) const = default;
+
+ private:
+  friend class EventQueue;
+  constexpr explicit EventId(std::uint64_t seq) : seq_{seq} {}
+  std::uint64_t seq_{0};
+};
+
+/// Min-heap of (time, sequence) with lazy cancellation.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to fire at absolute time `when`. `when` must not be
+  /// earlier than the last popped time (enforced by Simulation, not here).
+  EventId schedule(SimTime when, Callback cb);
+
+  /// Cancels a previously scheduled event. Returns false if the event
+  /// already fired or was already cancelled.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; SimTime::max() when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops and returns the earliest live event. Precondition: !empty().
+  struct Popped {
+    SimTime when;
+    Callback cb;
+  };
+  Popped pop();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drain_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t next_seq_{1};
+  std::size_t live_{0};
+};
+
+}  // namespace hpcwhisk::sim

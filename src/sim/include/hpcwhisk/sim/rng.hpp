@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic pseudo-random generator for the simulator.
+//
+// xoshiro256** seeded via splitmix64: fast, high quality, and — unlike
+// std::mt19937 + std::*_distribution — bit-identical across standard
+// library implementations, which keeps every bench reproducible.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace hpcwhisk::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Derives an independent child stream (for per-component RNGs).
+  [[nodiscard]] Rng fork();
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal(double mu = 0.0, double sigma = 1.0);
+
+  /// Lognormal with the given log-space parameters.
+  double lognormal(double mu, double sigma);
+
+  /// Index into `weights` drawn proportionally to the weights (all >= 0,
+  /// at least one > 0).
+  std::size_t weighted_index(std::span<const double> weights);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace hpcwhisk::sim

@@ -1,0 +1,92 @@
+#pragma once
+// The simulation driver: a virtual clock plus an event queue.
+//
+// Components schedule callbacks with at()/after()/every(); run() advances
+// the clock event by event. The driver is strictly single-threaded; all
+// determinism guarantees follow from EventQueue's FIFO tie-breaking.
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "hpcwhisk/sim/event_queue.hpp"
+#include "hpcwhisk/sim/time.hpp"
+
+namespace hpcwhisk::sim {
+
+class Simulation;
+
+namespace detail {
+struct PeriodicState {
+  Simulation* sim{nullptr};
+  SimTime interval;
+  std::function<void()> cb;
+  EventId current;
+  bool stopped{false};
+};
+}  // namespace detail
+
+/// Handle controlling a periodic series created by Simulation::every().
+/// Default-constructed handles are inert. Copyable: all copies control the
+/// same series.
+class PeriodicHandle {
+ public:
+  PeriodicHandle() = default;
+
+  /// Stops the series before its next firing. Idempotent.
+  void stop();
+  [[nodiscard]] bool active() const { return st_ && !st_->stopped; }
+
+ private:
+  friend class Simulation;
+  explicit PeriodicHandle(std::shared_ptr<detail::PeriodicState> st)
+      : st_{std::move(st)} {}
+  std::shared_ptr<detail::PeriodicState> st_;
+};
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `when` (must be >= now()).
+  EventId at(SimTime when, Callback cb) {
+    if (when < now_) throw std::invalid_argument("Simulation::at: time in the past");
+    return queue_.schedule(when, std::move(cb));
+  }
+
+  /// Schedules `cb` to fire `delay` after the current time.
+  EventId after(SimTime delay, Callback cb) {
+    return at(now_ + delay, std::move(cb));
+  }
+
+  /// Schedules `cb` every `interval`, starting one interval from now,
+  /// until the returned handle is stopped or the simulation ends.
+  PeriodicHandle every(SimTime interval, Callback cb);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue is empty or the clock would pass `until`.
+  /// Events scheduled exactly at `until` do fire; afterwards now() == until
+  /// (or the last event time if the queue drained early).
+  void run_until(SimTime until);
+
+  /// Runs until the event queue is fully drained.
+  void run();
+
+  /// Executes exactly one event if any is pending; returns whether it did.
+  bool step();
+
+  /// Moves the clock forward to `t` without executing anything (requires
+  /// no pending events earlier than `t`).
+  void settle_to(SimTime t);
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  SimTime now_{SimTime::zero()};
+  EventQueue queue_;
+};
+
+}  // namespace hpcwhisk::sim

@@ -1,0 +1,78 @@
+#pragma once
+// Simulation time: a strong type over signed 64-bit microsecond ticks.
+//
+// All latencies in HPC-Whisk are modelled at microsecond granularity; a
+// signed 64-bit tick count covers ~292k years, far beyond any simulated
+// horizon, and allows negative durations in intermediate arithmetic.
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace hpcwhisk::sim {
+
+/// A point in simulated time, or a duration, counted in microseconds since
+/// the start of the simulation. SimTime is used for both instants and
+/// durations (like std::chrono ticks): the context disambiguates.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Named constructors. Prefer these over raw tick counts.
+  static constexpr SimTime micros(std::int64_t us) { return SimTime{us}; }
+  static constexpr SimTime millis(std::int64_t ms) { return SimTime{ms * 1000}; }
+  static constexpr SimTime seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr SimTime minutes(double m) { return seconds(m * 60.0); }
+  static constexpr SimTime hours(double h) { return seconds(h * 3600.0); }
+  static constexpr SimTime days(double d) { return hours(d * 24.0); }
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ticks() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+  [[nodiscard]] constexpr double to_minutes() const { return to_seconds() / 60.0; }
+  [[nodiscard]] constexpr double to_hours() const { return to_seconds() / 3600.0; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime d) {
+    us_ += d.us_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime d) {
+    us_ -= d.us_;
+    return *this;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.us_ + b.us_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.us_ - b.us_};
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime{a.us_ * k};
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return a * k; }
+  friend constexpr std::int64_t operator/(SimTime a, SimTime b) {
+    return a.us_ / b.us_;
+  }
+  friend constexpr SimTime operator%(SimTime a, SimTime b) {
+    return SimTime{a.us_ % b.us_};
+  }
+
+  /// Human-readable rendering, e.g. "1h23m45.6s" — for logs and reports.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_{us} {}
+  std::int64_t us_{0};
+};
+
+}  // namespace hpcwhisk::sim

@@ -1,0 +1,141 @@
+#include "hpcwhisk/sim/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcwhisk::sim {
+
+namespace {
+// Inverse standard-normal CDF (Acklam's rational approximation; max
+// relative error ~1.15e-9 — ample for quantile-matching parameters).
+double inv_norm_cdf(double p) {
+  if (p <= 0.0 || p >= 1.0)
+    throw std::invalid_argument("inv_norm_cdf: p outside (0,1)");
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > 1 - plow) {
+    const double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+}  // namespace
+
+LognormalFromQuantiles::LognormalFromQuantiles(double median,
+                                               double upper_quantile_value,
+                                               double p) {
+  if (median <= 0 || upper_quantile_value <= median)
+    throw std::invalid_argument(
+        "LognormalFromQuantiles: need 0 < median < upper quantile");
+  if (p <= 0.5 || p >= 1.0)
+    throw std::invalid_argument("LognormalFromQuantiles: p must be in (0.5, 1)");
+  mu_ = std::log(median);
+  sigma_ = (std::log(upper_quantile_value) - mu_) / inv_norm_cdf(p);
+}
+
+double LognormalFromQuantiles::sample(Rng& rng) const {
+  return rng.lognormal(mu_, sigma_);
+}
+
+double LognormalFromQuantiles::median() const { return std::exp(mu_); }
+
+BoundedPareto::BoundedPareto(double alpha, double lo, double hi)
+    : alpha_{alpha}, lo_{lo}, hi_{hi} {
+  if (alpha <= 0 || lo <= 0 || hi <= lo)
+    throw std::invalid_argument("BoundedPareto: need alpha>0, 0<lo<hi");
+}
+
+double BoundedPareto::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<Knot> knots) : knots_{std::move(knots)} {
+  if (knots_.size() < 2)
+    throw std::invalid_argument("EmpiricalCdf: need at least 2 knots");
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (knots_[i].cum_prob <= knots_[i - 1].cum_prob ||
+        knots_[i].value < knots_[i - 1].value)
+      throw std::invalid_argument("EmpiricalCdf: knots must be increasing");
+  }
+  if (std::abs(knots_.back().cum_prob - 1.0) > 1e-9)
+    throw std::invalid_argument("EmpiricalCdf: last cum_prob must be 1.0");
+}
+
+double EmpiricalCdf::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+double EmpiricalCdf::cdf(double value) const {
+  if (value <= knots_.front().value) {
+    return value < knots_.front().value ? 0.0 : knots_.front().cum_prob;
+  }
+  if (value >= knots_.back().value) return 1.0;
+  const auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), value,
+      [](double v, const Knot& k) { return v < k.value; });
+  const Knot& hi = *it;
+  const Knot& lo = *(it - 1);
+  const double span = hi.value - lo.value;
+  if (span <= 0) return hi.cum_prob;
+  const double f = (value - lo.value) / span;
+  return lo.cum_prob + f * (hi.cum_prob - lo.cum_prob);
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  if (p <= knots_.front().cum_prob) return knots_.front().value;
+  if (p >= 1.0) return knots_.back().value;
+  const auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), p,
+      [](double prob, const Knot& k) { return prob < k.cum_prob; });
+  const Knot& hi = *it;
+  const Knot& lo = *(it - 1);
+  const double span = hi.cum_prob - lo.cum_prob;
+  const double f = (p - lo.cum_prob) / span;
+  return lo.value + f * (hi.value - lo.value);
+}
+
+EmpiricalCdf fit_empirical_cdf(std::vector<double> samples) {
+  if (samples.size() < 2)
+    throw std::invalid_argument("fit_empirical_cdf: need at least 2 samples");
+  std::sort(samples.begin(), samples.end());
+  std::vector<EmpiricalCdf::Knot> knots;
+  knots.reserve(samples.size());
+  const double n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double p = static_cast<double>(i + 1) / n;
+    // Collapse duplicate values, keeping the highest probability.
+    if (!knots.empty() && samples[i] == knots.back().value) {
+      knots.back().cum_prob = p;
+    } else {
+      knots.push_back({samples[i], p});
+    }
+  }
+  if (knots.size() < 2) {
+    // All samples identical: widen by an epsilon step.
+    knots.insert(knots.begin(), {knots.front().value - 1e-12, 0.5});
+  }
+  return EmpiricalCdf{std::move(knots)};
+}
+
+}  // namespace hpcwhisk::sim

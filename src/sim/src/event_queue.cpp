@@ -1,0 +1,52 @@
+#include "hpcwhisk/sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace hpcwhisk::sim {
+
+EventId EventQueue::schedule(SimTime when, Callback cb) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq});
+  callbacks_.emplace(seq, std::move(cb));
+  ++live_;
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = callbacks_.find(id.seq_);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_;
+  return true;
+}
+
+void EventQueue::drain_cancelled() const {
+  // Const because callers like next_time() are logically const; the heap
+  // shrink only discards tombstones and never changes observable state.
+  auto& heap = heap_;
+  auto& self = const_cast<EventQueue&>(*this);
+  while (!heap.empty() &&
+         self.callbacks_.find(heap.top().seq) == self.callbacks_.end()) {
+    self.heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drain_cancelled();
+  return heap_.empty() ? SimTime::max() : heap_.top().when;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drain_cancelled();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.seq);
+  Popped out{top.when, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_;
+  return out;
+}
+
+}  // namespace hpcwhisk::sim

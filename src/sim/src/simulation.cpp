@@ -1,0 +1,87 @@
+#include "hpcwhisk/sim/simulation.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace hpcwhisk::sim {
+
+std::string SimTime::to_string() const {
+  const bool neg = us_ < 0;
+  std::int64_t us = neg ? -us_ : us_;
+  const std::int64_t h = us / 3'600'000'000;
+  us %= 3'600'000'000;
+  const std::int64_t m = us / 60'000'000;
+  us %= 60'000'000;
+  const double s = static_cast<double>(us) / 1e6;
+  char buf[64];
+  if (h > 0) {
+    std::snprintf(buf, sizeof buf, "%s%lldh%02lldm%04.1fs", neg ? "-" : "",
+                  static_cast<long long>(h), static_cast<long long>(m), s);
+  } else if (m > 0) {
+    std::snprintf(buf, sizeof buf, "%s%lldm%04.1fs", neg ? "-" : "",
+                  static_cast<long long>(m), s);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%.3fs", neg ? "-" : "", s);
+  }
+  return buf;
+}
+
+void PeriodicHandle::stop() {
+  if (!st_ || st_->stopped) return;
+  st_->stopped = true;
+  if (st_->sim != nullptr) st_->sim->cancel(st_->current);
+}
+
+namespace {
+void arm(const std::shared_ptr<detail::PeriodicState>& st) {
+  st->current = st->sim->after(st->interval, [st] {
+    if (st->stopped) return;
+    st->cb();
+    if (!st->stopped) arm(st);
+  });
+}
+}  // namespace
+
+PeriodicHandle Simulation::every(SimTime interval, Callback cb) {
+  if (interval <= SimTime::zero())
+    throw std::invalid_argument("Simulation::every: non-positive interval");
+  auto st = std::make_shared<detail::PeriodicState>();
+  st->sim = this;
+  st->interval = interval;
+  st->cb = std::move(cb);
+  arm(st);
+  return PeriodicHandle{std::move(st)};
+}
+
+void Simulation::run_until(SimTime until) {
+  while (!queue_.empty()) {
+    const SimTime t = queue_.next_time();
+    if (t > until) break;
+    auto [when, cb] = queue_.pop();
+    now_ = when;
+    cb();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  auto [when, cb] = queue_.pop();
+  now_ = when;
+  cb();
+  return true;
+}
+
+void Simulation::settle_to(SimTime t) {
+  if (t < now_) throw std::invalid_argument("Simulation::settle_to: time in the past");
+  if (!queue_.empty() && queue_.next_time() < t)
+    throw std::logic_error("Simulation::settle_to: pending earlier events");
+  now_ = t;
+}
+
+}  // namespace hpcwhisk::sim

@@ -1,0 +1,36 @@
+#pragma once
+// Cluster node model and the observable node states used by the paper's
+// Slurm-level monitoring perspective (idle / HPC / pilot / down).
+
+#include <cstdint>
+
+#include "hpcwhisk/slurm/job.hpp"
+
+namespace hpcwhisk::slurm {
+
+/// Internal allocation state of a node.
+enum class NodeState {
+  kIdle,
+  kAllocated,
+  kDown,
+};
+
+/// What an external observer (the paper's 10-second `sinfo` logger)
+/// sees: a node is either running prime HPC work, running an HPC-Whisk
+/// pilot, idle, or unavailable.
+enum class ObservedNodeState : std::uint8_t {
+  kIdle = 0,
+  kHpc = 1,
+  kPilot = 2,
+  kDown = 3,
+};
+
+[[nodiscard]] const char* to_string(ObservedNodeState s);
+
+struct Node {
+  NodeId id{0};
+  NodeState state{NodeState::kIdle};
+  JobId running_job{0};  ///< valid iff state == kAllocated
+};
+
+}  // namespace hpcwhisk::slurm

@@ -1,0 +1,27 @@
+#pragma once
+// Partitions carry the two Slurm knobs HPC-Whisk relies on (Sec. III-D):
+// PriorityTier (pilots at tier 0, every HPC partition at tier >= 1) and
+// PreemptMode=CANCEL with a grace period (3 minutes on Prometheus).
+
+#include <string>
+
+#include "hpcwhisk/sim/time.hpp"
+
+namespace hpcwhisk::slurm {
+
+enum class PreemptMode {
+  kOff,     ///< jobs in this partition are never preempted
+  kCancel,  ///< SIGTERM, grace period, then SIGKILL (job is not requeued)
+};
+
+struct Partition {
+  std::string name;
+  std::int32_t priority_tier{1};
+  PreemptMode preempt_mode{PreemptMode::kOff};
+  /// SIGTERM -> SIGKILL grace for preempted/timed-out jobs.
+  sim::SimTime grace_time{sim::SimTime::minutes(3)};
+  /// Upper bound on a job's declared time limit (0 = unlimited).
+  sim::SimTime max_time{sim::SimTime::zero()};
+};
+
+}  // namespace hpcwhisk::slurm

@@ -1,0 +1,24 @@
+#pragma once
+// Operator-facing status rendering: compact sinfo/squeue-style text for
+// examples, logs and debugging sessions.
+
+#include <string>
+
+#include "hpcwhisk/slurm/slurmctld.hpp"
+
+namespace hpcwhisk::slurm {
+
+/// sinfo-style summary: one line per observed node state with counts and
+/// a compacted node list, e.g. "idle 3 nodes: 2,5-6".
+[[nodiscard]] std::string format_sinfo(const Slurmctld& ctld);
+
+/// squeue-style listing of active and pending jobs (bounded to
+/// `max_rows` data rows; a trailer reports how many were omitted).
+[[nodiscard]] std::string format_squeue(const Slurmctld& ctld,
+                                        std::size_t max_rows = 20);
+
+/// Compacts a sorted node-id list into Slurm's range notation
+/// ("0-3,7,9-10"). Exposed for testing.
+[[nodiscard]] std::string compact_node_list(const std::vector<NodeId>& nodes);
+
+}  // namespace hpcwhisk::slurm

@@ -1,0 +1,768 @@
+#include "hpcwhisk/slurm/slurmctld.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hpcwhisk::slurm {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kPending: return "PENDING";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kCompleting: return "COMPLETING";
+    case JobState::kCompleted: return "COMPLETED";
+    case JobState::kTimedOut: return "TIMEOUT";
+    case JobState::kPreempted: return "PREEMPTED";
+    case JobState::kCancelled: return "CANCELLED";
+    case JobState::kNodeFailed: return "NODE_FAIL";
+  }
+  return "?";
+}
+
+const char* to_string(EndReason r) {
+  switch (r) {
+    case EndReason::kCompleted: return "completed";
+    case EndReason::kTimeLimit: return "time-limit";
+    case EndReason::kPreempted: return "preempted";
+    case EndReason::kCancelled: return "cancelled";
+    case EndReason::kNodeFailed: return "node-failed";
+  }
+  return "?";
+}
+
+const char* to_string(ObservedNodeState s) {
+  switch (s) {
+    case ObservedNodeState::kIdle: return "idle";
+    case ObservedNodeState::kHpc: return "hpc";
+    case ObservedNodeState::kPilot: return "pilot";
+    case ObservedNodeState::kDown: return "down";
+  }
+  return "?";
+}
+
+namespace {
+sim::SimTime floor_to_slot(sim::SimTime t, sim::SimTime slot) {
+  if (slot <= sim::SimTime::zero()) return t;
+  return slot * (t / slot);
+}
+}  // namespace
+
+Slurmctld::Slurmctld(sim::Simulation& simulation, Config config,
+                     std::vector<Partition> partitions)
+    : sim_{simulation}, config_{config} {
+  if (config_.node_count == 0)
+    throw std::invalid_argument("Slurmctld: node_count must be positive");
+  for (auto& p : partitions) {
+    const std::string name = p.name;
+    if (!partitions_.emplace(name, std::move(p)).second)
+      throw std::invalid_argument("Slurmctld: duplicate partition " + name);
+  }
+  nodes_.resize(config_.node_count);
+  for (std::uint32_t i = 0; i < config_.node_count; ++i) nodes_[i].id = i;
+  last_freed_.assign(config_.node_count, sim::SimTime::zero());
+  draining_.assign(config_.node_count, false);
+  last_pass_reserved_from_.assign(config_.node_count, sim::SimTime::max());
+  sim_.every(config_.sched_interval, [this] { run_sched_pass(true); });
+}
+
+void Slurmctld::enqueue_pending(std::int32_t tier, const JobRecord& rec) {
+  auto& q = pending_[tier];
+  const QueueEntry entry{rec.spec.priority, rec.id};
+  q.insert(std::upper_bound(q.begin(), q.end(), entry), entry);
+}
+
+void Slurmctld::remove_pending(std::int32_t tier, JobId id) {
+  auto& q = pending_[tier];
+  q.erase(std::remove_if(q.begin(), q.end(),
+                         [id](const QueueEntry& e) { return e.id == id; }),
+          q.end());
+}
+
+JobId Slurmctld::submit(JobSpec spec) {
+  const auto pit = partitions_.find(spec.partition);
+  if (pit == partitions_.end())
+    throw std::invalid_argument("Slurmctld::submit: unknown partition '" +
+                                spec.partition + "'");
+  const Partition& part = pit->second;
+  if (spec.num_nodes == 0 || spec.num_nodes > nodes_.size())
+    throw std::invalid_argument("Slurmctld::submit: bad node count");
+  if (spec.time_limit <= sim::SimTime::zero())
+    throw std::invalid_argument("Slurmctld::submit: non-positive time limit");
+  if (part.max_time > sim::SimTime::zero() && spec.time_limit > part.max_time)
+    throw std::invalid_argument("Slurmctld::submit: limit exceeds partition max");
+  if (spec.time_min > spec.time_limit)
+    throw std::invalid_argument("Slurmctld::submit: time_min > time_limit");
+
+  JobRecord rec;
+  rec.id = next_job_id_++;
+  rec.priority_tier = part.priority_tier;
+  rec.preemptible = part.preempt_mode == PreemptMode::kCancel;
+  rec.submit_time = sim_.now();
+  rec.spec = std::move(spec);
+  const JobId id = rec.id;
+  const bool is_var = rec.spec.time_min > sim::SimTime::zero();
+  const std::int32_t tier = rec.priority_tier;
+  const auto [it, inserted] = jobs_.emplace(id, std::move(rec));
+  enqueue_pending(tier, it->second);
+  ++counters_.submitted;
+  // Variable-length pilots wait for the periodic pass when configured so.
+  if (!(is_var && config_.var_jobs_periodic_only && tier == 0)) {
+    request_schedule();
+  }
+  return id;
+}
+
+bool Slurmctld::cancel(JobId id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  JobRecord& rec = it->second;
+  switch (rec.state) {
+    case JobState::kPending:
+      remove_pending(rec.priority_tier, id);
+      finish_job(rec, EndReason::kCancelled);
+      return true;
+    case JobState::kRunning:
+      begin_grace(rec, /*preemption=*/false);
+      return true;
+    case JobState::kCompleting:
+      return true;  // already on its way out
+    default:
+      return false;
+  }
+}
+
+void Slurmctld::job_exited(JobId id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  JobRecord& rec = it->second;
+  if (!rec.is_active()) return;
+  finish_job(rec, rec.state == JobState::kCompleting
+                      ? rec.grace_reason  // exited during grace
+                      : EndReason::kCompleted);
+}
+
+void Slurmctld::set_node_down(NodeId id) {
+  Node& node = nodes_.at(id);
+  if (node.state == NodeState::kDown) return;
+  if (node.state == NodeState::kAllocated) {
+    JobRecord& rec = jobs_.at(node.running_job);
+    ++counters_.node_failures;
+    finish_job(rec, EndReason::kNodeFailed);
+  }
+  // A pending launch claiming this node can no longer be satisfied here;
+  // requeue the claimant.
+  const auto claim = node_claims_.find(id);
+  if (claim != node_claims_.end()) {
+    const JobId claimant = claim->second;
+    for (auto it = pending_launches_.begin(); it != pending_launches_.end();
+         ++it) {
+      if (it->id != claimant) continue;
+      for (const NodeId n : it->nodes) node_claims_.erase(n);
+      pending_launches_.erase(it);
+      break;
+    }
+    JobRecord& rec = jobs_.at(claimant);
+    rec.state = JobState::kPending;
+    enqueue_pending(rec.priority_tier, rec);
+  }
+  node.state = NodeState::kDown;
+  node.running_job = 0;
+  announce(id);
+  request_schedule();
+}
+
+void Slurmctld::set_node_up(NodeId id) {
+  Node& node = nodes_.at(id);
+  draining_[id] = false;
+  if (node.state != NodeState::kDown) return;
+  node.state = NodeState::kIdle;
+  announce(id);
+  request_schedule();
+}
+
+void Slurmctld::drain_node(NodeId id) {
+  Node& node = nodes_.at(id);
+  if (node.state == NodeState::kDown) return;
+  draining_[id] = true;
+  if (node.state == NodeState::kIdle) {
+    node.state = NodeState::kDown;
+    announce(id);
+  }
+  // Allocated: the running job finishes normally; free_nodes handles the
+  // hand-over to maintenance.
+}
+
+bool Slurmctld::is_draining(NodeId id) const { return draining_.at(id); }
+
+const JobRecord& Slurmctld::job(JobId id) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("Slurmctld::job: unknown id");
+  return it->second;
+}
+
+bool Slurmctld::is_known(JobId id) const { return jobs_.contains(id); }
+
+void Slurmctld::for_each_job(
+    const std::function<void(const JobRecord&)>& fn) const {
+  // jobs_ is unordered; visit in id order for stable output.
+  std::vector<JobId> ids;
+  ids.reserve(jobs_.size());
+  for (const auto& [id, rec] : jobs_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const JobId id : ids) fn(jobs_.at(id));
+}
+
+std::size_t Slurmctld::pending_count(const std::string& partition) const {
+  std::size_t n = 0;
+  for (const auto& [tier, q] : pending_) {
+    for (const QueueEntry& e : q) {
+      if (jobs_.at(e.id).spec.partition == partition) ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t Slurmctld::running_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, rec] : jobs_) {
+    if (rec.is_active()) ++n;
+  }
+  return n;
+}
+
+ObservedNodeState Slurmctld::observed_state(NodeId id) const {
+  const Node& node = nodes_.at(id);
+  switch (node.state) {
+    case NodeState::kDown:
+      return ObservedNodeState::kDown;
+    case NodeState::kIdle:
+      return ObservedNodeState::kIdle;
+    case NodeState::kAllocated: {
+      const JobRecord& rec = jobs_.at(node.running_job);
+      return rec.priority_tier == 0 ? ObservedNodeState::kPilot
+                                    : ObservedNodeState::kHpc;
+    }
+  }
+  return ObservedNodeState::kIdle;
+}
+
+std::vector<ObservedNodeState> Slurmctld::observed_states() const {
+  std::vector<ObservedNodeState> out(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    out[i] = observed_state(static_cast<NodeId>(i));
+  return out;
+}
+
+std::size_t Slurmctld::idle_node_count() const {
+  std::size_t n = 0;
+  for (const Node& node : nodes_)
+    if (node.state == NodeState::kIdle) ++n;
+  return n;
+}
+
+std::size_t Slurmctld::available_node_count() const {
+  std::size_t n = 0;
+  for (const Node& node : nodes_) {
+    if (node.state == NodeState::kIdle) {
+      ++n;
+    } else if (node.state == NodeState::kAllocated) {
+      const JobRecord& rec = jobs_.at(node.running_job);
+      if (rec.priority_tier == 0) ++n;
+    }
+  }
+  return n;
+}
+
+void Slurmctld::schedule_now() { run_sched_pass(false); }
+
+void Slurmctld::request_schedule() {
+  if (pass_requested_) return;
+  pass_requested_ = true;
+  const sim::SimTime at =
+      std::max(sim_.now(), last_pass_ + config_.min_pass_gap);
+  sim_.at(at, [this] {
+    pass_requested_ = false;
+    run_sched_pass(false);
+  });
+}
+
+const Partition& Slurmctld::partition_of(const JobRecord& rec) const {
+  return partitions_.at(rec.spec.partition);
+}
+
+Slurmctld::Availability Slurmctld::build_availability(std::int32_t tier) const {
+  Availability a;
+  const sim::SimTime now = sim_.now();
+  a.free_at.assign(nodes_.size(), now);
+  a.pilot_free_at.assign(nodes_.size(), now);
+  for (const Node& node : nodes_) {
+    sim::SimTime hpc_free = now;
+    sim::SimTime pilot_free = now;
+    if (node.state == NodeState::kDown) {
+      hpc_free = pilot_free = sim::SimTime::max();
+    } else if (node.state == NodeState::kAllocated) {
+      const JobRecord& rec = jobs_.at(node.running_job);
+      sim::SimTime expected = rec.expected_end();
+      if (rec.state == JobState::kCompleting)
+        expected = std::min(expected, rec.end_time);
+      expected = std::max(expected, now);
+      pilot_free = expected;
+      // Preemptible lower-tier jobs are transparent to higher tiers.
+      const bool preemptable_by_us =
+          rec.preemptible && rec.priority_tier < tier;
+      hpc_free = preemptable_by_us ? now : expected;
+    }
+    // Claimed nodes are spoken for until the claimant's expected end.
+    const auto claim = node_claims_.find(node.id);
+    if (claim != node_claims_.end()) {
+      const JobRecord& claimant = jobs_.at(claim->second);
+      const sim::SimTime claim_end =
+          now + claimant.granted_limit + partition_of(claimant).grace_time;
+      hpc_free = std::max(hpc_free, claim_end);
+      pilot_free = std::max(pilot_free, claim_end);
+    }
+    a.free_at[node.id] = hpc_free;
+    a.pilot_free_at[node.id] = pilot_free;
+  }
+  return a;
+}
+
+void Slurmctld::run_sched_pass(bool periodic) {
+  ++counters_.sched_passes;
+  const sim::SimTime now = sim_.now();
+  last_pass_ = now;
+
+  // Node lists for this pass, updated in place as launches happen.
+  PassCache cache;
+  for (const Node& node : nodes_) {
+    if (node_claims_.contains(node.id)) continue;
+    if (node.state == NodeState::kIdle) {
+      cache.idle.push_back(node.id);
+    } else if (node.state == NodeState::kAllocated) {
+      const JobRecord& rec = jobs_.at(node.running_job);
+      if (rec.preemptible && rec.priority_tier == 0 &&
+          rec.state == JobState::kRunning) {
+        cache.pilot_held.push_back(node.id);
+      }
+    }
+  }
+  // LIFO reuse: most recently freed first (ties by id for determinism).
+  std::stable_sort(cache.idle.begin(), cache.idle.end(),
+                   [this](NodeId a, NodeId b) {
+                     return last_freed_[a] > last_freed_[b];
+                   });
+
+  // ---- Phase 1: HPC tiers (>= 1), highest first, backfill with up to
+  // reservation_depth future reservations. reserved_from[n] = earliest
+  // instant from which node n is reserved for a blocked job (max() when
+  // unreserved); backfilled jobs must end before it.
+  std::vector<sim::SimTime> reserved_from(nodes_.size(), sim::SimTime::max());
+  std::size_t reservations_made = 0;
+
+  for (auto& [tier, queue] : pending_) {
+    if (tier == 0) break;  // pilots handled in phase 2
+
+    // Planning timeline for this tier: when each node is expected free,
+    // advanced as we launch jobs and book reservations within this pass.
+    std::vector<sim::SimTime> scratch = build_availability(tier).free_at;
+
+    std::vector<QueueEntry> still_pending;
+    still_pending.reserve(queue.size());
+    std::size_t examined = 0;
+    for (const QueueEntry& entry : queue) {
+      JobRecord& rec = jobs_.at(entry.id);
+      if (examined++ >= config_.backfill_depth) {
+        still_pending.push_back(entry);
+        continue;
+      }
+      if (try_start_hpc(rec, cache, reserved_from)) {
+        // Reflect the launch (or claim) in the planning timeline.
+        const sim::SimTime busy_until =
+            now + rec.granted_limit + partition_of(rec).grace_time;
+        for (const NodeId n : rec.nodes)
+          scratch[n] = std::max(scratch[n], busy_until);
+        continue;
+      }
+      still_pending.push_back(entry);
+      if (reservations_made < config_.reservation_depth) {
+        // Book a future reservation for this blocked job on the nodes
+        // that free earliest in the planning timeline.
+        std::vector<std::pair<sim::SimTime, NodeId>> horizon;
+        horizon.reserve(nodes_.size());
+        for (const Node& node : nodes_) {
+          if (scratch[node.id] == sim::SimTime::max()) continue;
+          horizon.emplace_back(scratch[node.id], node.id);
+        }
+        if (horizon.size() >= rec.spec.num_nodes) {
+          std::nth_element(horizon.begin(),
+                           horizon.begin() + (rec.spec.num_nodes - 1),
+                           horizon.end());
+          const sim::SimTime res_start = horizon[rec.spec.num_nodes - 1].first;
+          if (res_start <= now + config_.backfill_window) {
+            for (std::uint32_t k = 0; k < rec.spec.num_nodes; ++k) {
+              const NodeId n = horizon[k].second;
+              reserved_from[n] = std::min(reserved_from[n], res_start);
+              scratch[n] = res_start + rec.spec.time_limit;
+            }
+            ++reservations_made;
+          }
+        }
+      }
+    }
+    queue = std::move(still_pending);
+  }
+
+  // ---- Phase 2: tier-0 pilot placement on idle nodes. ------------------
+  place_pilots(cache, reserved_from, periodic);
+
+  // Remember this pass's reservation picture for stale var sizing.
+  if (periodic) last_pass_reserved_from_ = reserved_from;
+}
+
+bool Slurmctld::try_start_hpc(JobRecord& rec, PassCache& cache,
+                              const std::vector<sim::SimTime>& reserved_until) {
+  const sim::SimTime now = sim_.now();
+  // Variable-length jobs can shrink to time_min, so that is what must fit
+  // before a reservation; fixed jobs need their full declared limit.
+  const sim::SimTime limit = rec.spec.time_min > sim::SimTime::zero()
+                                 ? rec.spec.time_min
+                                 : rec.spec.time_limit;
+
+  // Cheap reject: not enough usable nodes even before constraints.
+  if (cache.idle.size() + cache.pilot_held.size() < rec.spec.num_nodes)
+    return false;
+
+  // A reserved node is usable only if this job ends before the
+  // reservation starts (EASY backfill condition).
+  const auto usable = [&](NodeId n) {
+    return reserved_until[n] == sim::SimTime::max() ||
+           now + limit <= reserved_until[n];
+  };
+
+  // Prefer idle nodes: fewer preemptions, no grace-period delay.
+  std::vector<NodeId> chosen;
+  chosen.reserve(rec.spec.num_nodes);
+  std::vector<std::size_t> taken_idle_idx;
+  for (std::size_t i = 0; i < cache.idle.size(); ++i) {
+    if (chosen.size() == rec.spec.num_nodes) break;
+    if (!usable(cache.idle[i])) continue;
+    chosen.push_back(cache.idle[i]);
+    taken_idle_idx.push_back(i);
+  }
+  // Preempt the *youngest* pilots first: the least accumulated serving
+  // time is lost, and long-lived workers (warm containers, long queues)
+  // survive — matching the long-serving invoker tail the paper reports.
+  std::vector<std::size_t> pilot_order(cache.pilot_held.size());
+  for (std::size_t i = 0; i < pilot_order.size(); ++i) pilot_order[i] = i;
+  std::stable_sort(
+      pilot_order.begin(), pilot_order.end(),
+      [this, &cache](std::size_t a, std::size_t b) {
+        const JobRecord& ja =
+            jobs_.at(nodes_.at(cache.pilot_held[a]).running_job);
+        const JobRecord& jb =
+            jobs_.at(nodes_.at(cache.pilot_held[b]).running_job);
+        return ja.start_time > jb.start_time;
+      });
+  std::vector<NodeId> victim_nodes;
+  std::vector<std::size_t> taken_pilot_idx;
+  for (const std::size_t i : pilot_order) {
+    if (chosen.size() == rec.spec.num_nodes) break;
+    if (!usable(cache.pilot_held[i])) continue;
+    chosen.push_back(cache.pilot_held[i]);
+    victim_nodes.push_back(cache.pilot_held[i]);
+    taken_pilot_idx.push_back(i);
+  }
+  std::sort(taken_pilot_idx.begin(), taken_pilot_idx.end());
+  if (chosen.size() < rec.spec.num_nodes) return false;
+
+  // Commit: strike the chosen nodes from the pass cache (erase by value,
+  // back-to-front to keep indices valid).
+  for (auto it = taken_idle_idx.rbegin(); it != taken_idle_idx.rend(); ++it)
+    cache.idle.erase(cache.idle.begin() + static_cast<std::ptrdiff_t>(*it));
+  for (auto it = taken_pilot_idx.rbegin(); it != taken_pilot_idx.rend(); ++it)
+    cache.pilot_held.erase(cache.pilot_held.begin() +
+                           static_cast<std::ptrdiff_t>(*it));
+
+  // Variable-length HPC jobs: size to the nearest reservation horizon.
+  sim::SimTime granted = rec.spec.time_limit;
+  if (rec.spec.time_min > sim::SimTime::zero()) {
+    sim::SimTime horizon = sim::SimTime::max();
+    for (const NodeId n : chosen)
+      horizon = std::min(horizon, reserved_until[n]);
+    if (horizon != sim::SimTime::max()) {
+      granted = std::clamp(floor_to_slot(horizon - now, config_.slot),
+                           rec.spec.time_min, rec.spec.time_limit);
+    }
+  }
+
+  if (victim_nodes.empty()) {
+    launch(rec, std::move(chosen), granted);
+    return true;
+  }
+
+  // Preempt victims and park the job until its nodes drain.
+  PendingLaunch pl;
+  pl.id = rec.id;
+  pl.nodes = chosen;
+  pl.granted_limit = granted;
+  pl.nodes_missing = victim_nodes.size();
+  for (const NodeId n : chosen) node_claims_[n] = rec.id;
+  pending_launches_.push_back(std::move(pl));
+
+  for (const NodeId n : victim_nodes) {
+    JobRecord& victim = jobs_.at(nodes_.at(n).running_job);
+    if (victim.state == JobState::kRunning)
+      begin_grace(victim, /*preemption=*/true);
+    // kCompleting victims are already draining; the claim waits for them.
+  }
+  return true;
+}
+
+void Slurmctld::place_pilots(PassCache& cache,
+                             const std::vector<sim::SimTime>& reserved_from,
+                             bool periodic) {
+  const auto tier0 = pending_.find(0);
+  if (tier0 == pending_.end() || tier0->second.empty()) return;
+  auto& queue = tier0->second;
+
+  const sim::SimTime now = sim_.now();
+  const std::vector<sim::SimTime>& sizing_view =
+      config_.var_jobs_periodic_only ? last_pass_reserved_from_ : reserved_from;
+  bool var_allowed = !config_.var_jobs_periodic_only || periodic;
+  if (var_allowed && config_.var_jobs_periodic_only &&
+      now - last_var_pass_ < config_.var_pass_period) {
+    var_allowed = false;
+  }
+  if (var_allowed && config_.var_jobs_periodic_only) last_var_pass_ = now;
+
+  // For each idle node, pick the best (highest-priority) queued pilot
+  // that may start there: under the preempt-aware policy that is simply
+  // the head of the queue; under hole-fitting, the first pilot whose
+  // declared limit fits before the node's reservation.
+  // Pilots take the *coldest* idle nodes (longest idle first): under the
+  // LIFO reuse order HPC jobs consume hot nodes, so cold placement keeps
+  // pilots out of the line of fire and lengthens their serving lives.
+  std::vector<NodeId> unused_nodes;
+  std::vector<NodeId> cold_first{cache.idle.rbegin(), cache.idle.rend()};
+  for (const NodeId node : cold_first) {
+    if (now - last_freed_[node] < config_.pilot_min_idle) {
+      unused_nodes.push_back(node);
+      continue;
+    }
+    if (queue.empty()) {
+      unused_nodes.push_back(node);
+      continue;
+    }
+    const sim::SimTime hole = reserved_from[node] == sim::SimTime::max()
+                                  ? sim::SimTime::max()
+                                  : reserved_from[node] - now;
+
+    bool placed = false;
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      JobRecord& rec = jobs_.at(it->id);
+      assert(rec.spec.num_nodes == 1 &&
+             "tier-0 pilots are single-node by design");
+      const bool is_var = rec.spec.time_min > sim::SimTime::zero();
+      if (is_var && !var_allowed) continue;
+
+      sim::SimTime granted = rec.spec.time_limit;
+      if (is_var) {
+        // Sized against the (possibly stale) availability picture.
+        const sim::SimTime stale_hole =
+            sizing_view[node] == sim::SimTime::max()
+                ? sim::SimTime::max()
+                : sizing_view[node] - now;
+        if (stale_hole != sim::SimTime::max()) {
+          granted = std::clamp(floor_to_slot(stale_hole, config_.slot),
+                               rec.spec.time_min, rec.spec.time_limit);
+        }
+      } else if (config_.pilot_placement == PilotPlacement::kHoleFitting &&
+                 hole != sim::SimTime::max() && rec.spec.time_limit > hole) {
+        continue;  // does not fit; try a shorter pilot for this node
+      }
+
+      queue.erase(it);
+      launch(rec, {node}, granted);
+      placed = true;
+      break;
+    }
+    if (!placed) unused_nodes.push_back(node);
+  }
+  std::reverse(unused_nodes.begin(), unused_nodes.end());
+  cache.idle = std::move(unused_nodes);
+}
+
+void Slurmctld::launch(JobRecord& rec, std::vector<NodeId> nodes,
+                       sim::SimTime granted_limit) {
+  const sim::SimTime now = sim_.now();
+  rec.state = JobState::kRunning;
+  rec.start_time = now;
+  rec.granted_limit = granted_limit;
+  rec.nodes = std::move(nodes);
+  for (const NodeId n : rec.nodes) {
+    Node& node = nodes_.at(n);
+    assert(node.state == NodeState::kIdle);
+    node.state = NodeState::kAllocated;
+    node.running_job = rec.id;
+    announce(n);
+  }
+  ++counters_.started;
+
+  const JobId id = rec.id;
+  const sim::SimTime natural =
+      rec.spec.actual_runtime == sim::SimTime::max()
+          ? sim::SimTime::max()
+          : now + rec.spec.actual_runtime;
+  const sim::SimTime at_limit = now + granted_limit;
+  if (natural <= at_limit) {
+    end_events_[id] = sim_.at(natural, [this, id] {
+      end_events_.erase(id);
+      finish_job(jobs_.at(id), EndReason::kCompleted);
+    });
+  } else {
+    // The job will outlive its granted limit: SIGTERM at the limit,
+    // grace, then SIGKILL (Prometheus grants the full grace on timeout
+    // too — Sec. III-C: "because of eviction or timeout").
+    end_events_[id] = sim_.at(at_limit, [this, id] {
+      end_events_.erase(id);
+      begin_grace(jobs_.at(id), /*preemption=*/false);
+    });
+  }
+
+  if (rec.spec.on_start) {
+    if (config_.launch_latency > sim::SimTime::zero()) {
+      auto cb = rec.spec.on_start;
+      sim_.after(config_.launch_latency, [this, id, cb] {
+        if (is_known(id) && jobs_.at(id).is_active()) cb(jobs_.at(id));
+      });
+    } else {
+      rec.spec.on_start(rec);
+    }
+  }
+}
+
+void Slurmctld::begin_grace(JobRecord& rec, bool preemption) {
+  assert(rec.state == JobState::kRunning);
+  const sim::SimTime now = sim_.now();
+  const Partition& part = partition_of(rec);
+  rec.state = JobState::kCompleting;
+  rec.grace_reason =
+      preemption ? EndReason::kPreempted : EndReason::kTimeLimit;
+  // end_time doubles as the SIGKILL deadline while completing.
+  rec.end_time = now + part.grace_time;
+
+  // The natural-end event no longer applies (we are being terminated);
+  // unless the job would finish on its own before the SIGKILL deadline.
+  const auto evt = end_events_.find(rec.id);
+  if (evt != end_events_.end()) {
+    sim_.cancel(evt->second);
+    end_events_.erase(evt);
+  }
+  const JobId id = rec.id;
+  const sim::SimTime natural =
+      rec.spec.actual_runtime == sim::SimTime::max()
+          ? sim::SimTime::max()
+          : rec.start_time + rec.spec.actual_runtime;
+  if (natural < rec.end_time) {
+    end_events_[id] = sim_.at(natural, [this, id] {
+      end_events_.erase(id);
+      finish_job(jobs_.at(id), EndReason::kCompleted);
+    });
+  }
+
+  const EndReason kill_reason =
+      preemption ? EndReason::kPreempted : EndReason::kTimeLimit;
+  kill_events_[id] = sim_.at(rec.end_time, [this, id, kill_reason] {
+    kill_events_.erase(id);
+    finish_job(jobs_.at(id), kill_reason);
+  });
+
+  if (rec.spec.on_sigterm) rec.spec.on_sigterm(rec);
+}
+
+void Slurmctld::finish_job(JobRecord& rec, EndReason reason) {
+  const auto evt = end_events_.find(rec.id);
+  if (evt != end_events_.end()) {
+    sim_.cancel(evt->second);
+    end_events_.erase(evt);
+  }
+  const auto kevt = kill_events_.find(rec.id);
+  if (kevt != kill_events_.end()) {
+    sim_.cancel(kevt->second);
+    kill_events_.erase(kevt);
+  }
+  const bool was_active = rec.is_active();
+  rec.end_time = sim_.now();
+  switch (reason) {
+    case EndReason::kCompleted:
+      rec.state = JobState::kCompleted;
+      ++counters_.completed;
+      break;
+    case EndReason::kTimeLimit:
+      rec.state = JobState::kTimedOut;
+      ++counters_.timed_out;
+      break;
+    case EndReason::kPreempted:
+      rec.state = JobState::kPreempted;
+      ++counters_.preempted;
+      break;
+    case EndReason::kCancelled:
+      rec.state = JobState::kCancelled;
+      ++counters_.cancelled;
+      break;
+    case EndReason::kNodeFailed:
+      rec.state = JobState::kNodeFailed;
+      break;
+  }
+  if (was_active) free_nodes(rec);
+  if (rec.spec.on_end) rec.spec.on_end(rec, reason);
+  if (was_active) request_schedule();
+}
+
+void Slurmctld::free_nodes(const JobRecord& rec) {
+  for (const NodeId n : rec.nodes) {
+    Node& node = nodes_.at(n);
+    if (node.state == NodeState::kDown) continue;  // failed underneath us
+    if (node.running_job != rec.id) continue;
+    if (draining_[n]) {
+      // Maintenance hand-over: the node leaves service instead of going
+      // back to the pool.
+      node.state = NodeState::kDown;
+      node.running_job = 0;
+      announce(n);
+      continue;
+    }
+    node.state = NodeState::kIdle;
+    node.running_job = 0;
+    last_freed_[n] = sim_.now();
+    announce(n);
+    node_freed(n);
+  }
+}
+
+void Slurmctld::node_freed(NodeId id) {
+  const auto claim = node_claims_.find(id);
+  if (claim == node_claims_.end()) return;
+  const JobId claimant = claim->second;
+  for (auto it = pending_launches_.begin(); it != pending_launches_.end();
+       ++it) {
+    if (it->id != claimant) continue;
+    assert(it->nodes_missing > 0);
+    if (--it->nodes_missing == 0) {
+      PendingLaunch pl = std::move(*it);
+      pending_launches_.erase(it);
+      for (const NodeId n : pl.nodes) node_claims_.erase(n);
+      JobRecord& rec = jobs_.at(pl.id);
+      launch(rec, std::move(pl.nodes), pl.granted_limit);
+    }
+    return;
+  }
+}
+
+void Slurmctld::announce(NodeId node) {
+  if (node_observer_)
+    node_observer_(NodeTransition{sim_.now(), node, observed_state(node)});
+}
+
+}  // namespace hpcwhisk::slurm

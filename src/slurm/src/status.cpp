@@ -1,0 +1,79 @@
+#include "hpcwhisk/slurm/status.hpp"
+
+#include <array>
+#include <cstdio>
+#include <sstream>
+
+namespace hpcwhisk::slurm {
+
+std::string compact_node_list(const std::vector<NodeId>& nodes) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < nodes.size()) {
+    std::size_t j = i;
+    while (j + 1 < nodes.size() && nodes[j + 1] == nodes[j] + 1) ++j;
+    if (!out.empty()) out += ',';
+    out += std::to_string(nodes[i]);
+    if (j > i) {
+      out += (j == i + 1) ? ',' : '-';
+      out += std::to_string(nodes[j]);
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+std::string format_sinfo(const Slurmctld& ctld) {
+  std::array<std::vector<NodeId>, 4> by_state;
+  for (NodeId n = 0; n < ctld.node_count(); ++n) {
+    by_state[static_cast<std::size_t>(ctld.observed_state(n))].push_back(n);
+  }
+  std::ostringstream os;
+  os << "NODES " << ctld.node_count() << '\n';
+  static constexpr std::array<ObservedNodeState, 4> kOrder{
+      ObservedNodeState::kHpc, ObservedNodeState::kPilot,
+      ObservedNodeState::kIdle, ObservedNodeState::kDown};
+  for (const auto state : kOrder) {
+    const auto& nodes = by_state[static_cast<std::size_t>(state)];
+    if (nodes.empty()) continue;
+    char line[64];
+    std::snprintf(line, sizeof line, "%-6s %5zu  ", to_string(state),
+                  nodes.size());
+    os << line;
+    const std::string compact = compact_node_list(nodes);
+    if (compact.size() <= 60) {
+      os << compact;
+    } else {
+      os << compact.substr(0, 57) << "...";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string format_squeue(const Slurmctld& ctld, std::size_t max_rows) {
+  std::ostringstream os;
+  char header[96];
+  std::snprintf(header, sizeof header, "%8s %-12s %-10s %6s %10s\n", "JOBID",
+                "PARTITION", "STATE", "NODES", "TIMELIMIT");
+  os << header;
+  std::size_t rows = 0, omitted = 0;
+  ctld.for_each_job([&](const JobRecord& rec) {
+    if (rec.state != JobState::kPending && !rec.is_active()) return;
+    if (rows >= max_rows) {
+      ++omitted;
+      return;
+    }
+    ++rows;
+    char line[128];
+    std::snprintf(line, sizeof line, "%8llu %-12s %-10s %6u %10s\n",
+                  static_cast<unsigned long long>(rec.id),
+                  rec.spec.partition.c_str(), to_string(rec.state),
+                  rec.spec.num_nodes, rec.spec.time_limit.to_string().c_str());
+    os << line;
+  });
+  if (omitted > 0) os << "... and " << omitted << " more\n";
+  return os.str();
+}
+
+}  // namespace hpcwhisk::slurm

@@ -1,0 +1,69 @@
+#pragma once
+// FaaS load generators.
+//
+// The paper's responsiveness experiment (Sec. V-C) uses Gatling to issue
+// a constant open-loop 10 QPS over 100 identically-sized functions with
+// distinct names (so the hash-based router spreads them over all warm
+// invokers). We reproduce that, plus a Poisson arrival mode and an
+// Azure-like duration mix (Shahrad et al. [2]: 50 % of functions finish
+// under 3 s, 90 % under 1 min) for extension experiments.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hpcwhisk/sim/rng.hpp"
+#include "hpcwhisk/sim/simulation.hpp"
+#include "hpcwhisk/whisk/function.hpp"
+
+namespace hpcwhisk::trace {
+
+class FaasLoadGenerator {
+ public:
+  /// The generator is transport-agnostic: the sink receives the function
+  /// name to invoke (wire it to Controller::submit or ClientWrapper::invoke).
+  using Sink = std::function<void(const std::string&)>;
+
+  struct Config {
+    double rate_qps{10.0};
+    /// false => strictly periodic arrivals (Gatling constantUsersPerSec);
+    /// true  => Poisson arrivals at the same mean rate.
+    bool poisson{false};
+    std::vector<std::string> functions;
+  };
+
+  FaasLoadGenerator(sim::Simulation& simulation, Config config, Sink sink,
+                    sim::Rng rng);
+
+  /// Starts issuing calls until `until` (absolute time).
+  void start(sim::SimTime until);
+  void stop();
+
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+
+ private:
+  void arm_next();
+
+  sim::Simulation& sim_;
+  Config config_;
+  Sink sink_;
+  sim::Rng rng_;
+  sim::SimTime until_;
+  std::uint64_t issued_{0};
+  std::size_t next_function_{0};
+  bool running_{false};
+};
+
+/// Registers `count` identical sleep-functions ("sleep-000"...) like the
+/// paper's responsiveness workload: 10 ms fixed duration, tiny memory.
+std::vector<std::string> register_sleep_functions(
+    whisk::FunctionRegistry& registry, std::size_t count,
+    sim::SimTime duration = sim::SimTime::millis(10));
+
+/// Registers `count` functions with an Azure-like duration mix
+/// (median ~0.6 s, 50 % < 3 s, 90 % < 60 s).
+std::vector<std::string> register_azure_mix_functions(
+    whisk::FunctionRegistry& registry, std::size_t count, sim::Rng& rng);
+
+}  // namespace hpcwhisk::trace

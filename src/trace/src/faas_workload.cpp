@@ -1,0 +1,94 @@
+#include "hpcwhisk/trace/faas_workload.hpp"
+
+#include <cstdio>
+
+#include "hpcwhisk/sim/distributions.hpp"
+
+namespace hpcwhisk::trace {
+
+FaasLoadGenerator::FaasLoadGenerator(sim::Simulation& simulation,
+                                     Config config, Sink sink, sim::Rng rng)
+    : sim_{simulation},
+      config_{std::move(config)},
+      sink_{std::move(sink)},
+      rng_{rng} {
+  if (config_.rate_qps <= 0)
+    throw std::invalid_argument("FaasLoadGenerator: rate must be positive");
+  if (config_.functions.empty())
+    throw std::invalid_argument("FaasLoadGenerator: no functions");
+  if (!sink_) throw std::invalid_argument("FaasLoadGenerator: missing sink");
+}
+
+void FaasLoadGenerator::start(sim::SimTime until) {
+  if (running_) return;
+  running_ = true;
+  until_ = until;
+  arm_next();
+}
+
+void FaasLoadGenerator::stop() { running_ = false; }
+
+void FaasLoadGenerator::arm_next() {
+  if (!running_) return;
+  const double mean_gap_s = 1.0 / config_.rate_qps;
+  const sim::SimTime gap =
+      config_.poisson ? sim::SimTime::seconds(rng_.exponential(mean_gap_s))
+                      : sim::SimTime::seconds(mean_gap_s);
+  if (sim_.now() + gap > until_) {
+    running_ = false;
+    return;
+  }
+  sim_.after(gap, [this] {
+    if (!running_) return;
+    // Round-robin over the function names: with 100 distinct names this
+    // exercises every healthy invoker's topic (hash routing).
+    const std::string& fn = config_.functions[next_function_];
+    next_function_ = (next_function_ + 1) % config_.functions.size();
+    ++issued_;
+    sink_(fn);
+    arm_next();
+  });
+}
+
+std::vector<std::string> register_sleep_functions(
+    whisk::FunctionRegistry& registry, std::size_t count,
+    sim::SimTime duration) {
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "sleep-%03zu", i);
+    whisk::FunctionSpec spec =
+        whisk::fixed_duration_function(buf, duration, /*memory_mb=*/128);
+    registry.put(std::move(spec));
+    names.emplace_back(buf);
+  }
+  return names;
+}
+
+std::vector<std::string> register_azure_mix_functions(
+    whisk::FunctionRegistry& registry, std::size_t count, sim::Rng& rng) {
+  // Each function gets a characteristic median duration drawn from a
+  // heavy-tailed mix calibrated to the Azure trace aggregates; individual
+  // invocations are lognormal around it.
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "azure-%03zu", i);
+    const double median_s =
+        sim::BoundedPareto{0.6, 0.05, 300.0}.sample(rng);
+    whisk::FunctionSpec spec;
+    spec.name = buf;
+    spec.memory_mb = 128 + 128 * rng.uniform_int(0, 3);
+    const sim::LognormalFromQuantiles model{median_s, median_s * 2.5, 0.95};
+    spec.duration = [model](sim::Rng& r) {
+      return sim::SimTime::seconds(model.sample(r));
+    };
+    registry.put(std::move(spec));
+    names.emplace_back(buf);
+  }
+  return names;
+}
+
+}  // namespace hpcwhisk::trace

@@ -1,0 +1,58 @@
+#pragma once
+// Activation: one function invocation tracked from submission to a
+// terminal outcome. The controller owns the authoritative store; every
+// state transition is timestamped so benches can rebuild the paper's
+// per-minute success/failure/lost series (Figs. 5b, 6b).
+
+#include <cstdint>
+#include <string>
+
+#include "hpcwhisk/sim/time.hpp"
+
+namespace hpcwhisk::whisk {
+
+using ActivationId = std::uint64_t;
+using InvokerId = std::uint32_t;
+
+inline constexpr InvokerId kNoInvoker = static_cast<InvokerId>(-1);
+
+enum class ActivationState : std::uint8_t {
+  kQueued,       ///< accepted, waiting in a topic or invoker buffer
+  kRunning,      ///< executing in a container
+  kCompleted,    ///< finished successfully
+  kFailed,       ///< execution failed (e.g. container-capacity rejection)
+  kTimedOut,     ///< not completed within the function's timeout
+  kRejected503,  ///< refused at submission: no healthy invoker
+};
+
+[[nodiscard]] constexpr bool is_terminal(ActivationState s) {
+  return s != ActivationState::kQueued && s != ActivationState::kRunning;
+}
+
+[[nodiscard]] const char* to_string(ActivationState s);
+
+struct ActivationRecord {
+  ActivationId id{0};
+  std::string function;
+  ActivationState state{ActivationState::kQueued};
+  sim::SimTime submit_time;
+  sim::SimTime start_time;  ///< first began executing (zero if never)
+  sim::SimTime end_time;    ///< reached a terminal state
+  InvokerId executed_by{kNoInvoker};
+  /// Invoker the controller originally routed the message to (load
+  /// accounting); may differ from executed_by after fast-lane reroutes.
+  InvokerId routed_to{kNoInvoker};
+  /// Times the activation was re-published (fast-lane reroutes).
+  std::uint32_t requeues{0};
+  /// Times a running execution was interrupted by a draining invoker.
+  std::uint32_t interruptions{0};
+  /// True cold start paid on the (last) execution.
+  bool cold_start{false};
+
+  /// Client-visible response time; meaningful for terminal states.
+  [[nodiscard]] sim::SimTime response_time() const {
+    return end_time - submit_time;
+  }
+};
+
+}  // namespace hpcwhisk::whisk

@@ -1,0 +1,188 @@
+#pragma once
+// The (modified) OpenWhisk controller.
+//
+// Stock OpenWhisk assumes a static invoker set; HPC-Whisk's controller
+// (Sec. III-C) instead maintains a *dynamic* membership list with
+// continuous status reporting, and cooperates in the drain hand-off:
+// when an invoker announces departure the controller stops routing to it
+// and moves the unpulled backlog of its topic to the global fast lane.
+//
+// The controller is also the authoritative activation store: submission,
+// 503 rejection, execution progress, completion and timeouts are all
+// recorded here, which is what the paper calls the "OpenWhisk-level"
+// measurement perspective.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hpcwhisk/mq/broker.hpp"
+#include "hpcwhisk/sim/simulation.hpp"
+#include "hpcwhisk/whisk/activation.hpp"
+#include "hpcwhisk/whisk/function.hpp"
+
+namespace hpcwhisk::whisk {
+
+enum class InvokerHealth : std::uint8_t {
+  kHealthy,       ///< registered, heartbeating, accepting work
+  kDraining,      ///< announced departure; no new work routed
+  kUnresponsive,  ///< missed heartbeats (hard-killed pilot)
+  kGone,          ///< deregistered
+};
+
+[[nodiscard]] const char* to_string(InvokerHealth h);
+
+/// Load-balancing policy for choosing the target invoker.
+enum class RouteMode : std::uint8_t {
+  /// OpenWhisk's sharding balancer: hash-selected home invoker, stepping
+  /// to the next invokers (co-prime stride) while the home is saturated.
+  kHashProbing,
+  /// Pure hash routing (the simplest reading of Sec. II); saturation is
+  /// ignored, which hurts tail latency under skewed load.
+  kHashOnly,
+  /// Ignore affinity entirely (baseline for the routing ablation).
+  kRoundRobin,
+  /// Always the least-loaded healthy invoker (upper-bound baseline).
+  kLeastLoaded,
+};
+
+[[nodiscard]] const char* to_string(RouteMode m);
+
+struct SubmitResult {
+  bool accepted{false};        ///< false => HTTP 503, no invoker available
+  ActivationId activation{0};  ///< valid iff accepted
+};
+
+class Controller {
+ public:
+  struct Config {
+    /// Invokers ping this often; missing `heartbeat_miss_limit` pings in
+    /// a row marks the invoker unresponsive.
+    sim::SimTime heartbeat_interval{sim::SimTime::seconds(2)};
+    std::uint32_t heartbeat_miss_limit{3};
+    /// How often the watchdog sweeps the membership list.
+    sim::SimTime watchdog_interval{sim::SimTime::seconds(2)};
+    RouteMode route_mode{RouteMode::kHashProbing};
+    /// Per-invoker in-flight budget used by kHashProbing before stepping
+    /// to the next invoker (OpenWhisk: invoker slot count).
+    std::uint32_t invoker_slots{32};
+  };
+
+  Controller(sim::Simulation& simulation, mq::Broker& broker,
+             const FunctionRegistry& registry, Config config);
+  Controller(sim::Simulation& simulation, mq::Broker& broker,
+             const FunctionRegistry& registry);
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  // --- Client-facing API --------------------------------------------------
+
+  /// Invokes `function`. Returns 503 (accepted == false) when no healthy
+  /// invoker exists; otherwise records the activation and publishes it to
+  /// the chosen invoker's topic.
+  SubmitResult submit(const std::string& function);
+
+  /// Completion callback: fires exactly once when the activation reaches
+  /// a terminal state (immediately if it already has). Clients use this
+  /// for blocking-invoke semantics and tests for synchronization.
+  using CompletionCallback = std::function<void(const ActivationRecord&)>;
+  void on_completion(ActivationId id, CompletionCallback cb);
+
+  [[nodiscard]] const ActivationRecord& activation(ActivationId id) const;
+  [[nodiscard]] const std::vector<ActivationRecord>& activations() const {
+    return records_;
+  }
+
+  // --- Invoker-facing API (the "status message" protocol) -----------------
+
+  /// Registers a new invoker; returns its id. Its topic is
+  /// `invoker_topic_name(id)`.
+  InvokerId register_invoker();
+  void heartbeat(InvokerId id);
+  /// The invoker announces it is departing: routing stops and the
+  /// unpulled backlog of its topic moves to the fast lane.
+  void begin_drain(InvokerId id);
+  /// Final deregistration once the invoker's hand-off completed.
+  void deregister(InvokerId id);
+
+  /// Re-publishes a message to the fast lane (drain hand-off, interrupted
+  /// executions). Records the requeue on the activation.
+  void requeue_to_fast_lane(mq::Message msg);
+
+  /// Execution progress callbacks.
+  void activation_started(ActivationId id, InvokerId by, bool cold_start);
+  void activation_completed(ActivationId id);
+  void activation_failed(ActivationId id);
+  /// A running execution was interrupted (invoker draining); the caller
+  /// re-publishes the message.
+  void activation_interrupted(ActivationId id);
+
+  /// Whether work may still be delivered for this activation (false once
+  /// it reached a terminal state, e.g. timed out while queued — invokers
+  /// drop such messages instead of executing them).
+  [[nodiscard]] bool deliverable(ActivationId id) const;
+
+  // --- Introspection -------------------------------------------------------
+
+  [[nodiscard]] static std::string invoker_topic_name(InvokerId id);
+  [[nodiscard]] std::size_t healthy_count() const;
+  [[nodiscard]] std::size_t count_with_health(InvokerHealth h) const;
+  [[nodiscard]] InvokerHealth invoker_health(InvokerId id) const;
+  [[nodiscard]] std::vector<InvokerId> healthy_invokers() const;
+  /// Activations routed to `id` that have not reached a terminal state.
+  [[nodiscard]] std::uint32_t in_flight(InvokerId id) const;
+
+  struct Counters {
+    std::uint64_t submitted{0};
+    std::uint64_t accepted{0};
+    std::uint64_t sequence_invocations{0};
+    std::uint64_t rejected_503{0};
+    std::uint64_t completed{0};
+    std::uint64_t failed{0};
+    std::uint64_t timed_out{0};
+    std::uint64_t requeued{0};
+    std::uint64_t interrupted{0};
+    std::uint64_t unresponsive_detected{0};
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Time of the most recent 503 rejection (SimTime::zero() if none):
+  /// input to the Alg. 1 client wrapper.
+  [[nodiscard]] sim::SimTime last_503_time() const { return last_503_; }
+
+ private:
+  struct InvokerEntry {
+    InvokerHealth health{InvokerHealth::kHealthy};
+    sim::SimTime last_heartbeat;
+    std::uint32_t in_flight{0};
+  };
+
+  /// Picks the target invoker among `healthy` for `function`.
+  [[nodiscard]] InvokerId route(const std::string& function,
+                                const std::vector<InvokerId>& healthy);
+
+  ActivationRecord& record(ActivationId id);
+  void finish(ActivationRecord& rec, ActivationState state);
+  void watchdog_sweep();
+  void move_backlog_to_fast_lane(InvokerId id);
+
+  sim::Simulation& sim_;
+  mq::Broker& broker_;
+  const FunctionRegistry& registry_;
+  Config config_;
+  std::map<InvokerId, InvokerEntry> invokers_;  // ordered => stable routing
+  std::vector<ActivationRecord> records_;       // index == ActivationId
+  std::unordered_map<ActivationId, sim::EventId> timeout_events_;
+  std::unordered_map<ActivationId, std::vector<CompletionCallback>>
+      completion_callbacks_;
+  InvokerId next_invoker_id_{0};
+  std::size_t round_robin_next_{0};
+  sim::SimTime last_503_{sim::SimTime::zero()};
+  Counters counters_;
+};
+
+}  // namespace hpcwhisk::whisk

@@ -1,0 +1,131 @@
+#pragma once
+// The (modified) OpenWhisk invoker that runs inside an HPC-Whisk pilot
+// job.
+//
+// Consumption order implements the paper's fast-lane rule (Sec. III-C):
+// before pulling from its own topic, the invoker first pulls from the
+// global fast-lane topic, so requests re-issued by terminating workers
+// execute with the highest priority.
+//
+// On SIGTERM the invoker performs the drain hand-off:
+//   1. tells the controller it no longer accepts work (the controller
+//      simultaneously rescues the unpulled backlog of its topic);
+//   2. re-publishes its pulled-but-not-started buffer to the fast lane;
+//   3. interrupts running executions of interruptible functions and
+//      re-publishes them too; non-interruptible executions keep running
+//      until they finish (or the pilot's SIGKILL arrives);
+//   4. deregisters and reports drain completion to the pilot, which then
+//      exits the Slurm job early — inside the grace period.
+//
+// hard_kill() models a SIGKILL with no hand-off (stock-OpenWhisk failure
+// mode): buffered and running work is lost and the affected activations
+// surface as client timeouts.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "hpcwhisk/mq/broker.hpp"
+#include "hpcwhisk/runtime/container_pool.hpp"
+#include "hpcwhisk/sim/rng.hpp"
+#include "hpcwhisk/sim/simulation.hpp"
+#include "hpcwhisk/whisk/controller.hpp"
+#include "hpcwhisk/whisk/function.hpp"
+
+namespace hpcwhisk::whisk {
+
+class Invoker {
+ public:
+  struct Config {
+    /// Pull-loop cadence.
+    sim::SimTime poll_interval{sim::SimTime::millis(100)};
+    /// Messages pulled per poll (fast lane + own topic combined).
+    std::size_t pull_batch{8};
+    /// Dispatch gate: executions started concurrently; messages beyond
+    /// it wait in the invoker buffer (drain hand-off material).
+    std::size_t max_concurrent{32};
+    /// Physical cores of the node (Prometheus: 2x12); concurrent
+    /// CPU-bound executions beyond this dilate each other.
+    std::uint32_t cores{24};
+    bool cpu_dilation{true};
+    runtime::ContainerPool::Config pool{
+        .memory_mb = 8 * 1024,  // OpenWhisk invoker "user memory"
+        .max_containers = 24,
+        .idle_timeout = sim::SimTime::minutes(10),
+    };
+    runtime::RuntimeKind runtime_kind{runtime::RuntimeKind::kSingularity};
+  };
+
+  Invoker(sim::Simulation& simulation, mq::Broker& broker,
+          const FunctionRegistry& registry, Controller& controller,
+          Config config, sim::Rng rng);
+
+  Invoker(const Invoker&) = delete;
+  Invoker& operator=(const Invoker&) = delete;
+  ~Invoker();
+
+  /// Registers with the controller and starts the pull + heartbeat loops.
+  /// Call once, after the pilot's warm-up completed.
+  void start();
+
+  /// SIGTERM: runs the drain hand-off; `on_drained` fires when the last
+  /// local work item left (immediately if there is none).
+  void sigterm(std::function<void()> on_drained);
+
+  /// SIGKILL without hand-off: everything local is lost.
+  void hard_kill();
+
+  [[nodiscard]] InvokerId id() const { return id_; }
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] bool draining() const { return draining_; }
+  [[nodiscard]] bool dead() const { return dead_; }
+  [[nodiscard]] std::size_t running_executions() const { return running_.size(); }
+  [[nodiscard]] std::size_t buffered_messages() const { return buffer_.size(); }
+  [[nodiscard]] const runtime::ContainerPool& pool() const { return pool_; }
+
+  struct Counters {
+    std::uint64_t executed{0};
+    std::uint64_t capacity_failures{0};
+    std::uint64_t interrupted{0};
+    std::uint64_t dropped_undeliverable{0};
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  enum class ExecPhase { kStarting, kRunning };
+  struct Exec {
+    mq::Message msg;
+    runtime::ContainerId container{0};
+    ExecPhase phase{ExecPhase::kStarting};
+    sim::EventId event;  ///< pending start or completion event
+    bool cold{false};
+  };
+
+  void poll();
+  void dispatch_buffer();
+  void begin_execution(mq::Message msg);
+  void finish_drain_if_idle();
+  void stop_loops();
+
+  sim::Simulation& sim_;
+  mq::Broker& broker_;
+  const FunctionRegistry& registry_;
+  Controller& controller_;
+  Config config_;
+  sim::Rng rng_;
+  runtime::ContainerPool pool_;
+  InvokerId id_{kNoInvoker};
+  mq::Topic* own_topic_{nullptr};
+  std::deque<mq::Message> buffer_;
+  std::unordered_map<ActivationId, Exec> running_;
+  sim::PeriodicHandle poll_loop_;
+  sim::PeriodicHandle heartbeat_loop_;
+  bool started_{false};
+  bool draining_{false};
+  bool dead_{false};
+  std::function<void()> on_drained_;
+  Counters counters_;
+};
+
+}  // namespace hpcwhisk::whisk

@@ -1,0 +1,336 @@
+#include "hpcwhisk/whisk/controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcwhisk::whisk {
+
+const char* to_string(ActivationState s) {
+  switch (s) {
+    case ActivationState::kQueued: return "queued";
+    case ActivationState::kRunning: return "running";
+    case ActivationState::kCompleted: return "completed";
+    case ActivationState::kFailed: return "failed";
+    case ActivationState::kTimedOut: return "timed-out";
+    case ActivationState::kRejected503: return "rejected-503";
+  }
+  return "?";
+}
+
+const char* to_string(RouteMode m) {
+  switch (m) {
+    case RouteMode::kHashProbing: return "hash-probing";
+    case RouteMode::kHashOnly: return "hash-only";
+    case RouteMode::kRoundRobin: return "round-robin";
+    case RouteMode::kLeastLoaded: return "least-loaded";
+  }
+  return "?";
+}
+
+const char* to_string(InvokerHealth h) {
+  switch (h) {
+    case InvokerHealth::kHealthy: return "healthy";
+    case InvokerHealth::kDraining: return "draining";
+    case InvokerHealth::kUnresponsive: return "unresponsive";
+    case InvokerHealth::kGone: return "gone";
+  }
+  return "?";
+}
+
+Controller::Controller(sim::Simulation& simulation, mq::Broker& broker,
+                       const FunctionRegistry& registry, Config config)
+    : sim_{simulation}, broker_{broker}, registry_{registry}, config_{config} {
+  sim_.every(config_.watchdog_interval, [this] { watchdog_sweep(); });
+}
+
+Controller::Controller(sim::Simulation& simulation, mq::Broker& broker,
+                       const FunctionRegistry& registry)
+    : Controller{simulation, broker, registry, Config{}} {}
+
+std::string Controller::invoker_topic_name(InvokerId id) {
+  return "invoker-" + std::to_string(id);
+}
+
+SubmitResult Controller::submit(const std::string& function) {
+  const FunctionSpec& spec = registry_.at(function);
+  ++counters_.submitted;
+
+  ActivationRecord rec;
+  rec.id = records_.size();
+  rec.function = function;
+  rec.submit_time = sim_.now();
+
+  const std::vector<InvokerId> healthy = healthy_invokers();
+  if (healthy.empty()) {
+    // Immediate 503 — recorded so benches can rebuild the rejection
+    // series of Figs. 5b/6b.
+    rec.state = ActivationState::kRejected503;
+    rec.end_time = sim_.now();
+    records_.push_back(rec);
+    ++counters_.rejected_503;
+    last_503_ = sim_.now();
+    return SubmitResult{false, rec.id};
+  }
+
+  records_.push_back(rec);
+  ++counters_.accepted;
+
+  const InvokerId target = route(function, healthy);
+  records_.back().routed_to = target;
+  ++invokers_[target].in_flight;
+
+  mq::Message msg;
+  msg.id = rec.id;
+  msg.key = function;
+  broker_.topic(invoker_topic_name(target)).publish(msg, sim_.now());
+
+  // Arm the client-visible timeout.
+  const ActivationId act_id = rec.id;
+  timeout_events_[act_id] =
+      sim_.after(spec.timeout, [this, act_id] {
+        timeout_events_.erase(act_id);
+        ActivationRecord& r = record(act_id);
+        if (!is_terminal(r.state)) {
+          ++counters_.timed_out;
+          finish(r, ActivationState::kTimedOut);
+        }
+      });
+
+  return SubmitResult{true, act_id};
+}
+
+InvokerId Controller::route(const std::string& function,
+                            const std::vector<InvokerId>& healthy) {
+  const std::size_t n = healthy.size();
+  const std::uint64_t hash = function_hash(function);
+  switch (config_.route_mode) {
+    case RouteMode::kHashOnly:
+      return healthy[hash % n];
+    case RouteMode::kRoundRobin:
+      return healthy[round_robin_next_++ % n];
+    case RouteMode::kLeastLoaded: {
+      InvokerId best = healthy.front();
+      for (const InvokerId id : healthy) {
+        if (invokers_[id].in_flight < invokers_[best].in_flight) best = id;
+      }
+      return best;
+    }
+    case RouteMode::kHashProbing:
+      break;
+  }
+  // OpenWhisk's sharding balancer: start at the hashed home invoker and
+  // step with a hash-derived stride (odd => co-prime with powers of two,
+  // and cycling covers all n because we iterate at most n probes) while
+  // the current candidate is out of slots. Falls back to the least
+  // loaded if every invoker is saturated.
+  const std::size_t home = hash % n;
+  const std::size_t stride = (hash >> 32 | 1) % std::max<std::size_t>(1, n);
+  std::size_t idx = home;
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const InvokerId candidate = healthy[idx];
+    if (invokers_[candidate].in_flight < config_.invoker_slots)
+      return candidate;
+    idx = (idx + std::max<std::size_t>(1, stride)) % n;
+  }
+  InvokerId best = healthy.front();
+  for (const InvokerId id : healthy) {
+    if (invokers_[id].in_flight < invokers_[best].in_flight) best = id;
+  }
+  return best;
+}
+
+std::uint32_t Controller::in_flight(InvokerId id) const {
+  const auto it = invokers_.find(id);
+  return it == invokers_.end() ? 0 : it->second.in_flight;
+}
+
+const ActivationRecord& Controller::activation(ActivationId id) const {
+  if (id >= records_.size())
+    throw std::out_of_range("Controller::activation: unknown id");
+  return records_[id];
+}
+
+InvokerId Controller::register_invoker() {
+  const InvokerId id = next_invoker_id_++;
+  invokers_[id] = InvokerEntry{InvokerHealth::kHealthy, sim_.now()};
+  // Ensure the topic exists before any routing decision targets it.
+  broker_.topic(invoker_topic_name(id));
+  return id;
+}
+
+void Controller::heartbeat(InvokerId id) {
+  const auto it = invokers_.find(id);
+  if (it == invokers_.end()) return;
+  it->second.last_heartbeat = sim_.now();
+  // A previously unresponsive invoker that pings again is readmitted
+  // (does not happen with graceful pilots; kept for robustness).
+  if (it->second.health == InvokerHealth::kUnresponsive)
+    it->second.health = InvokerHealth::kHealthy;
+}
+
+void Controller::begin_drain(InvokerId id) {
+  const auto it = invokers_.find(id);
+  if (it == invokers_.end()) return;
+  if (it->second.health == InvokerHealth::kGone) return;
+  it->second.health = InvokerHealth::kDraining;
+  move_backlog_to_fast_lane(id);
+}
+
+void Controller::deregister(InvokerId id) {
+  const auto it = invokers_.find(id);
+  if (it == invokers_.end()) return;
+  it->second.health = InvokerHealth::kGone;
+  // Any message published between drain and deregistration is rescued.
+  move_backlog_to_fast_lane(id);
+}
+
+void Controller::move_backlog_to_fast_lane(InvokerId id) {
+  auto backlog = broker_.topic(invoker_topic_name(id)).drain();
+  for (auto& msg : backlog) requeue_to_fast_lane(std::move(msg));
+}
+
+void Controller::requeue_to_fast_lane(mq::Message msg) {
+  if (msg.id < records_.size()) {
+    ActivationRecord& rec = records_[msg.id];
+    if (is_terminal(rec.state)) return;  // e.g. already timed out: drop
+    ++rec.requeues;
+  }
+  ++counters_.requeued;
+  broker_.fast_lane().publish(std::move(msg), sim_.now());
+}
+
+void Controller::activation_started(ActivationId id, InvokerId by,
+                                    bool cold_start) {
+  ActivationRecord& rec = record(id);
+  if (is_terminal(rec.state)) return;
+  rec.state = ActivationState::kRunning;
+  if (rec.start_time == sim::SimTime::zero()) rec.start_time = sim_.now();
+  rec.executed_by = by;
+  rec.cold_start = cold_start;
+}
+
+void Controller::activation_completed(ActivationId id) {
+  ActivationRecord& rec = record(id);
+  if (is_terminal(rec.state)) return;
+  ++counters_.completed;
+  finish(rec, ActivationState::kCompleted);
+}
+
+void Controller::activation_failed(ActivationId id) {
+  ActivationRecord& rec = record(id);
+  if (is_terminal(rec.state)) return;
+  ++counters_.failed;
+  finish(rec, ActivationState::kFailed);
+}
+
+void Controller::activation_interrupted(ActivationId id) {
+  ActivationRecord& rec = record(id);
+  if (is_terminal(rec.state)) return;
+  rec.state = ActivationState::kQueued;
+  ++rec.interruptions;
+  ++counters_.interrupted;
+}
+
+bool Controller::deliverable(ActivationId id) const {
+  if (id >= records_.size()) return false;
+  return !is_terminal(records_[id].state);
+}
+
+std::size_t Controller::healthy_count() const {
+  return count_with_health(InvokerHealth::kHealthy);
+}
+
+std::size_t Controller::count_with_health(InvokerHealth h) const {
+  std::size_t n = 0;
+  for (const auto& [id, entry] : invokers_)
+    if (entry.health == h) ++n;
+  return n;
+}
+
+InvokerHealth Controller::invoker_health(InvokerId id) const {
+  const auto it = invokers_.find(id);
+  if (it == invokers_.end())
+    throw std::out_of_range("Controller::invoker_health: unknown id");
+  return it->second.health;
+}
+
+std::vector<InvokerId> Controller::healthy_invokers() const {
+  std::vector<InvokerId> out;
+  for (const auto& [id, entry] : invokers_)
+    if (entry.health == InvokerHealth::kHealthy) out.push_back(id);
+  return out;
+}
+
+ActivationRecord& Controller::record(ActivationId id) {
+  if (id >= records_.size())
+    throw std::out_of_range("Controller::record: unknown id");
+  return records_[id];
+}
+
+void Controller::on_completion(ActivationId id, CompletionCallback cb) {
+  const ActivationRecord& rec = activation(id);
+  if (is_terminal(rec.state)) {
+    cb(rec);
+    return;
+  }
+  completion_callbacks_[id].push_back(std::move(cb));
+}
+
+void Controller::finish(ActivationRecord& rec, ActivationState state) {
+  rec.state = state;
+  rec.end_time = sim_.now();
+  if (rec.routed_to != kNoInvoker) {
+    const auto it = invokers_.find(rec.routed_to);
+    if (it != invokers_.end() && it->second.in_flight > 0)
+      --it->second.in_flight;
+  }
+  const auto evt = timeout_events_.find(rec.id);
+  if (evt != timeout_events_.end()) {
+    sim_.cancel(evt->second);
+    timeout_events_.erase(evt);
+  }
+
+  // Action sequence: chain the next function on success.
+  if (state == ActivationState::kCompleted) {
+    const FunctionSpec* spec = registry_.find(rec.function);
+    if (spec != nullptr && !spec->next.empty()) {
+      ++counters_.sequence_invocations;
+      // Defer to a fresh event: finish() may be running deep inside an
+      // invoker's completion chain and submit() re-enters routing state.
+      const std::string next = spec->next;
+      const ActivationId origin = rec.id;
+      sim_.at(sim_.now(), [this, next, origin] {
+        const auto result = submit(next);
+        // Chain completion visibility: the origin's callbacks see the
+        // final record; additionally propagate chained-run callbacks.
+        (void)origin;
+        (void)result;
+      });
+    }
+  }
+
+  // Completion callbacks fire after all bookkeeping.
+  const auto cbs = completion_callbacks_.find(rec.id);
+  if (cbs != completion_callbacks_.end()) {
+    auto list = std::move(cbs->second);
+    completion_callbacks_.erase(cbs);
+    for (auto& cb : list) cb(rec);
+  }
+}
+
+void Controller::watchdog_sweep() {
+  const sim::SimTime deadline =
+      config_.heartbeat_interval * config_.heartbeat_miss_limit;
+  for (auto& [id, entry] : invokers_) {
+    if (entry.health != InvokerHealth::kHealthy) continue;
+    if (sim_.now() - entry.last_heartbeat > deadline) {
+      entry.health = InvokerHealth::kUnresponsive;
+      ++counters_.unresponsive_detected;
+      // The invoker vanished without hand-off (hard kill / node failure):
+      // rescue whatever it had not pulled yet.
+      move_backlog_to_fast_lane(id);
+    }
+  }
+}
+
+}  // namespace hpcwhisk::whisk

@@ -1,0 +1,53 @@
+#include "hpcwhisk/whisk/function.hpp"
+
+#include <stdexcept>
+
+namespace hpcwhisk::whisk {
+
+FunctionSpec fixed_duration_function(std::string name, sim::SimTime d,
+                                     std::int64_t memory_mb) {
+  FunctionSpec spec;
+  spec.name = std::move(name);
+  spec.memory_mb = memory_mb;
+  spec.duration = [d](sim::Rng&) { return d; };
+  return spec;
+}
+
+void FunctionRegistry::put(FunctionSpec spec) {
+  if (spec.name.empty())
+    throw std::invalid_argument("FunctionRegistry::put: empty name");
+  if (!spec.duration)
+    throw std::invalid_argument("FunctionRegistry::put: missing duration model");
+  const std::string name = spec.name;
+  functions_[name] = std::move(spec);
+}
+
+const FunctionSpec* FunctionRegistry::find(const std::string& name) const {
+  const auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+const FunctionSpec& FunctionRegistry::at(const std::string& name) const {
+  const auto it = functions_.find(name);
+  if (it == functions_.end())
+    throw std::out_of_range("FunctionRegistry: unknown function " + name);
+  return it->second;
+}
+
+std::vector<std::string> FunctionRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(functions_.size());
+  for (const auto& [name, _] : functions_) out.push_back(name);
+  return out;
+}
+
+std::uint64_t function_hash(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace hpcwhisk::whisk

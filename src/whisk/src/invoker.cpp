@@ -1,0 +1,206 @@
+#include "hpcwhisk/whisk/invoker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcwhisk::whisk {
+
+namespace {
+runtime::RuntimeProfile make_profile(runtime::RuntimeKind kind) {
+  return kind == runtime::RuntimeKind::kDocker
+             ? runtime::RuntimeProfile::docker()
+             : runtime::RuntimeProfile::singularity();
+}
+}  // namespace
+
+Invoker::Invoker(sim::Simulation& simulation, mq::Broker& broker,
+                 const FunctionRegistry& registry, Controller& controller,
+                 Config config, sim::Rng rng)
+    : sim_{simulation},
+      broker_{broker},
+      registry_{registry},
+      controller_{controller},
+      config_{config},
+      rng_{rng},
+      pool_{config.pool, make_profile(config.runtime_kind), rng.fork()} {}
+
+Invoker::~Invoker() {
+  // The owner (pilot) must have ended the lifecycle; be safe regardless.
+  if (started_ && !dead_) stop_loops();
+}
+
+void Invoker::start() {
+  if (started_) throw std::logic_error("Invoker::start: already started");
+  started_ = true;
+  id_ = controller_.register_invoker();
+  own_topic_ = &broker_.topic(Controller::invoker_topic_name(id_));
+  poll_loop_ = sim_.every(config_.poll_interval, [this] { poll(); });
+  heartbeat_loop_ =
+      sim_.every(sim::SimTime::seconds(2), [this] { controller_.heartbeat(id_); });
+}
+
+void Invoker::poll() {
+  if (draining_ || dead_) return;
+  pool_.maintain_prewarm(sim_.now());
+  // Fast lane first (highest priority), then the invoker's own topic.
+  std::size_t budget = config_.pull_batch;
+  const std::size_t room =
+      buffer_.size() >= config_.pull_batch * 4
+          ? 0
+          : config_.pull_batch * 4 - buffer_.size();
+  budget = std::min(budget, room);
+  if (budget == 0) {
+    dispatch_buffer();
+    return;
+  }
+  std::size_t remaining = budget;
+  for (auto& msg : broker_.fast_lane().poll(remaining)) {
+    buffer_.push_back(std::move(msg));
+    --remaining;
+  }
+  if (remaining > 0) {
+    for (auto& msg : own_topic_->poll(remaining)) {
+      buffer_.push_back(std::move(msg));
+    }
+  }
+  dispatch_buffer();
+}
+
+void Invoker::dispatch_buffer() {
+  while (!buffer_.empty() && running_.size() < config_.max_concurrent) {
+    mq::Message msg = std::move(buffer_.front());
+    buffer_.pop_front();
+    begin_execution(std::move(msg));
+  }
+}
+
+void Invoker::begin_execution(mq::Message msg) {
+  if (!controller_.deliverable(msg.id)) {
+    ++counters_.dropped_undeliverable;
+    return;
+  }
+  const FunctionSpec& spec = registry_.at(msg.key);
+  const auto acquired =
+      pool_.acquire(spec.name, spec.kind, spec.memory_mb, sim_.now());
+  if (acquired.kind == runtime::AcquireResult::Kind::kRejected) {
+    // Node-level container saturation: the invocation fails (the episode
+    // of Sec. V-C where invokers hit the concurrent-container limit).
+    ++counters_.capacity_failures;
+    controller_.activation_failed(msg.id);
+    return;
+  }
+
+  const ActivationId act = msg.id;
+  Exec exec;
+  exec.msg = std::move(msg);
+  exec.container = acquired.container;
+  exec.cold = acquired.kind == runtime::AcquireResult::Kind::kCold;
+  exec.phase = ExecPhase::kStarting;
+  exec.event = sim_.after(acquired.start_latency, [this, act] {
+    auto it = running_.find(act);
+    if (it == running_.end()) return;
+    Exec& e = it->second;
+    e.phase = ExecPhase::kRunning;
+    pool_.mark_running(e.container, sim_.now());
+    controller_.activation_started(act, id_, e.cold);
+
+    const FunctionSpec& fn = registry_.at(e.msg.key);
+    sim::SimTime duration = fn.duration(rng_);
+    if (config_.cpu_dilation && pool_.busy_containers() > config_.cores) {
+      const double factor = static_cast<double>(pool_.busy_containers()) /
+                            static_cast<double>(config_.cores);
+      duration = sim::SimTime::seconds(duration.to_seconds() * factor);
+    }
+    e.event = sim_.after(duration, [this, act] {
+      auto jt = running_.find(act);
+      if (jt == running_.end()) return;
+      pool_.release(jt->second.container, sim_.now());
+      running_.erase(jt);
+      ++counters_.executed;
+      controller_.activation_completed(act);
+      if (draining_) {
+        finish_drain_if_idle();
+      } else {
+        dispatch_buffer();
+      }
+    });
+  });
+  running_.emplace(act, std::move(exec));
+}
+
+void Invoker::sigterm(std::function<void()> on_drained) {
+  if (dead_) return;
+  if (draining_) return;  // duplicate SIGTERM
+  draining_ = true;
+  on_drained_ = std::move(on_drained);
+
+  if (!started_) {
+    // SIGTERM during warm-up: nothing registered, nothing to hand off.
+    dead_ = true;
+    if (on_drained_) on_drained_();
+    return;
+  }
+
+  // 1. Controller stops routing to us and rescues our unpulled backlog.
+  controller_.begin_drain(id_);
+
+  // 2. Pulled-but-not-started buffer goes to the fast lane.
+  while (!buffer_.empty()) {
+    controller_.requeue_to_fast_lane(std::move(buffer_.front()));
+    buffer_.pop_front();
+  }
+
+  // 3. Interrupt running executions of interruptible functions.
+  std::vector<ActivationId> to_interrupt;
+  for (const auto& [act, exec] : running_) {
+    const FunctionSpec& fn = registry_.at(exec.msg.key);
+    if (fn.interruptible || exec.phase == ExecPhase::kStarting)
+      to_interrupt.push_back(act);
+  }
+  for (const ActivationId act : to_interrupt) {
+    auto it = running_.find(act);
+    Exec& e = it->second;
+    sim_.cancel(e.event);
+    if (e.phase == ExecPhase::kRunning) {
+      controller_.activation_interrupted(act);
+      ++counters_.interrupted;
+    }
+    controller_.requeue_to_fast_lane(std::move(e.msg));
+    pool_.remove(e.container);
+    running_.erase(it);
+  }
+
+  finish_drain_if_idle();
+}
+
+void Invoker::finish_drain_if_idle() {
+  if (!draining_ || dead_) return;
+  if (!running_.empty()) return;  // non-interruptible work still going
+  dead_ = true;
+  stop_loops();
+  pool_.clear();
+  controller_.deregister(id_);
+  if (on_drained_) {
+    auto cb = std::move(on_drained_);
+    on_drained_ = nullptr;
+    cb();
+  }
+}
+
+void Invoker::hard_kill() {
+  if (dead_) return;
+  dead_ = true;
+  stop_loops();
+  for (auto& [act, exec] : running_) sim_.cancel(exec.event);
+  running_.clear();
+  buffer_.clear();
+  pool_.clear();
+  // No controller interaction: the watchdog will notice the silence.
+}
+
+void Invoker::stop_loops() {
+  poll_loop_.stop();
+  heartbeat_loop_.stop();
+}
+
+}  // namespace hpcwhisk::whisk

@@ -1,0 +1,147 @@
+#include "hpcwhisk/analysis/clairvoyant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hpcwhisk/core/job_manager.hpp"
+
+namespace hpcwhisk::analysis {
+namespace {
+
+using slurm::ObservedNodeState;
+using sim::SimTime;
+
+NodeInterval period(std::uint32_t node, double start_min, double end_min) {
+  return NodeInterval{node, ObservedNodeState::kIdle,
+                      SimTime::minutes(start_min), SimTime::minutes(end_min)};
+}
+
+ClairvoyantSimulator::Config config(std::vector<int> lengths_min,
+                                    double warmup_s = 20.0) {
+  ClairvoyantSimulator::Config cfg;
+  for (const int m : lengths_min)
+    cfg.job_lengths.push_back(SimTime::minutes(m));
+  cfg.warmup = SimTime::seconds(warmup_s);
+  cfg.max_job_length = SimTime::minutes(120);
+  return cfg;
+}
+
+TEST(Clairvoyant, PaperExampleA1Fills21MinutePeriod) {
+  // Sec. IV-B: "when we considered set A1 and node x that was idle for 21
+  // minutes, we allotted it with jobs of 14 and 6 minutes, respectively,
+  // and 1 minute was not used."
+  const ClairvoyantSimulator clairvoyant{config({2, 4, 6, 8, 14, 22, 34, 56, 90})};
+  const auto r = clairvoyant.run({period(0, 0, 21)}, SimTime::zero(),
+                                 SimTime::minutes(21));
+  EXPECT_EQ(r.jobs, 2u);  // 14 + 6
+  const double total = 21 * 60;
+  EXPECT_NEAR(r.unused_share, 60.0 / total, 1e-9);
+  EXPECT_NEAR(r.warmup_share, 40.0 / total, 1e-9);
+  EXPECT_NEAR(r.ready_share, (total - 100.0) / total, 1e-9);
+}
+
+TEST(Clairvoyant, GreedyPicksLongestFitting) {
+  const ClairvoyantSimulator clairvoyant{config({2, 10, 30})};
+  const auto r = clairvoyant.run({period(0, 0, 45)}, SimTime::zero(),
+                                 SimTime::minutes(45));
+  // 30 + 10 + 2 + 2 = 44, 1 min unused.
+  EXPECT_EQ(r.jobs, 4u);
+  EXPECT_NEAR(r.unused_share, 1.0 / 45.0, 1e-9);
+}
+
+TEST(Clairvoyant, PeriodShorterThanShortestJobIsUnused) {
+  const ClairvoyantSimulator clairvoyant{config({2, 4})};
+  const auto r = clairvoyant.run({period(0, 0, 1.5)}, SimTime::zero(),
+                                 SimTime::minutes(2));
+  EXPECT_EQ(r.jobs, 0u);
+  EXPECT_DOUBLE_EQ(r.unused_share, 1.0);
+}
+
+TEST(Clairvoyant, MaxJobLengthCapsPlacement) {
+  auto cfg = config({2, 200});
+  cfg.max_job_length = SimTime::minutes(120);
+  const ClairvoyantSimulator clairvoyant{cfg};
+  const auto r = clairvoyant.run({period(0, 0, 300)}, SimTime::zero(),
+                                 SimTime::minutes(300));
+  // The 200-minute job exceeds the cap: only 2-minute jobs are placed.
+  EXPECT_EQ(r.jobs, 150u);
+}
+
+TEST(Clairvoyant, PreemptionCutUsesWholePeriod) {
+  auto cfg = config({2, 4, 90});
+  cfg.allow_preemption_cut = true;
+  const ClairvoyantSimulator clairvoyant{cfg};
+  const auto r = clairvoyant.run({period(0, 0, 5)}, SimTime::zero(),
+                                 SimTime::minutes(5));
+  EXPECT_DOUBLE_EQ(r.unused_share, 0.0);
+  EXPECT_GE(r.jobs, 1u);
+}
+
+TEST(Clairvoyant, ReadyWorkerSeriesCountsOverlap) {
+  const ClairvoyantSimulator clairvoyant{config({10}, /*warmup_s=*/60)};
+  // Two nodes idle in parallel for 10 minutes.
+  const auto r = clairvoyant.run({period(0, 0, 10), period(1, 0, 10)},
+                                 SimTime::zero(), SimTime::minutes(10));
+  EXPECT_EQ(r.jobs, 2u);
+  // After the 1-minute warm-up, both are ready: P75 of the series = 2.
+  EXPECT_EQ(r.ready_workers.p75, 2);
+  EXPECT_GT(r.ready_workers.avg, 1.5);
+  // First minute: zero ready (warm-up).
+  EXPECT_GT(r.non_availability, 0.05);
+}
+
+TEST(Clairvoyant, NonAvailabilityDetectsGaps) {
+  const ClairvoyantSimulator clairvoyant{config({2}, /*warmup_s=*/0)};
+  // Available only in the first half of the horizon.
+  const auto r = clairvoyant.run({period(0, 0, 30)}, SimTime::zero(),
+                                 SimTime::minutes(60));
+  EXPECT_NEAR(r.non_availability, 0.5, 0.05);
+}
+
+TEST(Clairvoyant, HorizonClipsPeriods) {
+  const ClairvoyantSimulator clairvoyant{config({2})};
+  const auto r = clairvoyant.run({period(0, 0, 100)}, SimTime::minutes(50),
+                                 SimTime::minutes(60));
+  // Only 10 minutes fall inside the horizon: 5 jobs.
+  EXPECT_EQ(r.jobs, 5u);
+}
+
+TEST(Clairvoyant, TableIShapeHolds) {
+  // Property: on a realistic mixed period population, every Table I set
+  // achieves a ready share within a narrow band, and B (powers of two)
+  // never beats A1 — the paper's qualitative finding.
+  sim::Rng rng{42};
+  std::vector<NodeInterval> periods;
+  double t = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const double len = std::min(180.0, rng.exponential(5.0));  // minutes
+    periods.push_back(period(static_cast<std::uint32_t>(i % 64), t, t + len));
+    t += 1.0;
+  }
+  const auto evaluate = [&](const char* name) {
+    ClairvoyantSimulator::Config cfg;
+    cfg.job_lengths = core::job_length_set(name);
+    cfg.max_job_length = SimTime::minutes(120);
+    return ClairvoyantSimulator{cfg}
+        .run(periods, SimTime::zero(), SimTime::minutes(400))
+        .ready_share;
+  };
+  const double a1 = evaluate("A1");
+  const double b = evaluate("B");
+  const double c2 = evaluate("C2");
+  EXPECT_GE(a1, b);         // A1 beats powers-of-two
+  EXPECT_GE(c2, a1 - 1e-9); // the finest set is at least as good
+  EXPECT_NEAR(a1, b, 0.05); // ...but the differences are small
+}
+
+TEST(Clairvoyant, RejectsBadConfig) {
+  EXPECT_THROW(ClairvoyantSimulator{ClairvoyantSimulator::Config{}},
+               std::invalid_argument);
+  EXPECT_THROW(ClairvoyantSimulator{config({4, 2})},  // unsorted
+               std::invalid_argument);
+  const ClairvoyantSimulator ok{config({2})};
+  EXPECT_THROW(ok.run({}, SimTime::minutes(1), SimTime::minutes(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::analysis

@@ -1,0 +1,153 @@
+#include "hpcwhisk/analysis/node_state_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcwhisk::analysis {
+namespace {
+
+using slurm::NodeTransition;
+using slurm::ObservedNodeState;
+using sim::SimTime;
+
+TEST(NodeStateLog, RecordsIntervalsBetweenTransitions) {
+  NodeStateLog log{2, SimTime::zero()};
+  log.record({SimTime::minutes(1), 0, ObservedNodeState::kHpc});
+  log.record({SimTime::minutes(3), 0, ObservedNodeState::kIdle});
+  log.finalize(SimTime::minutes(10));
+  const auto& ivs = log.intervals();
+  ASSERT_EQ(ivs.size(), 4u);  // node0: idle/hpc/idle; node1: idle
+  EXPECT_EQ(ivs[0].state, ObservedNodeState::kIdle);
+  EXPECT_EQ(ivs[0].length(), SimTime::minutes(1));
+  EXPECT_EQ(ivs[1].state, ObservedNodeState::kHpc);
+  EXPECT_EQ(ivs[1].length(), SimTime::minutes(2));
+  EXPECT_EQ(ivs[2].state, ObservedNodeState::kIdle);
+  EXPECT_EQ(ivs[2].length(), SimTime::minutes(7));
+  EXPECT_EQ(ivs[3].node, 1u);
+  EXPECT_EQ(ivs[3].length(), SimTime::minutes(10));
+}
+
+TEST(NodeStateLog, IgnoresNoOpTransitions) {
+  NodeStateLog log{1, SimTime::zero()};
+  log.record({SimTime::minutes(1), 0, ObservedNodeState::kIdle});  // no-op
+  log.finalize(SimTime::minutes(2));
+  EXPECT_EQ(log.intervals().size(), 1u);
+}
+
+TEST(NodeStateLog, ZeroLengthIntervalsDropped) {
+  NodeStateLog log{1, SimTime::zero()};
+  log.record({SimTime::zero(), 0, ObservedNodeState::kHpc});
+  log.finalize(SimTime::minutes(1));
+  ASSERT_EQ(log.intervals().size(), 1u);
+  EXPECT_EQ(log.intervals()[0].state, ObservedNodeState::kHpc);
+}
+
+TEST(NodeStateLog, MergedPeriodsJoinAdjacentQualifyingStates) {
+  NodeStateLog log{1, SimTime::zero()};
+  // idle(0-2) pilot(2-5) idle(5-6) hpc(6-8) idle(8-10)
+  log.record({SimTime::minutes(2), 0, ObservedNodeState::kPilot});
+  log.record({SimTime::minutes(5), 0, ObservedNodeState::kIdle});
+  log.record({SimTime::minutes(6), 0, ObservedNodeState::kHpc});
+  log.record({SimTime::minutes(8), 0, ObservedNodeState::kIdle});
+  log.finalize(SimTime::minutes(10));
+
+  const auto available =
+      log.merged_periods({ObservedNodeState::kIdle, ObservedNodeState::kPilot});
+  ASSERT_EQ(available.size(), 2u);
+  EXPECT_EQ(available[0].length(), SimTime::minutes(6));  // 0-6 merged
+  EXPECT_EQ(available[1].length(), SimTime::minutes(2));  // 8-10
+
+  const auto idle_only = log.merged_periods({ObservedNodeState::kIdle});
+  ASSERT_EQ(idle_only.size(), 3u);
+  EXPECT_EQ(idle_only[0].length(), SimTime::minutes(2));
+  EXPECT_EQ(idle_only[1].length(), SimTime::minutes(1));
+}
+
+TEST(NodeStateLog, SampleCountsAggregateStates) {
+  NodeStateLog log{3, SimTime::zero()};
+  log.record({SimTime::seconds(15), 0, ObservedNodeState::kHpc});
+  log.record({SimTime::seconds(15), 1, ObservedNodeState::kPilot});
+  log.finalize(SimTime::seconds(40));
+  const auto samples = log.sample_counts(SimTime::seconds(10));
+  ASSERT_EQ(samples.size(), 5u);  // t = 0,10,20,30,40
+  EXPECT_EQ(samples[0].idle, 3u);
+  EXPECT_EQ(samples[1].idle, 3u);
+  EXPECT_EQ(samples[2].idle, 1u);
+  EXPECT_EQ(samples[2].hpc, 1u);
+  EXPECT_EQ(samples[2].pilot, 1u);
+  EXPECT_EQ(samples[2].available(), 2u);
+}
+
+TEST(NodeStateLog, SampledPeriodsIgnoreSlivers) {
+  NodeStateLog log{1, SimTime::zero()};
+  // Busy except a 5-second idle sliver at 12..17s: invisible to a 10 s
+  // sampler (samples at 10 and 20 both see busy).
+  log.record({SimTime::zero(), 0, ObservedNodeState::kHpc});
+  log.record({SimTime::seconds(12), 0, ObservedNodeState::kIdle});
+  log.record({SimTime::seconds(17), 0, ObservedNodeState::kHpc});
+  log.finalize(SimTime::minutes(1));
+  const auto periods =
+      log.sampled_periods(SimTime::seconds(10), {ObservedNodeState::kIdle});
+  EXPECT_TRUE(periods.empty());
+}
+
+TEST(NodeStateLog, SampledPeriodsMergeAcrossShortBusyBlips) {
+  NodeStateLog log{1, SimTime::zero()};
+  // idle 0..33s, busy 33..37s (between samples 30 and 40), idle 37..60s:
+  // the sampler sees one continuous idle run over samples 0..50 (the
+  // final instant t=60 is the log end, exclusive).
+  log.record({SimTime::seconds(33), 0, ObservedNodeState::kHpc});
+  log.record({SimTime::seconds(37), 0, ObservedNodeState::kIdle});
+  log.finalize(SimTime::seconds(60));
+  const auto periods =
+      log.sampled_periods(SimTime::seconds(10), {ObservedNodeState::kIdle});
+  ASSERT_EQ(periods.size(), 1u);
+  EXPECT_EQ(periods[0], SimTime::seconds(60));  // 6 samples x 10 s
+}
+
+TEST(NodeStateLog, SampledPeriodsSplitOnVisibleBusy) {
+  NodeStateLog log{1, SimTime::zero()};
+  // idle 0..25s, busy 25..45s (covers samples 30 and 40), idle 45..70s.
+  log.record({SimTime::seconds(25), 0, ObservedNodeState::kHpc});
+  log.record({SimTime::seconds(45), 0, ObservedNodeState::kIdle});
+  log.finalize(SimTime::seconds(70));
+  const auto periods =
+      log.sampled_periods(SimTime::seconds(10), {ObservedNodeState::kIdle});
+  ASSERT_EQ(periods.size(), 2u);
+  EXPECT_EQ(periods[0], SimTime::seconds(30));  // samples 0,10,20
+  EXPECT_EQ(periods[1], SimTime::seconds(20));  // samples 50,60
+}
+
+TEST(NodeStateLog, SampledPeriodsPerNodeIndependent) {
+  NodeStateLog log{2, SimTime::zero()};
+  log.record({SimTime::seconds(30), 0, ObservedNodeState::kHpc});
+  // node 1 stays idle throughout.
+  log.finalize(SimTime::seconds(60));
+  const auto periods =
+      log.sampled_periods(SimTime::seconds(10), {ObservedNodeState::kIdle});
+  ASSERT_EQ(periods.size(), 2u);
+}
+
+TEST(NodeStateLog, TimeWeightedMeanAvailable) {
+  NodeStateLog log{2, SimTime::zero()};
+  // node 0: idle the whole 10 min. node 1: hpc from minute 5.
+  log.record({SimTime::minutes(5), 1, ObservedNodeState::kHpc});
+  log.finalize(SimTime::minutes(10));
+  // availability area = 10 + 5 node-min over 10 min horizon = 1.5 avg.
+  EXPECT_DOUBLE_EQ(log.time_weighted_mean_available(), 1.5);
+}
+
+TEST(NodeStateLog, RecordAfterFinalizeThrows) {
+  NodeStateLog log{1, SimTime::zero()};
+  log.finalize(SimTime::minutes(1));
+  EXPECT_THROW(log.record({SimTime::minutes(2), 0, ObservedNodeState::kHpc}),
+               std::logic_error);
+}
+
+TEST(NodeStateLog, OutOfRangeNodeThrows) {
+  NodeStateLog log{1, SimTime::zero()};
+  EXPECT_THROW(log.record({SimTime::zero(), 5, ObservedNodeState::kHpc}),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::analysis

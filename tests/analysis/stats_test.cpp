@@ -1,0 +1,123 @@
+#include "hpcwhisk/analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hpcwhisk/analysis/report.hpp"
+#include "hpcwhisk/sim/rng.hpp"
+
+namespace hpcwhisk::analysis {
+namespace {
+
+TEST(Stats, PercentileNearestRank) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Stats, SummaryQuartilesAndMean) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.p25, 25.0);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p75, 75.0);
+  EXPECT_DOUBLE_EQ(s.avg, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(Stats, SummaryOfEmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_DOUBLE_EQ(s.avg, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+}
+
+TEST(Stats, CdfPointsMonotonic) {
+  std::vector<double> xs;
+  sim::Rng rng{1};
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.uniform(0, 100));
+  const auto points = cdf_points(xs, 25);
+  ASSERT_GE(points.size(), 2u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].value, points[i - 1].value);
+    EXPECT_GT(points[i].prob, points[i - 1].prob);
+  }
+  EXPECT_DOUBLE_EQ(points.back().prob, 1.0);
+  EXPECT_LE(points.size(), 27u);
+}
+
+TEST(Stats, FractionAtMost) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(fraction_at_most(xs, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_at_most(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_at_most(xs, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_at_most({}, 1.0), 0.0);
+}
+
+TEST(Stats, LongestRun) {
+  const std::vector<int> xs{0, 1, 1, 1, 0, 1, 1, 0};
+  EXPECT_EQ(longest_run(xs, [](int x) { return x == 1; }), 3u);
+  EXPECT_EQ(longest_run(xs, [](int x) { return x == 2; }), 0u);
+}
+
+TEST(Report, FormattersRound) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.5, 0), "2");
+  EXPECT_EQ(fmt_pct(0.12345, 2), "12.35%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Report, TableAlignsColumns) {
+  std::ostringstream os;
+  print_table(os, "t", {"a", "long-header"}, {{"xxx", "1"}, {"y", "22"}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== t =="), std::string::npos);
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  // Every data row must have the same width.
+  std::istringstream is{out};
+  std::string line;
+  std::size_t width = 0;
+  std::getline(is, line);  // title
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '-') continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Report, SlurmLevelReportComputesCoverage) {
+  std::vector<StateCounts> samples(4);
+  for (auto& s : samples) {
+    s.pilot = 3;
+    s.idle = 1;
+    s.hpc = 10;
+  }
+  samples[3].pilot = 0;
+  samples[3].idle = 0;
+  const auto report = slurm_level_report(samples);
+  // covered = 9 pilot samples of 12 available samples.
+  EXPECT_NEAR(report.coverage, 9.0 / 12.0, 1e-9);
+  EXPECT_NEAR(report.zero_available_share, 0.25, 1e-9);
+  EXPECT_NEAR(report.zero_pilot_share, 0.25, 1e-9);
+  EXPECT_DOUBLE_EQ(report.pilot_workers.max, 3.0);
+}
+
+TEST(Report, SeriesDownsamplesByAveraging) {
+  std::ostringstream os;
+  std::vector<double> xs(100, 0.0);
+  for (std::size_t i = 50; i < 100; ++i) xs[i] = 10.0;
+  print_series(os, "s", xs, 1.0, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("-- series: s"), std::string::npos);
+  // First bucket all zeros, last bucket all tens.
+  EXPECT_NE(out.find("0 0.00"), std::string::npos);
+  EXPECT_NE(out.find("90 10.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::analysis

@@ -1,0 +1,98 @@
+#include "hpcwhisk/core/client_wrapper.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcwhisk::core {
+namespace {
+
+using sim::Rng;
+using sim::SimTime;
+using sim::Simulation;
+
+struct Fixture {
+  Simulation sim;
+  mq::Broker broker;
+  whisk::FunctionRegistry registry;
+  whisk::Controller controller{sim, broker, registry};
+  cloud::LambdaService commercial{sim, registry, {}, Rng{2}};
+  ClientWrapper wrapper{sim, controller, commercial, {}};
+
+  Fixture() {
+    registry.put(whisk::fixed_duration_function("fn", SimTime::millis(10)));
+  }
+};
+
+TEST(ClientWrapper, UsesHpcWhiskWhenInvokersExist) {
+  Fixture f;
+  f.controller.register_invoker();
+  const auto result = f.wrapper.invoke("fn");
+  EXPECT_EQ(result.backend, ClientWrapper::Backend::kHpcWhisk);
+  EXPECT_EQ(f.wrapper.counters().hpcwhisk_calls, 1u);
+  EXPECT_EQ(f.wrapper.counters().commercial_calls, 0u);
+}
+
+TEST(ClientWrapper, FallsBackOn503) {
+  Fixture f;  // no invokers: every submit 503s
+  const auto result = f.wrapper.invoke("fn");
+  EXPECT_EQ(result.backend, ClientWrapper::Backend::kCommercial);
+  EXPECT_EQ(f.wrapper.counters().rejections_seen, 1u);
+  EXPECT_EQ(f.wrapper.counters().commercial_calls, 1u);
+  // The commercial call is tracked by the Lambda model.
+  EXPECT_EQ(f.commercial.invocations().size(), 1u);
+}
+
+TEST(ClientWrapper, StaysOnCommercialDuringWindow) {
+  Fixture f;
+  (void)f.wrapper.invoke("fn");  // 503 at t=0
+  // Even though an invoker appears, within 60 s the wrapper offloads
+  // without asking the controller (Alg. 1's Last_503 check).
+  f.controller.register_invoker();
+  f.sim.run_until(SimTime::seconds(30));
+  const auto result = f.wrapper.invoke("fn");
+  EXPECT_EQ(result.backend, ClientWrapper::Backend::kCommercial);
+  EXPECT_EQ(f.wrapper.counters().rejections_seen, 1u);  // no new 503 probe
+}
+
+TEST(ClientWrapper, RetriesClusterAfterWindow) {
+  Fixture f;
+  (void)f.wrapper.invoke("fn");  // 503 at t=0
+  f.sim.run_until(SimTime::seconds(61));
+  // An invoker is healthy when the window expires (fresh registration:
+  // its heartbeat clock starts now).
+  f.controller.register_invoker();
+  const auto result = f.wrapper.invoke("fn");
+  EXPECT_EQ(result.backend, ClientWrapper::Backend::kHpcWhisk);
+}
+
+TEST(ClientWrapper, RepeatedOutagesKeepExtendingWindow) {
+  Fixture f;
+  (void)f.wrapper.invoke("fn");  // 503, window opens
+  f.sim.run_until(SimTime::seconds(61));
+  (void)f.wrapper.invoke("fn");  // probes cluster: still no invoker -> 503
+  EXPECT_EQ(f.wrapper.counters().rejections_seen, 2u);
+  f.sim.run_until(SimTime::seconds(90));
+  // Inside the renewed window.
+  const auto result = f.wrapper.invoke("fn");
+  EXPECT_EQ(result.backend, ClientWrapper::Backend::kCommercial);
+}
+
+TEST(ClientWrapper, NeverDropsACall) {
+  Fixture f;
+  // Flap availability; every call must land somewhere.
+  whisk::InvokerId id = f.controller.register_invoker();
+  for (int minute = 0; minute < 10; ++minute) {
+    for (int i = 0; i < 10; ++i) (void)f.wrapper.invoke("fn");
+    if (minute % 2 == 0) {
+      f.controller.begin_drain(id);
+      f.controller.deregister(id);
+    } else {
+      id = f.controller.register_invoker();
+    }
+    f.sim.run_until(SimTime::minutes(minute + 1));
+  }
+  const auto& c = f.wrapper.counters();
+  EXPECT_EQ(c.hpcwhisk_calls + c.commercial_calls, 100u);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::core

@@ -1,0 +1,213 @@
+// End-to-end integration tests over the full HPC-Whisk system (Fig. 4),
+// checking the cross-module invariants the paper's design promises:
+//   1. pilots never delay HPC jobs beyond pilot drain time;
+//   2. accepted activations are never silently lost across worker churn
+//      (completed / failed / timed-out — with graceful drains, requeued
+//      work completes);
+//   3. the fast lane preserves work across preemptions;
+//   4. same seed => identical run.
+
+#include <gtest/gtest.h>
+
+#include "hpcwhisk/analysis/node_state_log.hpp"
+#include "hpcwhisk/core/system.hpp"
+#include "hpcwhisk/trace/faas_workload.hpp"
+#include "hpcwhisk/trace/hpc_workload.hpp"
+
+namespace hpcwhisk {
+namespace {
+
+using sim::SimTime;
+using sim::Simulation;
+
+core::HpcWhiskSystem::Config small_system(std::uint32_t nodes,
+                                          std::uint64_t seed = 1) {
+  core::HpcWhiskSystem::Config cfg;
+  cfg.seed = seed;
+  cfg.slurm.node_count = nodes;
+  cfg.slurm.min_pass_gap = SimTime::zero();
+  cfg.manager.fib_lengths = core::job_length_set("C1");
+  cfg.manager.fib_per_length = 3;
+  return cfg;
+}
+
+TEST(EndToEnd, PilotsNeverDelayHpcJobsSignificantly) {
+  Simulation simulation;
+  core::HpcWhiskSystem system{simulation, small_system(8)};
+  system.start();
+  simulation.run_until(SimTime::minutes(5));  // pilots cover the cluster
+
+  // Submit a wave of HPC jobs; each must start within drain time
+  // (seconds), far below the 3-minute grace bound.
+  std::vector<slurm::JobId> jobs;
+  for (int i = 0; i < 4; ++i) {
+    slurm::JobSpec spec;
+    spec.partition = "hpc";
+    spec.num_nodes = 2;
+    spec.time_limit = SimTime::minutes(10);
+    spec.actual_runtime = SimTime::minutes(10);
+    jobs.push_back(system.slurm().submit(spec));
+  }
+  simulation.run_until(SimTime::minutes(10));
+  for (const auto id : jobs) {
+    const auto& rec = system.slurm().job(id);
+    ASSERT_EQ(rec.state, slurm::JobState::kRunning);
+    EXPECT_LE(rec.start_time - rec.submit_time, SimTime::minutes(3))
+        << "HPC job delayed beyond the grace bound";
+    EXPECT_LE(rec.start_time - rec.submit_time, SimTime::seconds(30))
+        << "HPC job delayed beyond realistic drain time";
+  }
+}
+
+TEST(EndToEnd, NoAcceptedActivationIsSilentlyLost) {
+  Simulation simulation;
+  core::HpcWhiskSystem system{simulation, small_system(6, 3)};
+  const auto functions =
+      trace::register_sleep_functions(system.functions(), 20,
+                                      SimTime::seconds(2));
+  system.start();
+  simulation.run_until(SimTime::minutes(3));
+
+  trace::FaasLoadGenerator::Config faas_cfg;
+  faas_cfg.rate_qps = 5.0;
+  faas_cfg.functions = functions;
+  trace::FaasLoadGenerator faas{
+      simulation, faas_cfg,
+      [&system](const std::string& fn) { (void)system.controller().submit(fn); },
+      sim::Rng{9}};
+  faas.start(SimTime::minutes(33));
+
+  // Churn: waves of HPC jobs preempt pilots throughout the load.
+  simulation.every(SimTime::minutes(4), [&system, &simulation] {
+    if (simulation.now() > SimTime::minutes(30)) return;
+    slurm::JobSpec spec;
+    spec.partition = "hpc";
+    spec.num_nodes = 4;
+    spec.time_limit = SimTime::minutes(2);
+    spec.actual_runtime = SimTime::minutes(2);
+    system.slurm().submit(spec);
+  });
+
+  simulation.run_until(SimTime::minutes(45));
+
+  std::size_t nonterminal = 0;
+  for (const auto& rec : system.controller().activations()) {
+    if (!whisk::is_terminal(rec.state)) ++nonterminal;
+  }
+  EXPECT_EQ(nonterminal, 0u)
+      << "every accepted activation must reach a terminal state";
+  // With graceful drains the overwhelming majority completes.
+  const auto& c = system.controller().counters();
+  EXPECT_GT(c.completed, c.accepted * 95 / 100);
+  EXPECT_EQ(c.accepted,
+            c.completed + c.failed + c.timed_out +
+                0 /* queued/running checked above */)
+      << "activation accounting must balance";
+}
+
+TEST(EndToEnd, FastLanePreservesWorkAcrossPreemption) {
+  Simulation simulation;
+  auto cfg = small_system(2, 5);
+  cfg.manager.invoker.max_concurrent = 1;  // force buffered backlog
+  core::HpcWhiskSystem system{simulation, cfg};
+  whisk::FunctionSpec slowfn =
+      whisk::fixed_duration_function("slowfn", SimTime::seconds(30));
+  slowfn.timeout = SimTime::minutes(15);  // outlive the preemption wave
+  system.functions().put(slowfn);
+  system.start();
+  simulation.run_until(SimTime::minutes(2));
+  ASSERT_GE(system.controller().healthy_count(), 1u);
+
+  // Queue several slow calls, then preempt everything.
+  std::vector<whisk::ActivationId> ids;
+  for (int i = 0; i < 6; ++i) {
+    const auto result = system.controller().submit("slowfn");
+    ASSERT_TRUE(result.accepted);
+    ids.push_back(result.activation);
+  }
+  simulation.after(SimTime::seconds(10), [&system] {
+    slurm::JobSpec spec;
+    spec.partition = "hpc";
+    spec.num_nodes = 2;
+    spec.time_limit = SimTime::minutes(3);
+    spec.actual_runtime = SimTime::minutes(3);
+    system.slurm().submit(spec);
+  });
+  simulation.run_until(SimTime::minutes(20));
+
+  // After the HPC wave passes, pilots return and every call completes.
+  std::size_t completed = 0, requeued = 0;
+  for (const auto id : ids) {
+    const auto& rec = system.controller().activation(id);
+    if (rec.state == whisk::ActivationState::kCompleted) ++completed;
+    requeued += rec.requeues;
+  }
+  EXPECT_EQ(completed, ids.size());
+  EXPECT_GT(requeued, 0u) << "the drain must have rerouted work";
+}
+
+TEST(EndToEnd, DeterministicForSeed) {
+  const auto run = [](std::uint64_t seed) {
+    Simulation simulation;
+    core::HpcWhiskSystem system{simulation, small_system(32, seed)};
+    const auto functions =
+        trace::register_sleep_functions(system.functions(), 10);
+    trace::HpcWorkloadGenerator workload{simulation, system.slurm(), {},
+                                         sim::Rng{seed}};
+    trace::FaasLoadGenerator faas{
+        simulation,
+        {.rate_qps = 5.0, .functions = functions},
+        [&system](const std::string& fn) {
+          (void)system.controller().submit(fn);
+        },
+        sim::Rng{seed + 1}};
+    workload.start();
+    system.start();
+    faas.start(SimTime::hours(1));
+    simulation.run_until(SimTime::hours(1));
+    const auto& c = system.controller().counters();
+    return std::tuple{c.submitted, c.completed, c.rejected_503, c.requeued,
+                      system.slurm().counters().started,
+                      system.slurm().counters().completed,
+                      system.manager().counters().preempted,
+                      system.manager().counters().started};
+  };
+  EXPECT_EQ(run(17), run(17));
+  EXPECT_NE(run(17), run(18));  // different seed changes the run
+}
+
+TEST(EndToEnd, NodeFailureIsAbsorbed) {
+  Simulation simulation;
+  core::HpcWhiskSystem system{simulation, small_system(4, 7)};
+  const auto functions =
+      trace::register_sleep_functions(system.functions(), 5);
+  system.start();
+  simulation.run_until(SimTime::minutes(2));
+  const std::size_t healthy_before = system.controller().healthy_count();
+  ASSERT_GE(healthy_before, 1u);
+
+  // Kill a node under a pilot: hard kill, no drain.
+  simulation.after(SimTime::seconds(1),
+                   [&system] { system.slurm().set_node_down(0); });
+  trace::FaasLoadGenerator faas{
+      simulation,
+      {.rate_qps = 5.0, .functions = functions},
+      [&system](const std::string& fn) {
+        (void)system.controller().submit(fn);
+      },
+      sim::Rng{8}};
+  faas.start(SimTime::minutes(10));
+  simulation.run_until(SimTime::minutes(12));
+
+  // The watchdog must have detected the silent invoker...
+  EXPECT_GE(system.controller().counters().unresponsive_detected, 1u);
+  // ...and the system keeps serving on the remaining nodes.
+  EXPECT_GT(system.controller().counters().completed, 0u);
+  std::size_t nonterminal = 0;
+  for (const auto& rec : system.controller().activations())
+    if (!whisk::is_terminal(rec.state)) ++nonterminal;
+  EXPECT_EQ(nonterminal, 0u);
+}
+
+}  // namespace
+}  // namespace hpcwhisk

@@ -1,0 +1,69 @@
+#include "hpcwhisk/mq/broker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hpcwhisk::mq {
+namespace {
+
+TEST(Broker, FastLaneExistsOnConstruction) {
+  Broker b;
+  EXPECT_EQ(b.fast_lane().name(), Broker::kFastLane);
+  EXPECT_NE(b.find(Broker::kFastLane), nullptr);
+}
+
+TEST(Broker, TopicCreatesOnDemand) {
+  Broker b;
+  EXPECT_EQ(b.find("x"), nullptr);
+  Topic& t = b.topic("x");
+  EXPECT_EQ(&b.topic("x"), &t);  // same instance on second access
+  EXPECT_EQ(b.find("x"), &t);
+}
+
+TEST(Broker, TopicPointersStable) {
+  Broker b;
+  Topic& first = b.topic("a");
+  for (int i = 0; i < 100; ++i) b.topic("t" + std::to_string(i));
+  EXPECT_EQ(&b.topic("a"), &first);
+}
+
+TEST(Broker, TopicNamesListsAll) {
+  Broker b;
+  b.topic("a");
+  b.topic("b");
+  const auto names = b.topic_names();
+  EXPECT_EQ(names.size(), 3u);  // a, b, fast-lane
+  EXPECT_EQ(b.topic_count(), 3u);
+}
+
+TEST(Broker, ConcurrentPublishConsumeIsSafe) {
+  Broker b;
+  Topic& t = b.topic("shared");
+  constexpr int kPerThread = 2000;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> producers;
+  for (int w = 0; w < kThreads; ++w) {
+    producers.emplace_back([&t, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Message m;
+        m.id = static_cast<std::uint64_t>(w) * kPerThread + i;
+        t.publish(std::move(m), sim::SimTime::zero());
+      }
+    });
+  }
+  std::size_t consumed = 0;
+  std::thread consumer{[&] {
+    while (consumed < kPerThread * kThreads) {
+      consumed += t.poll(64).size();
+    }
+  }};
+  for (auto& p : producers) p.join();
+  consumer.join();
+  EXPECT_EQ(consumed, static_cast<std::size_t>(kPerThread * kThreads));
+  EXPECT_TRUE(t.empty());
+}
+
+}  // namespace
+}  // namespace hpcwhisk::mq

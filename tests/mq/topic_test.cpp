@@ -1,0 +1,86 @@
+#include "hpcwhisk/mq/topic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcwhisk::mq {
+namespace {
+
+using sim::SimTime;
+
+Message make(std::uint64_t id, const std::string& key = "fn") {
+  Message m;
+  m.id = id;
+  m.key = key;
+  return m;
+}
+
+TEST(Topic, FifoOrder) {
+  Topic t{"t"};
+  for (std::uint64_t i = 0; i < 5; ++i) t.publish(make(i), SimTime::zero());
+  const auto msgs = t.poll(5);
+  ASSERT_EQ(msgs.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(msgs[i].id, i);
+}
+
+TEST(Topic, PollRespectsMaxCount) {
+  Topic t{"t"};
+  for (std::uint64_t i = 0; i < 10; ++i) t.publish(make(i), SimTime::zero());
+  EXPECT_EQ(t.poll(3).size(), 3u);
+  EXPECT_EQ(t.size(), 7u);
+}
+
+TEST(Topic, PollOnEmptyReturnsNothing) {
+  Topic t{"t"};
+  EXPECT_TRUE(t.poll(4).empty());
+  EXPECT_FALSE(t.poll_one().has_value());
+}
+
+TEST(Topic, PublishStampsFirstPublishOnce) {
+  Topic t{"t"};
+  t.publish(make(1), SimTime::seconds(10));
+  auto m = t.poll_one();
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->first_published, SimTime::seconds(10));
+  EXPECT_EQ(m->delivery_count, 1u);
+
+  // Re-publish (fast-lane reroute): first_published preserved, count bumped.
+  t.publish(*m, SimTime::seconds(20));
+  m = t.poll_one();
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->first_published, SimTime::seconds(10));
+  EXPECT_EQ(m->delivery_count, 2u);
+}
+
+TEST(Topic, DrainRemovesEverythingInOrder) {
+  Topic t{"t"};
+  for (std::uint64_t i = 0; i < 4; ++i) t.publish(make(i), SimTime::zero());
+  const auto drained = t.drain();
+  ASSERT_EQ(drained.size(), 4u);
+  EXPECT_EQ(drained.front().id, 0u);
+  EXPECT_EQ(drained.back().id, 3u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Topic, CountersTrackTraffic) {
+  Topic t{"t"};
+  for (std::uint64_t i = 0; i < 6; ++i) t.publish(make(i), SimTime::zero());
+  (void)t.poll(2);
+  (void)t.poll_one();
+  (void)t.drain();
+  const auto c = t.counters();
+  EXPECT_EQ(c.published, 6u);
+  EXPECT_EQ(c.consumed, 3u);
+  EXPECT_EQ(c.drained, 3u);
+}
+
+TEST(Topic, KeyAndNamePreserved) {
+  Topic t{"invoker-3"};
+  EXPECT_EQ(t.name(), "invoker-3");
+  t.publish(make(9, "pagerank"), SimTime::zero());
+  const auto m = t.poll_one();
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->key, "pagerank");
+}
+
+}  // namespace
+}  // namespace hpcwhisk::mq

@@ -1,0 +1,182 @@
+#include "hpcwhisk/sebs/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hpcwhisk::sebs {
+namespace {
+
+Graph path_graph(std::size_t n) {
+  // 0 -> 1 -> 2 -> ... -> n-1
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  std::vector<VertexId> targets;
+  for (std::size_t v = 0; v + 1 < n; ++v) {
+    targets.push_back(static_cast<VertexId>(v + 1));
+    offsets[v + 1] = offsets[v] + 1;
+  }
+  offsets[n] = targets.size();
+  return Graph{std::move(offsets), std::move(targets)};
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = path_graph(5);
+  const auto dist = bfs(g, 0);
+  for (std::uint32_t v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  const Graph g = path_graph(5);
+  const auto dist = bfs(g, 2);  // vertices 0,1 unreachable from 2
+  EXPECT_EQ(dist[0], kUnreachable);
+  EXPECT_EQ(dist[1], kUnreachable);
+  EXPECT_EQ(dist[2], 0u);
+  EXPECT_EQ(dist[4], 2u);
+}
+
+TEST(Bfs, SourceOutOfRangeThrows) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(bfs(g, 7), std::out_of_range);
+}
+
+TEST(Bfs, RandomGraphDistancesAreConsistent) {
+  const Graph g = make_uniform_graph(2000, 4.0, 5);
+  const auto dist = bfs(g, 0);
+  // Triangle-ish inequality: a neighbor's distance differs by at most 1
+  // going forward.
+  for (VertexId u = 0; u < 2000; ++u) {
+    if (dist[u] == kUnreachable) continue;
+    for (const VertexId* v = g.begin(u); v != g.end(u); ++v) {
+      ASSERT_NE(dist[*v], kUnreachable);
+      EXPECT_LE(dist[*v], dist[u] + 1);
+    }
+  }
+}
+
+TEST(DisjointSets, UniteAndFind) {
+  DisjointSets dsu{5};
+  EXPECT_EQ(dsu.set_count(), 5u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_FALSE(dsu.unite(1, 0));  // already joined
+  EXPECT_EQ(dsu.set_count(), 3u);
+  EXPECT_EQ(dsu.find(0), dsu.find(1));
+  EXPECT_NE(dsu.find(0), dsu.find(2));
+  EXPECT_TRUE(dsu.unite(0, 2));
+  EXPECT_EQ(dsu.find(3), dsu.find(1));
+}
+
+TEST(Mst, TriangleChoosesTwoLightest) {
+  std::vector<WeightedEdge> edges{{0, 1, 1}, {1, 2, 2}, {0, 2, 10}};
+  const auto result = mst(3, edges);
+  EXPECT_EQ(result.total_weight, 3u);
+  EXPECT_EQ(result.edges_used, 2u);
+  EXPECT_EQ(result.components, 1u);
+}
+
+TEST(Mst, DisconnectedGraphReportsComponents) {
+  std::vector<WeightedEdge> edges{{0, 1, 1}, {2, 3, 1}};
+  const auto result = mst(4, edges);
+  EXPECT_EQ(result.edges_used, 2u);
+  EXPECT_EQ(result.components, 2u);
+}
+
+TEST(Mst, GeneratedGraphIsSpanned) {
+  const auto edges = make_weighted_edges(1000, 3.0, 100, 6);
+  const auto result = mst(1000, edges);
+  EXPECT_EQ(result.edges_used, 999u);  // backbone guarantees connectivity
+  EXPECT_EQ(result.components, 1u);
+  EXPECT_GT(result.total_weight, 0u);
+}
+
+TEST(Mst, WeightNeverExceedsAnySpanningTree) {
+  // MST weight <= weight of the generator's backbone (a spanning tree).
+  const std::size_t n = 500;
+  const auto edges = make_weighted_edges(n, 5.0, 1000, 7);
+  std::uint64_t backbone = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) backbone += edges[i].weight;
+  const auto result = mst(n, edges);
+  EXPECT_LE(result.total_weight, backbone);
+}
+
+TEST(Pagerank, SumsToOne) {
+  const Graph g = make_preferential_graph(1000, 4, 8);
+  const auto rank = pagerank(g, 0.85, 30);
+  const double sum = std::accumulate(rank.begin(), rank.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Pagerank, UniformOnSymmetricCycle) {
+  // A directed cycle: every vertex must end with identical rank.
+  const std::size_t n = 10;
+  std::vector<std::uint64_t> offsets(n + 1);
+  std::vector<VertexId> targets(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets[v] = v;
+    targets[v] = static_cast<VertexId>((v + 1) % n);
+  }
+  offsets[n] = n;
+  const Graph g{std::move(offsets), std::move(targets)};
+  const auto rank = pagerank(g, 0.85, 50);
+  for (const double r : rank) EXPECT_NEAR(r, 0.1, 1e-9);
+}
+
+TEST(Pagerank, HubGainsRank) {
+  // Star: all vertices point to 0; vertex 0 must dominate.
+  const std::size_t n = 50;
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  std::vector<VertexId> targets;
+  for (std::size_t v = 1; v < n; ++v) targets.push_back(0);
+  for (std::size_t v = 1; v <= n; ++v)
+    offsets[v] = std::min<std::uint64_t>(targets.size(), v - 0);
+  offsets[0] = 0;
+  for (std::size_t v = 1; v <= n; ++v) offsets[v] = v - 1;
+  offsets[n] = targets.size();
+  const Graph g{std::move(offsets), std::move(targets)};
+  const auto rank = pagerank(g, 0.85, 40);
+  for (std::size_t v = 1; v < n; ++v) EXPECT_GT(rank[0], rank[v] * 5);
+}
+
+TEST(Pagerank, DanglingMassRedistributed) {
+  const Graph g = path_graph(3);  // vertex 2 is dangling
+  const auto rank = pagerank(g, 0.85, 50);
+  const double sum = std::accumulate(rank.begin(), rank.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Pagerank, RejectsBadParameters) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(pagerank(g, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(pagerank(g, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(pagerank(g, 0.85, 0), std::invalid_argument);
+}
+
+TEST(Graph, GeneratorsAreDeterministic) {
+  const Graph a = make_uniform_graph(500, 4.0, 9);
+  const Graph b = make_uniform_graph(500, 4.0, 9);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  const Graph c = make_uniform_graph(500, 4.0, 10);
+  // Different seed: overwhelmingly likely different edge count/content.
+  EXPECT_TRUE(a.num_edges() != c.num_edges() ||
+              !std::equal(a.begin(0), a.end(0), c.begin(0)));
+}
+
+TEST(Graph, CsrConsistencyValidated) {
+  EXPECT_THROW(Graph({0, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW(Graph({}, {}), std::invalid_argument);
+}
+
+TEST(Graph, PreferentialGraphHasSkewedDegrees) {
+  const Graph g = make_preferential_graph(5000, 3, 11);
+  std::size_t max_degree = 0;
+  double total = 0;
+  for (VertexId v = 0; v < 5000; ++v) {
+    max_degree = std::max(max_degree, g.out_degree(v));
+    total += static_cast<double>(g.out_degree(v));
+  }
+  const double avg = total / 5000.0;
+  EXPECT_GT(static_cast<double>(max_degree), avg * 10);  // heavy hub
+}
+
+}  // namespace
+}  // namespace hpcwhisk::sebs

@@ -1,0 +1,105 @@
+#include "hpcwhisk/sim/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace hpcwhisk::sim {
+namespace {
+
+std::vector<double> draw(const auto& dist, Rng& rng, int n) {
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(dist.sample(rng));
+  std::sort(xs.begin(), xs.end());
+  return xs;
+}
+
+TEST(LognormalFromQuantiles, MatchesMedianAndP95) {
+  // The paper's warm-up model: median 12.48 s, P95 26.5 s (Sec. IV-B).
+  const LognormalFromQuantiles d{12.48, 26.5, 0.95};
+  Rng rng{1};
+  const auto xs = draw(d, rng, 100001);
+  EXPECT_NEAR(xs[50000], 12.48, 0.4);
+  EXPECT_NEAR(xs[95000], 26.5, 1.2);
+}
+
+TEST(LognormalFromQuantiles, RejectsBadParameters) {
+  EXPECT_THROW((LognormalFromQuantiles{0.0, 1.0, 0.95}), std::invalid_argument);
+  EXPECT_THROW((LognormalFromQuantiles{2.0, 1.0, 0.95}), std::invalid_argument);
+  EXPECT_THROW((LognormalFromQuantiles{1.0, 2.0, 0.4}), std::invalid_argument);
+  EXPECT_THROW((LognormalFromQuantiles{1.0, 2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(BoundedPareto, StaysWithinBounds) {
+  const BoundedPareto d{1.1, 2.0, 100.0};
+  Rng rng{2};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(BoundedPareto, HeavyTail) {
+  const BoundedPareto d{1.0, 1.0, 1000.0};
+  Rng rng{3};
+  const auto xs = draw(d, rng, 100001);
+  // Median of bounded Pareto(alpha=1, 1, 1000) is ~2.
+  EXPECT_NEAR(xs[50000], 2.0, 0.2);
+  EXPECT_GT(xs[99000], 50.0);  // long tail present
+}
+
+TEST(BoundedPareto, RejectsBadParameters) {
+  EXPECT_THROW((BoundedPareto{0.0, 1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((BoundedPareto{1.0, 0.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((BoundedPareto{1.0, 3.0, 2.0}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, CdfInterpolatesLinearly) {
+  const EmpiricalCdf cdf{{{0.0, 0.1}, {10.0, 0.5}, {20.0, 1.0}}};
+  EXPECT_DOUBLE_EQ(cdf.cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(cdf.cdf(5.0), 0.3);
+  EXPECT_DOUBLE_EQ(cdf.cdf(15.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.cdf(20.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf(25.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileIsInverse) {
+  const EmpiricalCdf cdf{{{0.0, 0.1}, {10.0, 0.5}, {20.0, 1.0}}};
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.05), 0.0);  // below first knot
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 20.0);
+}
+
+TEST(EmpiricalCdf, SampleMatchesDistribution) {
+  const EmpiricalCdf cdf{{{0.0, 0.001}, {10.0, 0.5}, {20.0, 1.0}}};
+  Rng rng{4};
+  int below10 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (cdf.sample(rng) <= 10.0) ++below10;
+  EXPECT_NEAR(below10 / static_cast<double>(n), 0.5, 0.01);
+}
+
+TEST(EmpiricalCdf, RejectsNonMonotonicKnots) {
+  EXPECT_THROW((EmpiricalCdf{{{0.0, 0.5}, {1.0, 0.4}}}), std::invalid_argument);
+  EXPECT_THROW((EmpiricalCdf{{{2.0, 0.5}, {1.0, 1.0}}}), std::invalid_argument);
+  EXPECT_THROW((EmpiricalCdf{{{0.0, 0.5}, {1.0, 0.9}}}), std::invalid_argument);
+  EXPECT_THROW((EmpiricalCdf{{{0.0, 1.0}}}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, FitFromSamplesRoundTrips) {
+  std::vector<double> samples;
+  Rng rng{5};
+  for (int i = 0; i < 10000; ++i) samples.push_back(rng.uniform(0.0, 100.0));
+  const EmpiricalCdf cdf = fit_empirical_cdf(samples);
+  EXPECT_NEAR(cdf.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(cdf.cdf(25.0), 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::sim

@@ -1,0 +1,95 @@
+#include "hpcwhisk/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hpcwhisk::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), SimTime::max());
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(SimTime::seconds(3), [&] { fired.push_back(3); });
+  q.schedule(SimTime::seconds(1), [&] { fired.push_back(1); });
+  q.schedule(SimTime::seconds(2), [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFifoOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(SimTime::seconds(5), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().cb();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(SimTime::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.schedule(SimTime::seconds(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  const EventId id = q.schedule(SimTime::seconds(1), [] {});
+  q.pop().cb();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(SimTime::seconds(1), [] {});
+  q.schedule(SimTime::seconds(2), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), SimTime::seconds(2));
+}
+
+TEST(EventQueue, PopReturnsTime) {
+  EventQueue q;
+  q.schedule(SimTime::minutes(7), [] {});
+  EXPECT_EQ(q.pop().when, SimTime::minutes(7));
+}
+
+TEST(EventQueue, DefaultEventIdInvalid) {
+  EventId id;
+  EXPECT_FALSE(id.valid());
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, ManyInterleavedCancellations) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.schedule(SimTime::micros(i), [&] { ++fired; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  EXPECT_EQ(q.size(), 500u);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 500);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::sim

@@ -1,0 +1,154 @@
+#include "hpcwhisk/sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hpcwhisk::sim {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(SimTime::seconds(1).ticks(), 1'000'000);
+  EXPECT_EQ(SimTime::minutes(2).ticks(), 120'000'000);
+  EXPECT_EQ(SimTime::hours(1), SimTime::minutes(60));
+  EXPECT_EQ(SimTime::days(1), SimTime::hours(24));
+  EXPECT_DOUBLE_EQ(SimTime::minutes(90).to_hours(), 1.5);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::seconds(90);
+  const SimTime b = SimTime::minutes(1);
+  EXPECT_EQ(a - b, SimTime::seconds(30));
+  EXPECT_EQ(a + b, SimTime::seconds(150));
+  EXPECT_EQ(b * 3, SimTime::minutes(3));
+  EXPECT_EQ(a / b, 1);
+  EXPECT_EQ(a % b, SimTime::seconds(30));
+}
+
+TEST(SimTime, ToString) {
+  EXPECT_EQ(SimTime::seconds(1.5).to_string(), "1.500s");
+  EXPECT_EQ(SimTime::minutes(2).to_string(), "2m00.0s");
+  EXPECT_EQ(SimTime::hours(1.5).to_string(), "1h30m00.0s");
+}
+
+TEST(Simulation, ClockAdvancesWithEvents) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  SimTime seen;
+  sim.at(SimTime::seconds(5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::seconds(5));
+  EXPECT_EQ(sim.now(), SimTime::seconds(5));
+}
+
+TEST(Simulation, AfterIsRelative) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.at(SimTime::seconds(10), [&] {
+    sim.after(SimTime::seconds(5), [&] { times.push_back(sim.now().to_seconds()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 15.0);
+}
+
+TEST(Simulation, SchedulingInPastThrows) {
+  Simulation sim;
+  sim.at(SimTime::seconds(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(SimTime::seconds(5), [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryInclusive) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(SimTime::seconds(1), [&] { ++fired; });
+  sim.at(SimTime::seconds(2), [&] { ++fired; });
+  sim.at(SimTime::seconds(3), [&] { ++fired; });
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime::seconds(2));
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulation sim;
+  sim.run_until(SimTime::minutes(5));
+  EXPECT_EQ(sim.now(), SimTime::minutes(5));
+}
+
+TEST(Simulation, CancelledEventDoesNotFire) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.at(SimTime::seconds(1), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, PeriodicFiresAtInterval) {
+  Simulation sim;
+  std::vector<double> at;
+  auto handle = sim.every(SimTime::seconds(10), [&] { at.push_back(sim.now().to_seconds()); });
+  sim.run_until(SimTime::seconds(35));
+  handle.stop();
+  EXPECT_EQ(at, (std::vector<double>{10, 20, 30}));
+}
+
+TEST(Simulation, PeriodicStopsWhenHandleStopped) {
+  Simulation sim;
+  int count = 0;
+  auto handle = sim.every(SimTime::seconds(1), [&] { ++count; });
+  sim.run_until(SimTime::seconds(3));
+  handle.stop();
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(handle.active());
+}
+
+TEST(Simulation, PeriodicCanStopItself) {
+  Simulation sim;
+  int count = 0;
+  PeriodicHandle handle;
+  handle = sim.every(SimTime::seconds(1), [&] {
+    if (++count == 5) handle.stop();
+  });
+  sim.run_until(SimTime::minutes(1));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulation, ZeroIntervalPeriodicThrows) {
+  Simulation sim;
+  EXPECT_THROW(sim.every(SimTime::zero(), [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, StepExecutesExactlyOne) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(SimTime::seconds(1), [&] { ++fired; });
+  sim.at(SimTime::seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, EventsScheduledDuringRunAreExecuted) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.after(SimTime::micros(1), recurse);
+  };
+  sim.after(SimTime::micros(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+}
+
+TEST(Simulation, SettleToRejectsPendingEarlierEvents) {
+  Simulation sim;
+  sim.at(SimTime::seconds(1), [] {});
+  EXPECT_THROW(sim.settle_to(SimTime::seconds(2)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::sim

@@ -1,0 +1,99 @@
+#include "hpcwhisk/slurm/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcwhisk::slurm {
+namespace {
+
+using sim::SimTime;
+using sim::Simulation;
+
+TEST(Status, CompactNodeList) {
+  EXPECT_EQ(compact_node_list({}), "");
+  EXPECT_EQ(compact_node_list({5}), "5");
+  EXPECT_EQ(compact_node_list({0, 1, 2, 3}), "0-3");
+  EXPECT_EQ(compact_node_list({0, 1, 3, 5, 6, 7}), "0,1,3,5-7");
+  EXPECT_EQ(compact_node_list({2, 4, 6}), "2,4,6");
+}
+
+TEST(Status, SinfoShowsStates) {
+  Simulation sim;
+  Partition hpc;
+  hpc.name = "hpc";
+  hpc.priority_tier = 1;
+  Slurmctld ctld{sim, {.node_count = 4, .min_pass_gap = SimTime::zero()},
+                 {hpc}};
+  JobSpec spec;
+  spec.partition = "hpc";
+  spec.num_nodes = 2;
+  spec.time_limit = SimTime::minutes(30);
+  spec.actual_runtime = SimTime::minutes(30);
+  ctld.submit(spec);
+  sim.run_until(SimTime::minutes(1));
+  ctld.set_node_down(3);
+  const std::string sinfo = format_sinfo(ctld);
+  EXPECT_NE(sinfo.find("NODES 4"), std::string::npos);
+  EXPECT_NE(sinfo.find("hpc"), std::string::npos);
+  EXPECT_NE(sinfo.find("idle"), std::string::npos);
+  EXPECT_NE(sinfo.find("down"), std::string::npos);
+}
+
+TEST(Status, SqueueListsActiveAndPending) {
+  Simulation sim;
+  Partition hpc;
+  hpc.name = "hpc";
+  hpc.priority_tier = 1;
+  Slurmctld ctld{sim, {.node_count = 1, .min_pass_gap = SimTime::zero()},
+                 {hpc}};
+  JobSpec spec;
+  spec.partition = "hpc";
+  spec.num_nodes = 1;
+  spec.time_limit = SimTime::minutes(30);
+  spec.actual_runtime = SimTime::minutes(30);
+  ctld.submit(spec);
+  ctld.submit(spec);  // queued behind the first
+  sim.run_until(SimTime::minutes(1));
+  const std::string squeue = format_squeue(ctld);
+  EXPECT_NE(squeue.find("RUNNING"), std::string::npos);
+  EXPECT_NE(squeue.find("PENDING"), std::string::npos);
+  EXPECT_NE(squeue.find("JOBID"), std::string::npos);
+}
+
+TEST(Status, SqueueBoundsRows) {
+  Simulation sim;
+  Partition hpc;
+  hpc.name = "hpc";
+  hpc.priority_tier = 1;
+  Slurmctld ctld{sim, {.node_count = 1, .min_pass_gap = SimTime::zero()},
+                 {hpc}};
+  JobSpec spec;
+  spec.partition = "hpc";
+  spec.num_nodes = 1;
+  spec.time_limit = SimTime::minutes(30);
+  spec.actual_runtime = SimTime::minutes(30);
+  for (int i = 0; i < 30; ++i) ctld.submit(spec);
+  sim.run_until(SimTime::minutes(1));
+  const std::string squeue = format_squeue(ctld, 10);
+  EXPECT_NE(squeue.find("... and 20 more"), std::string::npos);
+}
+
+TEST(Status, CompletedJobsExcluded) {
+  Simulation sim;
+  Partition hpc;
+  hpc.name = "hpc";
+  hpc.priority_tier = 1;
+  Slurmctld ctld{sim, {.node_count = 1, .min_pass_gap = SimTime::zero()},
+                 {hpc}};
+  JobSpec spec;
+  spec.partition = "hpc";
+  spec.num_nodes = 1;
+  spec.time_limit = SimTime::minutes(5);
+  spec.actual_runtime = SimTime::minutes(5);
+  ctld.submit(spec);
+  sim.run_until(SimTime::minutes(10));
+  const std::string squeue = format_squeue(ctld);
+  EXPECT_EQ(squeue.find("COMPLETED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::slurm

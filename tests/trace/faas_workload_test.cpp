@@ -1,0 +1,119 @@
+#include "hpcwhisk/trace/faas_workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcwhisk::trace {
+namespace {
+
+using sim::Rng;
+using sim::SimTime;
+using sim::Simulation;
+
+TEST(FaasLoad, ConstantRateIssuesExpectedCount) {
+  Simulation sim;
+  whisk::FunctionRegistry registry;
+  const auto names = register_sleep_functions(registry, 4);
+  std::size_t calls = 0;
+  FaasLoadGenerator gen{sim,
+                        {.rate_qps = 10.0, .functions = names},
+                        [&calls](const std::string&) { ++calls; },
+                        Rng{1}};
+  gen.start(SimTime::minutes(1));
+  sim.run_until(SimTime::minutes(2));
+  EXPECT_EQ(calls, 600u);  // 10 QPS for 60 s: t = 0.1s .. 60.0s inclusive
+  EXPECT_EQ(gen.issued(), calls);
+}
+
+TEST(FaasLoad, RoundRobinCoversAllFunctions) {
+  Simulation sim;
+  whisk::FunctionRegistry registry;
+  const auto names = register_sleep_functions(registry, 5);
+  std::map<std::string, int> counts;
+  FaasLoadGenerator gen{sim,
+                        {.rate_qps = 5.0, .functions = names},
+                        [&counts](const std::string& fn) { ++counts[fn]; },
+                        Rng{2}};
+  gen.start(SimTime::seconds(100));
+  sim.run_until(SimTime::minutes(3));
+  ASSERT_EQ(counts.size(), 5u);
+  for (const auto& [fn, n] : counts) EXPECT_NEAR(n, 100, 2);
+}
+
+TEST(FaasLoad, PoissonMeanRateMatches) {
+  Simulation sim;
+  whisk::FunctionRegistry registry;
+  const auto names = register_sleep_functions(registry, 1);
+  std::size_t calls = 0;
+  FaasLoadGenerator gen{
+      sim,
+      {.rate_qps = 20.0, .poisson = true, .functions = names},
+      [&calls](const std::string&) { ++calls; },
+      Rng{3}};
+  gen.start(SimTime::minutes(10));
+  sim.run_until(SimTime::minutes(11));
+  EXPECT_NEAR(static_cast<double>(calls), 20.0 * 600, 300);
+}
+
+TEST(FaasLoad, StopsAtDeadline) {
+  Simulation sim;
+  whisk::FunctionRegistry registry;
+  const auto names = register_sleep_functions(registry, 1);
+  std::vector<double> call_times;
+  FaasLoadGenerator gen{sim,
+                        {.rate_qps = 2.0, .functions = names},
+                        [&call_times, &sim](const std::string&) {
+                          call_times.push_back(sim.now().to_seconds());
+                        },
+                        Rng{4}};
+  gen.start(SimTime::seconds(10));
+  sim.run_until(SimTime::minutes(1));
+  ASSERT_FALSE(call_times.empty());
+  EXPECT_LE(call_times.back(), 10.0);
+}
+
+TEST(FaasLoad, RejectsBadConfig) {
+  Simulation sim;
+  whisk::FunctionRegistry registry;
+  const auto names = register_sleep_functions(registry, 1);
+  EXPECT_THROW(FaasLoadGenerator(sim, {.rate_qps = 0.0, .functions = names},
+                                 [](const std::string&) {}, Rng{5}),
+               std::invalid_argument);
+  EXPECT_THROW(FaasLoadGenerator(sim, {.rate_qps = 1.0, .functions = {}},
+                                 [](const std::string&) {}, Rng{5}),
+               std::invalid_argument);
+  EXPECT_THROW(FaasLoadGenerator(sim, {.rate_qps = 1.0, .functions = names},
+                                 nullptr, Rng{5}),
+               std::invalid_argument);
+}
+
+TEST(SleepFunctions, RegisteredWithPaperParameters) {
+  whisk::FunctionRegistry registry;
+  const auto names = register_sleep_functions(registry, 100);
+  EXPECT_EQ(names.size(), 100u);
+  EXPECT_EQ(registry.size(), 100u);
+  // The paper's responsiveness functions: 10 ms fixed, distinct names so
+  // the hash router spreads them over invokers.
+  sim::Rng rng{1};
+  const auto& spec = registry.at(names.front());
+  EXPECT_EQ(spec.duration(rng), SimTime::millis(10));
+  EXPECT_NE(names[0], names[1]);
+}
+
+TEST(AzureMixFunctions, DurationsSpanOrdersOfMagnitude) {
+  whisk::FunctionRegistry registry;
+  sim::Rng rng{6};
+  const auto names = register_azure_mix_functions(registry, 200, rng);
+  EXPECT_EQ(names.size(), 200u);
+  // Sample one duration per function; the mix must include sub-second
+  // and multi-second functions (Azure: 50% < 3 s, 90% < 60 s).
+  sim::Rng sample_rng{7};
+  std::vector<double> durations;
+  for (const auto& name : names)
+    durations.push_back(registry.at(name).duration(sample_rng).to_seconds());
+  std::sort(durations.begin(), durations.end());
+  EXPECT_LT(durations.front(), 1.0);
+  EXPECT_GT(durations.back(), 3.0);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::trace

@@ -1,0 +1,76 @@
+// CPU-dilation model: concurrent CPU-bound executions beyond the node's
+// core count slow each other down.
+
+#include <gtest/gtest.h>
+
+#include "hpcwhisk/whisk/invoker.hpp"
+
+namespace hpcwhisk::whisk {
+namespace {
+
+using sim::Rng;
+using sim::SimTime;
+using sim::Simulation;
+
+struct Fixture {
+  Simulation sim;
+  mq::Broker broker;
+  FunctionRegistry registry;
+  Controller controller{sim, broker, registry};
+
+  Fixture() {
+    registry.put(fixed_duration_function("busy", SimTime::seconds(60)));
+  }
+
+  std::unique_ptr<Invoker> make(bool dilation, std::uint32_t cores) {
+    Invoker::Config cfg;
+    cfg.cpu_dilation = dilation;
+    cfg.cores = cores;
+    cfg.max_concurrent = 64;
+    cfg.pool.max_containers = 64;
+    return std::make_unique<Invoker>(sim, broker, registry, controller, cfg,
+                                     Rng{9});
+  }
+
+  double mean_exec_seconds() {
+    std::vector<double> xs;
+    for (const auto& rec : controller.activations()) {
+      if (rec.state != ActivationState::kCompleted) continue;
+      xs.push_back((rec.end_time - rec.start_time).to_seconds());
+    }
+    double sum = 0;
+    for (const double x : xs) sum += x;
+    return xs.empty() ? 0 : sum / static_cast<double>(xs.size());
+  }
+};
+
+TEST(CpuDilation, OversubscriptionSlowsExecutions) {
+  Fixture f;
+  auto inv = f.make(true, /*cores=*/2);
+  inv->start();
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(f.controller.submit("busy").accepted);
+  f.sim.run_until(SimTime::minutes(30));
+  // 8 concurrent CPU-bound executions on 2 cores: ~4x dilation.
+  EXPECT_GT(f.mean_exec_seconds(), 100.0);
+}
+
+TEST(CpuDilation, NoEffectUnderCoreCount) {
+  Fixture f;
+  auto inv = f.make(true, /*cores=*/24);
+  inv->start();
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(f.controller.submit("busy").accepted);
+  f.sim.run_until(SimTime::minutes(10));
+  EXPECT_NEAR(f.mean_exec_seconds(), 60.0, 1.0);
+}
+
+TEST(CpuDilation, DisabledMeansNominal) {
+  Fixture f;
+  auto inv = f.make(false, /*cores=*/1);
+  inv->start();
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(f.controller.submit("busy").accepted);
+  f.sim.run_until(SimTime::minutes(10));
+  EXPECT_NEAR(f.mean_exec_seconds(), 60.0, 1.0);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::whisk

@@ -1,0 +1,127 @@
+// Load-balancer policies: OpenWhisk-style hash probing plus the ablation
+// baselines.
+
+#include <gtest/gtest.h>
+
+#include "hpcwhisk/whisk/controller.hpp"
+
+namespace hpcwhisk::whisk {
+namespace {
+
+using sim::SimTime;
+using sim::Simulation;
+
+struct Fixture {
+  Simulation sim;
+  mq::Broker broker;
+  FunctionRegistry registry;
+
+  Fixture() {
+    registry.put(fixed_duration_function("fn", SimTime::millis(10)));
+    for (int i = 0; i < 8; ++i) {
+      registry.put(fixed_duration_function("fn-" + std::to_string(i),
+                                           SimTime::millis(10)));
+    }
+  }
+
+  Controller make(RouteMode mode, std::uint32_t slots = 4) {
+    Controller::Config cfg;
+    cfg.route_mode = mode;
+    cfg.invoker_slots = slots;
+    return Controller{sim, broker, registry, cfg};
+  }
+};
+
+std::size_t topic_size(Fixture& f, InvokerId id) {
+  return f.broker.topic(Controller::invoker_topic_name(id)).size();
+}
+
+TEST(Routing, HashOnlyAlwaysSameInvoker) {
+  Fixture f;
+  auto controller = f.make(RouteMode::kHashOnly);
+  for (int i = 0; i < 3; ++i) controller.register_invoker();
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(controller.submit("fn").accepted);
+  int with_messages = 0;
+  for (InvokerId id = 0; id < 3; ++id)
+    if (topic_size(f, id) > 0) ++with_messages;
+  EXPECT_EQ(with_messages, 1);
+}
+
+TEST(Routing, RoundRobinSpreadsEvenly) {
+  Fixture f;
+  auto controller = f.make(RouteMode::kRoundRobin);
+  for (int i = 0; i < 3; ++i) controller.register_invoker();
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(controller.submit("fn").accepted);
+  for (InvokerId id = 0; id < 3; ++id) EXPECT_EQ(topic_size(f, id), 4u);
+}
+
+TEST(Routing, LeastLoadedBalancesInFlight) {
+  Fixture f;
+  auto controller = f.make(RouteMode::kLeastLoaded);
+  for (int i = 0; i < 2; ++i) controller.register_invoker();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(controller.submit("fn").accepted);
+  EXPECT_EQ(controller.in_flight(0), 5u);
+  EXPECT_EQ(controller.in_flight(1), 5u);
+}
+
+TEST(Routing, HashProbingSticksToHomeUntilSaturated) {
+  Fixture f;
+  auto controller = f.make(RouteMode::kHashProbing, /*slots=*/4);
+  for (int i = 0; i < 3; ++i) controller.register_invoker();
+  // First 4 calls: all on the home invoker. The 5th overflows elsewhere.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(controller.submit("fn").accepted);
+  std::vector<std::size_t> sizes;
+  for (InvokerId id = 0; id < 3; ++id) sizes.push_back(topic_size(f, id));
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes[2], 4u);  // saturated home
+  EXPECT_EQ(sizes[1], 1u);  // one overflow
+  EXPECT_EQ(sizes[0], 0u);
+}
+
+TEST(Routing, HashProbingFallsBackWhenAllSaturated) {
+  Fixture f;
+  auto controller = f.make(RouteMode::kHashProbing, /*slots=*/2);
+  for (int i = 0; i < 2; ++i) controller.register_invoker();
+  // 2 invokers x 2 slots = 4; submit 6: last two go to the least loaded.
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(controller.submit("fn").accepted);
+  EXPECT_EQ(controller.in_flight(0) + controller.in_flight(1), 6u);
+  EXPECT_LE(controller.in_flight(0), 3u);
+  EXPECT_LE(controller.in_flight(1), 3u);
+}
+
+TEST(Routing, InFlightDropsOnCompletion) {
+  Fixture f;
+  auto controller = f.make(RouteMode::kHashProbing);
+  const InvokerId id = controller.register_invoker();
+  const auto result = controller.submit("fn");
+  EXPECT_EQ(controller.in_flight(id), 1u);
+  controller.activation_started(result.activation, id, false);
+  controller.activation_completed(result.activation);
+  EXPECT_EQ(controller.in_flight(id), 0u);
+}
+
+TEST(Routing, InFlightDropsOnTimeout) {
+  Fixture f;
+  auto controller = f.make(RouteMode::kHashProbing);
+  const InvokerId id = controller.register_invoker();
+  ASSERT_TRUE(controller.submit("fn").accepted);
+  EXPECT_EQ(controller.in_flight(id), 1u);
+  f.sim.run_until(SimTime::minutes(10));  // default timeout fires
+  EXPECT_EQ(controller.in_flight(id), 0u);
+}
+
+TEST(Routing, DistinctFunctionsSpreadUnderHashing) {
+  Fixture f;
+  auto controller = f.make(RouteMode::kHashOnly);
+  for (int i = 0; i < 4; ++i) controller.register_invoker();
+  for (int i = 0; i < 8; ++i)
+    ASSERT_TRUE(controller.submit("fn-" + std::to_string(i)).accepted);
+  // 8 distinct names over 4 invokers: at least 2 invokers see traffic.
+  int with_messages = 0;
+  for (InvokerId id = 0; id < 4; ++id)
+    if (topic_size(f, id) > 0) ++with_messages;
+  EXPECT_GE(with_messages, 2);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::whisk

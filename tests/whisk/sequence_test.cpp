@@ -1,0 +1,158 @@
+// Action sequences ("functions triggered by other functions", Sec. II)
+// and completion callbacks.
+
+#include <gtest/gtest.h>
+
+#include "hpcwhisk/whisk/invoker.hpp"
+
+namespace hpcwhisk::whisk {
+namespace {
+
+using sim::Rng;
+using sim::SimTime;
+using sim::Simulation;
+
+struct Fixture {
+  Simulation sim;
+  mq::Broker broker;
+  FunctionRegistry registry;
+  Controller controller{sim, broker, registry};
+  std::unique_ptr<Invoker> invoker;
+
+  Fixture() {
+    invoker = std::make_unique<Invoker>(sim, broker, registry, controller,
+                                        Invoker::Config{}, Rng{7});
+  }
+
+  void chain(const std::string& name, const std::string& next,
+             SimTime duration = SimTime::millis(20)) {
+    FunctionSpec spec = fixed_duration_function(name, duration);
+    spec.next = next;
+    registry.put(spec);
+  }
+};
+
+TEST(Sequence, ChainsNextFunctionOnCompletion) {
+  Fixture f;
+  f.chain("extract", "transform");
+  f.chain("transform", "load");
+  f.chain("load", "");
+  f.invoker->start();
+  const auto result = f.controller.submit("extract");
+  ASSERT_TRUE(result.accepted);
+  f.sim.run_until(SimTime::minutes(1));
+  // All three stages completed; 2 chained invocations were created.
+  EXPECT_EQ(f.controller.counters().sequence_invocations, 2u);
+  EXPECT_EQ(f.controller.counters().completed, 3u);
+  std::size_t completed = 0;
+  for (const auto& rec : f.controller.activations()) {
+    if (rec.state == ActivationState::kCompleted) ++completed;
+  }
+  EXPECT_EQ(completed, 3u);
+}
+
+TEST(Sequence, NoChainOnFailure) {
+  Fixture f;
+  f.chain("a", "b");
+  f.chain("b", "");
+  // No invoker at all: "a" is rejected (503), never chains.
+  const auto result = f.controller.submit("a");
+  EXPECT_FALSE(result.accepted);
+  f.sim.run_until(SimTime::minutes(1));
+  EXPECT_EQ(f.controller.counters().sequence_invocations, 0u);
+}
+
+TEST(Sequence, NoChainOnTimeout) {
+  Fixture f;
+  FunctionSpec slow = fixed_duration_function("slow", SimTime::minutes(10));
+  slow.timeout = SimTime::seconds(30);
+  slow.next = "never";
+  f.registry.put(slow);
+  f.chain("never", "");
+  f.invoker->start();
+  ASSERT_TRUE(f.controller.submit("slow").accepted);
+  f.sim.run_until(SimTime::minutes(2));
+  EXPECT_EQ(f.controller.counters().sequence_invocations, 0u);
+}
+
+TEST(Sequence, SurvivesWorkerChurnMidChain) {
+  Fixture f;
+  f.chain("first", "second", SimTime::seconds(30));
+  f.chain("second", "", SimTime::millis(20));
+  f.invoker->start();
+  ASSERT_TRUE(f.controller.submit("first").accepted);
+  // Drain the only invoker mid-execution of "first"; a replacement
+  // arrives and both stages still complete.
+  f.sim.run_until(SimTime::seconds(10));
+  f.invoker->sigterm([] {});
+  auto replacement = std::make_unique<Invoker>(
+      f.sim, f.broker, f.registry, f.controller, Invoker::Config{}, Rng{8});
+  replacement->start();
+  f.sim.run_until(SimTime::minutes(3));
+  EXPECT_EQ(f.controller.counters().sequence_invocations, 1u);
+  EXPECT_EQ(f.controller.counters().completed, 2u);
+}
+
+TEST(CompletionCallback, FiresOnceOnTerminalState) {
+  Fixture f;
+  f.registry.put(fixed_duration_function("fn", SimTime::millis(10)));
+  f.invoker->start();
+  const auto result = f.controller.submit("fn");
+  int fired = 0;
+  ActivationState seen{};
+  f.controller.on_completion(result.activation,
+                             [&](const ActivationRecord& rec) {
+                               ++fired;
+                               seen = rec.state;
+                             });
+  f.sim.run_until(SimTime::minutes(1));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(seen, ActivationState::kCompleted);
+}
+
+TEST(CompletionCallback, ImmediateIfAlreadyTerminal) {
+  Fixture f;
+  f.registry.put(fixed_duration_function("fn", SimTime::millis(10)));
+  f.invoker->start();
+  const auto result = f.controller.submit("fn");
+  f.sim.run_until(SimTime::minutes(1));
+  int fired = 0;
+  f.controller.on_completion(result.activation,
+                             [&](const ActivationRecord&) { ++fired; });
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(CompletionCallback, FiresOnTimeoutToo) {
+  Fixture f;
+  FunctionSpec fn = fixed_duration_function("fn", SimTime::millis(10));
+  fn.timeout = SimTime::seconds(10);
+  f.registry.put(fn);
+  // No invoker started: accepted activation times out.
+  f.controller.register_invoker();  // healthy entry but nobody pulls
+  const auto result = f.controller.submit("fn");
+  ASSERT_TRUE(result.accepted);
+  ActivationState seen{};
+  f.controller.on_completion(result.activation,
+                             [&](const ActivationRecord& rec) {
+                               seen = rec.state;
+                             });
+  f.sim.run_until(SimTime::minutes(1));
+  EXPECT_EQ(seen, ActivationState::kTimedOut);
+}
+
+TEST(CompletionCallback, MultipleCallbacksAllFire) {
+  Fixture f;
+  f.registry.put(fixed_duration_function("fn", SimTime::millis(10)));
+  f.invoker->start();
+  const auto result = f.controller.submit("fn");
+  int fired = 0;
+  for (int i = 0; i < 3; ++i) {
+    f.controller.on_completion(result.activation,
+                               [&](const ActivationRecord&) { ++fired; });
+  }
+  f.sim.run_until(SimTime::minutes(1));
+  EXPECT_EQ(fired, 3);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::whisk

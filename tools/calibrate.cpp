@@ -1,0 +1,143 @@
+// Calibration harness: runs the synthetic Prometheus workload (without
+// pilots unless --pilots) and prints the idleness statistics the trace
+// generator must match (Fig. 1 targets: mean 9.23 idle nodes, median 5,
+// P25 2, ~10% zero-idle time; idle periods median 2 min, P75 4 min,
+// mean ~5 min, 5% > 23 min).
+
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <iostream>
+
+#include "hpcwhisk/analysis/node_state_log.hpp"
+#include "hpcwhisk/analysis/report.hpp"
+#include "hpcwhisk/analysis/stats.hpp"
+#include "hpcwhisk/core/system.hpp"
+#include "hpcwhisk/trace/faas_workload.hpp"
+#include "hpcwhisk/trace/hpc_workload.hpp"
+
+using namespace hpcwhisk;
+
+int main(int argc, char** argv) {
+  bool pilots = false;
+  double hours = 24.0;
+  std::uint32_t nodes = 2239;
+  std::size_t backlog = 0;
+  std::size_t resdepth = 16;
+  double bigw = 1.0;   // weight multiplier for >32-node buckets
+  const char* model = "fib";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--pilots")) pilots = true;
+    else if (!std::strcmp(argv[i], "--hours")) hours = std::atof(argv[++i]);
+    else if (!std::strcmp(argv[i], "--nodes")) nodes = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--backlog")) backlog = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--model")) model = argv[++i];
+    else if (!std::strcmp(argv[i], "--resdepth")) resdepth = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--bigw")) bigw = std::atof(argv[++i]);
+  }
+
+  sim::Simulation simulation;
+  core::HpcWhiskSystem::Config cfg;
+  cfg.slurm.node_count = nodes;
+  cfg.slurm.backfill_depth = backlog > 0 ? backlog : 300;
+  cfg.slurm.reservation_depth = resdepth;
+  if (const char* v = std::getenv("CAL_GAP"))
+    cfg.slurm.min_pass_gap = sim::SimTime::seconds(std::atof(v));
+  if (const char* v = std::getenv("CAL_GUARD"))
+    cfg.slurm.pilot_min_idle = sim::SimTime::seconds(std::atof(v));
+  if (const char* v = std::getenv("CAL_VARPASS"))
+    cfg.slurm.var_pass_period = sim::SimTime::seconds(std::atof(v));
+  cfg.manager.model = std::strcmp(model, "var") == 0 ? core::SupplyModel::kVar
+                                                     : core::SupplyModel::kFib;
+  core::HpcWhiskSystem system{simulation, cfg};
+
+  trace::HpcWorkloadGenerator::Config wl;
+  if (backlog > 0) wl.backlog_target = backlog;
+  if (std::getenv("CAL_SAT") != nullptr)
+    wl.mode = trace::HpcWorkloadGenerator::Mode::kSaturated;
+  if (const char* v = std::getenv("CAL_MSPT")) wl.max_submits_per_tick = std::atoi(v);
+  if (const char* v = std::getenv("CAL_LULLP")) wl.lull_probability_per_tick = std::atof(v);
+  if (const char* v = std::getenv("CAL_LULLM")) wl.lull_mean = sim::SimTime::minutes(std::atof(v));
+  if (const char* v = std::getenv("CAL_LSCALE")) wl.limit_scale = std::atof(v);
+  if (const char* v = std::getenv("CAL_TICK")) wl.check_interval = sim::SimTime::seconds(std::atof(v));
+  (void)bigw;
+  trace::HpcWorkloadGenerator gen{simulation, system.slurm(), wl, sim::Rng{7}};
+
+  analysis::NodeStateLog log{nodes, sim::SimTime::zero()};
+  system.slurm().set_node_observer(
+      [&log](const slurm::NodeTransition& t) { log.record(t); });
+
+  gen.start();
+  if (pilots) system.start();
+
+  const auto t0 = sim::SimTime::zero();
+  const auto horizon = sim::SimTime::hours(hours);
+  const auto warm_until = sim::SimTime::hours(4);  // discard fill-up
+  simulation.run_until(horizon);
+  log.finalize(horizon);
+
+  // --- aggregate stats over the post-warm-up window ----------------------
+  const auto samples_all = log.sample_counts(sim::SimTime::seconds(10));
+  std::vector<analysis::StateCounts> samples;
+  for (const auto& s : samples_all)
+    if (s.at >= warm_until) samples.push_back(s);
+
+  std::vector<double> avail;
+  std::size_t zero = 0;
+  for (const auto& s : samples) {
+    avail.push_back(s.available());
+    if (s.available() == 0) ++zero;
+  }
+  const auto summary = analysis::summarize(avail);
+  std::printf("window: %.1fh..%.1fh, %zu samples\n", warm_until.to_hours(),
+              horizon.to_hours(), samples.size());
+  std::printf("available nodes: p25=%.0f p50=%.0f p75=%.0f avg=%.2f max=%.0f\n",
+              summary.p25, summary.p50, summary.p75, summary.avg, summary.max);
+  std::printf("zero-available share: %.2f%%\n",
+              100.0 * zero / std::max<std::size_t>(1, samples.size()));
+
+  // idle periods (idle+pilot merged = "originally idle"), observed the
+  // way the paper observes them: via the 10-second sampler.
+  std::vector<double> period_minutes;
+  for (const auto len : log.sampled_periods(
+           sim::SimTime::seconds(10),
+           {slurm::ObservedNodeState::kIdle, slurm::ObservedNodeState::kPilot})) {
+    period_minutes.push_back(len.to_minutes());
+  }
+  const auto ps = analysis::summarize(period_minutes);
+  std::printf("idle periods: n=%zu p25=%.2f p50=%.2f p75=%.2f avg=%.2f "
+              ">23min=%.1f%%\n",
+              period_minutes.size(), ps.p25, ps.p50, ps.p75, ps.avg,
+              100.0 * (1.0 - analysis::fraction_at_most(period_minutes, 23.0)));
+
+  if (std::getenv("CAL_SERIES")) {
+    std::vector<double> av;
+    for (const auto& sc : samples) av.push_back(sc.available());
+    analysis::print_series(std::cout, "available nodes", av, 10.0, 96);
+  }
+
+  std::printf("lulls entered: %zu\n", gen.lulls_entered());
+  const auto& c = system.slurm().counters();
+  std::printf("jobs: submitted=%llu started=%llu completed=%llu preempted=%llu "
+              "timedout=%llu passes=%llu\n",
+              (unsigned long long)c.submitted, (unsigned long long)c.started,
+              (unsigned long long)c.completed, (unsigned long long)c.preempted,
+              (unsigned long long)c.timed_out, (unsigned long long)c.sched_passes);
+
+  if (pilots) {
+    const auto report = analysis::slurm_level_report(samples);
+    std::printf("pilot coverage of available time: %.1f%% (unused %.1f%%)\n",
+                100 * report.coverage, 100 * report.unused);
+    std::printf("pilot workers: p25=%.0f p50=%.0f p75=%.0f avg=%.2f\n",
+                report.pilot_workers.p25, report.pilot_workers.p50,
+                report.pilot_workers.p75, report.pilot_workers.avg);
+    const auto& mc = system.manager().counters();
+    std::printf("pilots: submitted=%llu started=%llu preempted=%llu "
+                "timedout=%llu\n",
+                (unsigned long long)mc.submitted, (unsigned long long)mc.started,
+                (unsigned long long)mc.preempted,
+                (unsigned long long)mc.timed_out);
+  }
+  (void)t0;
+  return 0;
+}
