@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_grace"
+  "../bench/ablation_grace.pdb"
+  "CMakeFiles/ablation_grace.dir/ablation_grace.cpp.o"
+  "CMakeFiles/ablation_grace.dir/ablation_grace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_routing"
+  "../bench/ablation_routing.pdb"
+  "CMakeFiles/ablation_routing.dir/ablation_routing.cpp.o"
+  "CMakeFiles/ablation_routing.dir/ablation_routing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

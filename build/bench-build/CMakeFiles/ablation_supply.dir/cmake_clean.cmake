@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_supply"
+  "../bench/ablation_supply.pdb"
+  "CMakeFiles/ablation_supply.dir/ablation_supply.cpp.o"
+  "CMakeFiles/ablation_supply.dir/ablation_supply.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_supply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_scientific"
+  "../bench/extension_scientific.pdb"
+  "CMakeFiles/extension_scientific.dir/extension_scientific.cpp.o"
+  "CMakeFiles/extension_scientific.dir/extension_scientific.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_scientific.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_idleness.cpp" "bench-build/CMakeFiles/fig1_idleness.dir/fig1_idleness.cpp.o" "gcc" "bench-build/CMakeFiles/fig1_idleness.dir/fig1_idleness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/hw_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/hw_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/whisk/CMakeFiles/hw_whisk.dir/DependInfo.cmake"
+  "/root/repo/build/src/mq/CMakeFiles/hw_mq.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hw_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hw_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/slurm/CMakeFiles/hw_slurm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_idleness"
+  "../bench/fig1_idleness.pdb"
+  "CMakeFiles/fig1_idleness.dir/fig1_idleness.cpp.o"
+  "CMakeFiles/fig1_idleness.dir/fig1_idleness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_idleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

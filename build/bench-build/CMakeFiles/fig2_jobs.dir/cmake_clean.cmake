@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_jobs"
+  "../bench/fig2_jobs.pdb"
+  "CMakeFiles/fig2_jobs.dir/fig2_jobs.cpp.o"
+  "CMakeFiles/fig2_jobs.dir/fig2_jobs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5b_responsiveness"
+  "../bench/fig5b_responsiveness.pdb"
+  "CMakeFiles/fig5b_responsiveness.dir/fig5b_responsiveness.cpp.o"
+  "CMakeFiles/fig5b_responsiveness.dir/fig5b_responsiveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

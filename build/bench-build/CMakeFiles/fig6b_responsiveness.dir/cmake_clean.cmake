@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_responsiveness"
+  "../bench/fig6b_responsiveness.pdb"
+  "CMakeFiles/fig6b_responsiveness.dir/fig6b_responsiveness.cpp.o"
+  "CMakeFiles/fig6b_responsiveness.dir/fig6b_responsiveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

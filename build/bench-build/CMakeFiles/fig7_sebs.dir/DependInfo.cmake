@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_sebs.cpp" "bench-build/CMakeFiles/fig7_sebs.dir/fig7_sebs.cpp.o" "gcc" "bench-build/CMakeFiles/fig7_sebs.dir/fig7_sebs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sebs/CMakeFiles/hw_sebs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/hw_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/mq/CMakeFiles/hw_mq.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hw_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/whisk/CMakeFiles/hw_whisk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_sebs"
+  "../bench/fig7_sebs.pdb"
+  "CMakeFiles/fig7_sebs.dir/fig7_sebs.cpp.o"
+  "CMakeFiles/fig7_sebs.dir/fig7_sebs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sebs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

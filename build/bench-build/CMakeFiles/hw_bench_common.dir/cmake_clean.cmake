@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_bench_common.dir/common/experiment.cpp.o"
+  "CMakeFiles/hw_bench_common.dir/common/experiment.cpp.o.d"
+  "CMakeFiles/hw_bench_common.dir/common/responsiveness.cpp.o"
+  "CMakeFiles/hw_bench_common.dir/common/responsiveness.cpp.o.d"
+  "libhw_bench_common.a"
+  "libhw_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_lengths"
+  "../bench/table1_lengths.pdb"
+  "CMakeFiles/table1_lengths.dir/table1_lengths.cpp.o"
+  "CMakeFiles/table1_lengths.dir/table1_lengths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

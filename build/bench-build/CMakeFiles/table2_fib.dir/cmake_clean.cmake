@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_fib"
+  "../bench/table2_fib.pdb"
+  "CMakeFiles/table2_fib.dir/table2_fib.cpp.o"
+  "CMakeFiles/table2_fib.dir/table2_fib.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_fib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

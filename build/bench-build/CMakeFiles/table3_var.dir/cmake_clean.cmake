@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_var"
+  "../bench/table3_var.pdb"
+  "CMakeFiles/table3_var.dir/table3_var.cpp.o"
+  "CMakeFiles/table3_var.dir/table3_var.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_var.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/warmup_model"
+  "../bench/warmup_model.pdb"
+  "CMakeFiles/warmup_model.dir/warmup_model.cpp.o"
+  "CMakeFiles/warmup_model.dir/warmup_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warmup_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for warmup_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_client_fallback.dir/faas_client_fallback.cpp.o"
+  "CMakeFiles/faas_client_fallback.dir/faas_client_fallback.cpp.o.d"
+  "faas_client_fallback"
+  "faas_client_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_client_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joblength_tuning.dir/joblength_tuning.cpp.o"
+  "CMakeFiles/joblength_tuning.dir/joblength_tuning.cpp.o.d"
+  "joblength_tuning"
+  "joblength_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joblength_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

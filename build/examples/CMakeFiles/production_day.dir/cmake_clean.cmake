@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_day.dir/production_day.cpp.o"
+  "CMakeFiles/production_day.dir/production_day.cpp.o.d"
+  "production_day"
+  "production_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

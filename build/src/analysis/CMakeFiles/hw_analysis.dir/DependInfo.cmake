@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/src/clairvoyant.cpp" "src/analysis/CMakeFiles/hw_analysis.dir/src/clairvoyant.cpp.o" "gcc" "src/analysis/CMakeFiles/hw_analysis.dir/src/clairvoyant.cpp.o.d"
+  "/root/repo/src/analysis/src/node_state_log.cpp" "src/analysis/CMakeFiles/hw_analysis.dir/src/node_state_log.cpp.o" "gcc" "src/analysis/CMakeFiles/hw_analysis.dir/src/node_state_log.cpp.o.d"
+  "/root/repo/src/analysis/src/report.cpp" "src/analysis/CMakeFiles/hw_analysis.dir/src/report.cpp.o" "gcc" "src/analysis/CMakeFiles/hw_analysis.dir/src/report.cpp.o.d"
+  "/root/repo/src/analysis/src/stats.cpp" "src/analysis/CMakeFiles/hw_analysis.dir/src/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/hw_analysis.dir/src/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/slurm/CMakeFiles/hw_slurm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

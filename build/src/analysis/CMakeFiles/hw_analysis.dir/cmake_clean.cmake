@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_analysis.dir/src/clairvoyant.cpp.o"
+  "CMakeFiles/hw_analysis.dir/src/clairvoyant.cpp.o.d"
+  "CMakeFiles/hw_analysis.dir/src/node_state_log.cpp.o"
+  "CMakeFiles/hw_analysis.dir/src/node_state_log.cpp.o.d"
+  "CMakeFiles/hw_analysis.dir/src/report.cpp.o"
+  "CMakeFiles/hw_analysis.dir/src/report.cpp.o.d"
+  "CMakeFiles/hw_analysis.dir/src/stats.cpp.o"
+  "CMakeFiles/hw_analysis.dir/src/stats.cpp.o.d"
+  "libhw_analysis.a"
+  "libhw_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_cloud.dir/src/lambda_service.cpp.o"
+  "CMakeFiles/hw_cloud.dir/src/lambda_service.cpp.o.d"
+  "libhw_cloud.a"
+  "libhw_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/client_wrapper.cpp" "src/core/CMakeFiles/hw_core.dir/src/client_wrapper.cpp.o" "gcc" "src/core/CMakeFiles/hw_core.dir/src/client_wrapper.cpp.o.d"
+  "/root/repo/src/core/src/job_manager.cpp" "src/core/CMakeFiles/hw_core.dir/src/job_manager.cpp.o" "gcc" "src/core/CMakeFiles/hw_core.dir/src/job_manager.cpp.o.d"
+  "/root/repo/src/core/src/pilot.cpp" "src/core/CMakeFiles/hw_core.dir/src/pilot.cpp.o" "gcc" "src/core/CMakeFiles/hw_core.dir/src/pilot.cpp.o.d"
+  "/root/repo/src/core/src/system.cpp" "src/core/CMakeFiles/hw_core.dir/src/system.cpp.o" "gcc" "src/core/CMakeFiles/hw_core.dir/src/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mq/CMakeFiles/hw_mq.dir/DependInfo.cmake"
+  "/root/repo/build/src/slurm/CMakeFiles/hw_slurm.dir/DependInfo.cmake"
+  "/root/repo/build/src/whisk/CMakeFiles/hw_whisk.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hw_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/hw_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_core.dir/src/client_wrapper.cpp.o"
+  "CMakeFiles/hw_core.dir/src/client_wrapper.cpp.o.d"
+  "CMakeFiles/hw_core.dir/src/job_manager.cpp.o"
+  "CMakeFiles/hw_core.dir/src/job_manager.cpp.o.d"
+  "CMakeFiles/hw_core.dir/src/pilot.cpp.o"
+  "CMakeFiles/hw_core.dir/src/pilot.cpp.o.d"
+  "CMakeFiles/hw_core.dir/src/system.cpp.o"
+  "CMakeFiles/hw_core.dir/src/system.cpp.o.d"
+  "libhw_core.a"
+  "libhw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mq/src/broker.cpp" "src/mq/CMakeFiles/hw_mq.dir/src/broker.cpp.o" "gcc" "src/mq/CMakeFiles/hw_mq.dir/src/broker.cpp.o.d"
+  "/root/repo/src/mq/src/log.cpp" "src/mq/CMakeFiles/hw_mq.dir/src/log.cpp.o" "gcc" "src/mq/CMakeFiles/hw_mq.dir/src/log.cpp.o.d"
+  "/root/repo/src/mq/src/topic.cpp" "src/mq/CMakeFiles/hw_mq.dir/src/topic.cpp.o" "gcc" "src/mq/CMakeFiles/hw_mq.dir/src/topic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

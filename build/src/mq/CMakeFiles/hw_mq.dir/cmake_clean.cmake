@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_mq.dir/src/broker.cpp.o"
+  "CMakeFiles/hw_mq.dir/src/broker.cpp.o.d"
+  "CMakeFiles/hw_mq.dir/src/log.cpp.o"
+  "CMakeFiles/hw_mq.dir/src/log.cpp.o.d"
+  "CMakeFiles/hw_mq.dir/src/topic.cpp.o"
+  "CMakeFiles/hw_mq.dir/src/topic.cpp.o.d"
+  "libhw_mq.a"
+  "libhw_mq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_mq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_runtime.dir/src/container_pool.cpp.o"
+  "CMakeFiles/hw_runtime.dir/src/container_pool.cpp.o.d"
+  "CMakeFiles/hw_runtime.dir/src/runtime_profile.cpp.o"
+  "CMakeFiles/hw_runtime.dir/src/runtime_profile.cpp.o.d"
+  "libhw_runtime.a"
+  "libhw_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

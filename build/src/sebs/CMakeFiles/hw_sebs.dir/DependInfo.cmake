@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sebs/src/graph.cpp" "src/sebs/CMakeFiles/hw_sebs.dir/src/graph.cpp.o" "gcc" "src/sebs/CMakeFiles/hw_sebs.dir/src/graph.cpp.o.d"
+  "/root/repo/src/sebs/src/kernels.cpp" "src/sebs/CMakeFiles/hw_sebs.dir/src/kernels.cpp.o" "gcc" "src/sebs/CMakeFiles/hw_sebs.dir/src/kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_sebs.dir/src/graph.cpp.o"
+  "CMakeFiles/hw_sebs.dir/src/graph.cpp.o.d"
+  "CMakeFiles/hw_sebs.dir/src/kernels.cpp.o"
+  "CMakeFiles/hw_sebs.dir/src/kernels.cpp.o.d"
+  "libhw_sebs.a"
+  "libhw_sebs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_sebs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/distributions.cpp" "src/sim/CMakeFiles/hw_sim.dir/src/distributions.cpp.o" "gcc" "src/sim/CMakeFiles/hw_sim.dir/src/distributions.cpp.o.d"
+  "/root/repo/src/sim/src/event_queue.cpp" "src/sim/CMakeFiles/hw_sim.dir/src/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/hw_sim.dir/src/event_queue.cpp.o.d"
+  "/root/repo/src/sim/src/rng.cpp" "src/sim/CMakeFiles/hw_sim.dir/src/rng.cpp.o" "gcc" "src/sim/CMakeFiles/hw_sim.dir/src/rng.cpp.o.d"
+  "/root/repo/src/sim/src/simulation.cpp" "src/sim/CMakeFiles/hw_sim.dir/src/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/hw_sim.dir/src/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_sim.dir/src/distributions.cpp.o"
+  "CMakeFiles/hw_sim.dir/src/distributions.cpp.o.d"
+  "CMakeFiles/hw_sim.dir/src/event_queue.cpp.o"
+  "CMakeFiles/hw_sim.dir/src/event_queue.cpp.o.d"
+  "CMakeFiles/hw_sim.dir/src/rng.cpp.o"
+  "CMakeFiles/hw_sim.dir/src/rng.cpp.o.d"
+  "CMakeFiles/hw_sim.dir/src/simulation.cpp.o"
+  "CMakeFiles/hw_sim.dir/src/simulation.cpp.o.d"
+  "libhw_sim.a"
+  "libhw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slurm/src/slurmctld.cpp" "src/slurm/CMakeFiles/hw_slurm.dir/src/slurmctld.cpp.o" "gcc" "src/slurm/CMakeFiles/hw_slurm.dir/src/slurmctld.cpp.o.d"
+  "/root/repo/src/slurm/src/status.cpp" "src/slurm/CMakeFiles/hw_slurm.dir/src/status.cpp.o" "gcc" "src/slurm/CMakeFiles/hw_slurm.dir/src/status.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_slurm.dir/src/slurmctld.cpp.o"
+  "CMakeFiles/hw_slurm.dir/src/slurmctld.cpp.o.d"
+  "CMakeFiles/hw_slurm.dir/src/status.cpp.o"
+  "CMakeFiles/hw_slurm.dir/src/status.cpp.o.d"
+  "libhw_slurm.a"
+  "libhw_slurm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_slurm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

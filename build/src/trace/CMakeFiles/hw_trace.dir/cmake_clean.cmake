@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_trace.dir/src/faas_workload.cpp.o"
+  "CMakeFiles/hw_trace.dir/src/faas_workload.cpp.o.d"
+  "CMakeFiles/hw_trace.dir/src/hpc_workload.cpp.o"
+  "CMakeFiles/hw_trace.dir/src/hpc_workload.cpp.o.d"
+  "libhw_trace.a"
+  "libhw_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

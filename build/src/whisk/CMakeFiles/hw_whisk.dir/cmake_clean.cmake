@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_whisk.dir/src/controller.cpp.o"
+  "CMakeFiles/hw_whisk.dir/src/controller.cpp.o.d"
+  "CMakeFiles/hw_whisk.dir/src/function.cpp.o"
+  "CMakeFiles/hw_whisk.dir/src/function.cpp.o.d"
+  "CMakeFiles/hw_whisk.dir/src/invoker.cpp.o"
+  "CMakeFiles/hw_whisk.dir/src/invoker.cpp.o.d"
+  "libhw_whisk.a"
+  "libhw_whisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_whisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mq.dir/mq/broker_test.cpp.o"
+  "CMakeFiles/test_mq.dir/mq/broker_test.cpp.o.d"
+  "CMakeFiles/test_mq.dir/mq/log_test.cpp.o"
+  "CMakeFiles/test_mq.dir/mq/log_test.cpp.o.d"
+  "CMakeFiles/test_mq.dir/mq/topic_test.cpp.o"
+  "CMakeFiles/test_mq.dir/mq/topic_test.cpp.o.d"
+  "test_mq"
+  "test_mq.pdb"
+  "test_mq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sebs.dir/sebs/kernels_test.cpp.o"
+  "CMakeFiles/test_sebs.dir/sebs/kernels_test.cpp.o.d"
+  "test_sebs"
+  "test_sebs.pdb"
+  "test_sebs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sebs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

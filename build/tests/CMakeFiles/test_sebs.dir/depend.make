@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sebs.
+# This may be replaced when dependencies are built.

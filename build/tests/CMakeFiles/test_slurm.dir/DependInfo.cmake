@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/slurm/backfill_test.cpp" "tests/CMakeFiles/test_slurm.dir/slurm/backfill_test.cpp.o" "gcc" "tests/CMakeFiles/test_slurm.dir/slurm/backfill_test.cpp.o.d"
+  "/root/repo/tests/slurm/drain_test.cpp" "tests/CMakeFiles/test_slurm.dir/slurm/drain_test.cpp.o" "gcc" "tests/CMakeFiles/test_slurm.dir/slurm/drain_test.cpp.o.d"
+  "/root/repo/tests/slurm/preemption_test.cpp" "tests/CMakeFiles/test_slurm.dir/slurm/preemption_test.cpp.o" "gcc" "tests/CMakeFiles/test_slurm.dir/slurm/preemption_test.cpp.o.d"
+  "/root/repo/tests/slurm/slurmctld_test.cpp" "tests/CMakeFiles/test_slurm.dir/slurm/slurmctld_test.cpp.o" "gcc" "tests/CMakeFiles/test_slurm.dir/slurm/slurmctld_test.cpp.o.d"
+  "/root/repo/tests/slurm/status_test.cpp" "tests/CMakeFiles/test_slurm.dir/slurm/status_test.cpp.o" "gcc" "tests/CMakeFiles/test_slurm.dir/slurm/status_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slurm/CMakeFiles/hw_slurm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

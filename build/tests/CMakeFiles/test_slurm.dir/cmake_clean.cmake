@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slurm.dir/slurm/backfill_test.cpp.o"
+  "CMakeFiles/test_slurm.dir/slurm/backfill_test.cpp.o.d"
+  "CMakeFiles/test_slurm.dir/slurm/drain_test.cpp.o"
+  "CMakeFiles/test_slurm.dir/slurm/drain_test.cpp.o.d"
+  "CMakeFiles/test_slurm.dir/slurm/preemption_test.cpp.o"
+  "CMakeFiles/test_slurm.dir/slurm/preemption_test.cpp.o.d"
+  "CMakeFiles/test_slurm.dir/slurm/slurmctld_test.cpp.o"
+  "CMakeFiles/test_slurm.dir/slurm/slurmctld_test.cpp.o.d"
+  "CMakeFiles/test_slurm.dir/slurm/status_test.cpp.o"
+  "CMakeFiles/test_slurm.dir/slurm/status_test.cpp.o.d"
+  "test_slurm"
+  "test_slurm.pdb"
+  "test_slurm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slurm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/whisk/controller_test.cpp" "tests/CMakeFiles/test_whisk.dir/whisk/controller_test.cpp.o" "gcc" "tests/CMakeFiles/test_whisk.dir/whisk/controller_test.cpp.o.d"
+  "/root/repo/tests/whisk/function_test.cpp" "tests/CMakeFiles/test_whisk.dir/whisk/function_test.cpp.o" "gcc" "tests/CMakeFiles/test_whisk.dir/whisk/function_test.cpp.o.d"
+  "/root/repo/tests/whisk/invoker_dilation_test.cpp" "tests/CMakeFiles/test_whisk.dir/whisk/invoker_dilation_test.cpp.o" "gcc" "tests/CMakeFiles/test_whisk.dir/whisk/invoker_dilation_test.cpp.o.d"
+  "/root/repo/tests/whisk/invoker_test.cpp" "tests/CMakeFiles/test_whisk.dir/whisk/invoker_test.cpp.o" "gcc" "tests/CMakeFiles/test_whisk.dir/whisk/invoker_test.cpp.o.d"
+  "/root/repo/tests/whisk/routing_test.cpp" "tests/CMakeFiles/test_whisk.dir/whisk/routing_test.cpp.o" "gcc" "tests/CMakeFiles/test_whisk.dir/whisk/routing_test.cpp.o.d"
+  "/root/repo/tests/whisk/sequence_test.cpp" "tests/CMakeFiles/test_whisk.dir/whisk/sequence_test.cpp.o" "gcc" "tests/CMakeFiles/test_whisk.dir/whisk/sequence_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/whisk/CMakeFiles/hw_whisk.dir/DependInfo.cmake"
+  "/root/repo/build/src/mq/CMakeFiles/hw_mq.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hw_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_whisk.dir/whisk/controller_test.cpp.o"
+  "CMakeFiles/test_whisk.dir/whisk/controller_test.cpp.o.d"
+  "CMakeFiles/test_whisk.dir/whisk/function_test.cpp.o"
+  "CMakeFiles/test_whisk.dir/whisk/function_test.cpp.o.d"
+  "CMakeFiles/test_whisk.dir/whisk/invoker_dilation_test.cpp.o"
+  "CMakeFiles/test_whisk.dir/whisk/invoker_dilation_test.cpp.o.d"
+  "CMakeFiles/test_whisk.dir/whisk/invoker_test.cpp.o"
+  "CMakeFiles/test_whisk.dir/whisk/invoker_test.cpp.o.d"
+  "CMakeFiles/test_whisk.dir/whisk/routing_test.cpp.o"
+  "CMakeFiles/test_whisk.dir/whisk/routing_test.cpp.o.d"
+  "CMakeFiles/test_whisk.dir/whisk/sequence_test.cpp.o"
+  "CMakeFiles/test_whisk.dir/whisk/sequence_test.cpp.o.d"
+  "test_whisk"
+  "test_whisk.pdb"
+  "test_whisk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_whisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
