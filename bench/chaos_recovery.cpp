@@ -1,0 +1,156 @@
+// Chaos recovery bench: how completion rate, latency tail and recovery
+// time degrade as fault intensity grows. Sweeps a multiplier over a
+// mixed fault profile (node crashes, invoker stalls/crashes, mq windows)
+// with the workload held fixed; every run is checked against the
+// activation-conservation audit, so the numbers below are guaranteed to
+// account for every accepted activation.
+//
+//   HW_BENCH_QUICK=1  quarter-scale cluster and window
+//   HW_SEED=<n>       base RNG seed (default 1)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/experiment.hpp"
+#include "hpcwhisk/analysis/conservation.hpp"
+#include "hpcwhisk/fault/chaos_engine.hpp"
+
+using namespace hpcwhisk;
+
+namespace {
+
+struct RunResult {
+  std::uint64_t accepted{0};
+  std::uint64_t completed{0};
+  std::uint64_t timed_out{0};
+  std::uint64_t requeued{0};
+  std::uint64_t faults{0};
+  double completion_rate{0.0};
+  double p95_ms{0.0};
+  double mean_recovery_s{0.0};
+  std::uint64_t unrecovered{0};
+  bool audit_ok{false};
+};
+
+RunResult run(double intensity, bool quick, std::uint64_t seed) {
+  sim::Simulation simulation;
+  core::HpcWhiskSystem::Config cfg;
+  cfg.seed = seed;
+  cfg.slurm.node_count = quick ? 8 : 16;
+  cfg.slurm.min_pass_gap = sim::SimTime::zero();
+  cfg.manager.fib_lengths = core::job_length_set("C1");
+  cfg.manager.fib_per_length = quick ? 3 : 4;
+
+  const sim::SimTime load_end =
+      quick ? sim::SimTime::minutes(15) : sim::SimTime::hours(1);
+  if (intensity > 0.0) {
+    fault::FaultProfile profile;
+    profile.start = sim::SimTime::minutes(4);
+    profile.horizon = load_end - profile.start;
+    profile.node_crash_rate_per_hour = 4.0 * intensity;
+    profile.invoker_stall_rate_per_hour = 6.0 * intensity;
+    profile.invoker_crash_rate_per_hour = 4.0 * intensity;
+    profile.mq_fault_rate_per_hour = 6.0 * intensity;
+    profile.mean_outage = sim::SimTime::minutes(2);
+    profile.mean_stall = sim::SimTime::seconds(30);
+    cfg.faults = fault::FaultPlan::sample(profile, seed * 7919 + 17);
+  }
+
+  core::HpcWhiskSystem system{simulation, cfg};
+  analysis::ConservationAudit audit{system.controller()};
+  const auto functions = trace::register_sleep_functions(
+      system.functions(), 20, sim::SimTime::seconds(2));
+  system.start();
+  simulation.run_until(sim::SimTime::minutes(2));
+  trace::FaasLoadGenerator faas{
+      simulation,
+      {.rate_qps = quick ? 4.0 : 8.0, .functions = functions},
+      [&system](const std::string& fn) {
+        (void)system.controller().submit(fn);
+      },
+      sim::Rng{seed + 101}};
+  faas.start(load_end);
+  // Drain past the last client timeout (default 5 min) before auditing.
+  simulation.run_until(load_end + sim::SimTime::minutes(7));
+
+  RunResult out;
+  const auto& c = system.controller().counters();
+  out.accepted = c.accepted;
+  out.completed = c.completed;
+  out.timed_out = c.timed_out;
+  out.requeued = c.requeued;
+  out.completion_rate =
+      c.accepted == 0 ? 0.0
+                      : static_cast<double>(c.completed) /
+                            static_cast<double>(c.accepted);
+  std::vector<double> latencies_ms;
+  for (const auto& rec : system.controller().activations())
+    if (rec.state == whisk::ActivationState::kCompleted)
+      latencies_ms.push_back(rec.response_time().to_seconds() * 1000.0);
+  out.p95_ms =
+      latencies_ms.empty() ? 0.0 : analysis::percentile(latencies_ms, 0.95);
+
+  if (system.chaos() != nullptr) {
+    out.faults = system.chaos()->counters().applied;
+    double recovered_s = 0.0;
+    std::uint64_t recovered = 0;
+    for (const auto& f : system.chaos()->applied()) {
+      if (f.recovery == sim::SimTime::max()) {
+        ++out.unrecovered;
+      } else {
+        recovered_s += f.recovery.to_seconds();
+        ++recovered;
+      }
+    }
+    out.mean_recovery_s = recovered == 0 ? 0.0 : recovered_s / recovered;
+  }
+
+  const auto result = audit.finalize();
+  out.audit_ok = result.ok();
+  if (!result.ok()) std::cerr << result.report();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("HW_BENCH_QUICK") != nullptr;
+  const char* seed_env = std::getenv("HW_SEED");
+  const std::uint64_t seed =
+      seed_env == nullptr ? 1 : std::strtoull(seed_env, nullptr, 10);
+
+  const std::pair<const char*, double> sweep[] = {
+      {"none", 0.0}, {"low", 0.5}, {"medium", 1.0},
+      {"high", 2.0}, {"extreme", 4.0},
+  };
+
+  bool all_ok = true;
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [label, intensity] : sweep) {
+    const RunResult r = run(intensity, quick, seed);
+    all_ok = all_ok && r.audit_ok;
+    rows.push_back({
+        label,
+        std::to_string(r.faults),
+        std::to_string(r.accepted),
+        analysis::fmt_pct(r.completion_rate),
+        std::to_string(r.timed_out),
+        std::to_string(r.requeued),
+        analysis::fmt(r.p95_ms, 1),
+        analysis::fmt(r.mean_recovery_s, 1),
+        std::to_string(r.unrecovered),
+    });
+  }
+  analysis::print_table(
+      std::cout,
+      quick ? "chaos recovery vs fault intensity (quick: 8 nodes, 15 min)"
+            : "chaos recovery vs fault intensity (16 nodes, 1 h)",
+      {"intensity", "faults", "accepted", "completed", "timeouts", "requeued",
+       "p95 ms", "mean recovery s", "unrecovered"},
+      rows);
+  std::cout << "expected: completion stays high and p95 grows gracefully "
+               "with intensity —\nfaults cost retries and timeouts, never "
+               "lost activations (audit "
+            << (all_ok ? "OK" : "VIOLATED") << ").\n";
+  return all_ok ? 0 : 1;
+}

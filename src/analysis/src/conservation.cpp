@@ -1,0 +1,104 @@
+#include "hpcwhisk/analysis/conservation.hpp"
+
+#include <sstream>
+
+namespace hpcwhisk::analysis {
+
+ConservationAudit::ConservationAudit(whisk::Controller& controller)
+    : controller_{controller} {
+  controller_.set_terminal_observer(
+      [this](const whisk::ActivationRecord& rec) { ++terminal_seen_[rec.id]; });
+}
+
+ConservationAudit::Result ConservationAudit::finalize() const {
+  Result r;
+  const auto& counters = controller_.counters();
+  r.submitted = counters.submitted;
+
+  for (const whisk::ActivationRecord& rec : controller_.activations()) {
+    std::ostringstream v;
+    switch (rec.state) {
+      case whisk::ActivationState::kRejected503:
+        ++r.rejected_503;
+        // 503s are terminal at submit() and never pass the observer; an
+        // observer event for one means a rejected id was re-finished.
+        if (terminal_seen_.count(rec.id) > 0) {
+          v << "activation " << rec.id << ": rejected-503 yet saw "
+            << terminal_seen_.at(rec.id) << " terminal transition(s)";
+          r.violations.push_back(v.str());
+        }
+        continue;
+      case whisk::ActivationState::kCompleted:
+        ++r.completed;
+        break;
+      case whisk::ActivationState::kFailed:
+        ++r.failed;
+        break;
+      case whisk::ActivationState::kTimedOut:
+        ++r.timed_out;
+        break;
+      case whisk::ActivationState::kQueued:
+      case whisk::ActivationState::kRunning:
+        ++r.accepted;
+        ++r.in_flight;
+        v << "activation " << rec.id << ": accepted but never terminated"
+          << " (state=" << to_string(rec.state) << ")";
+        r.violations.push_back(v.str());
+        continue;
+    }
+    ++r.accepted;
+
+    const auto it = terminal_seen_.find(rec.id);
+    const std::uint32_t seen = it == terminal_seen_.end() ? 0 : it->second;
+    if (seen == 0) {
+      v << "activation " << rec.id << ": terminal ("
+        << to_string(rec.state) << ") without an observed transition";
+      r.violations.push_back(v.str());
+    } else if (seen > 1) {
+      ++r.double_terminal;
+      v << "activation " << rec.id << ": " << seen
+        << " terminal transitions (state=" << to_string(rec.state) << ")";
+      r.violations.push_back(v.str());
+    }
+  }
+
+  // Conservation at the ledger level: the controller's own counters must
+  // tell the same story as the per-record walk.
+  if (r.submitted != r.accepted + r.rejected_503) {
+    std::ostringstream v;
+    v << "counter mismatch: submitted=" << r.submitted << " != accepted="
+      << r.accepted << " + rejected_503=" << r.rejected_503;
+    r.violations.push_back(v.str());
+  }
+  if (r.accepted != r.completed + r.failed + r.timed_out + r.in_flight) {
+    std::ostringstream v;
+    v << "counter mismatch: accepted=" << r.accepted << " != completed="
+      << r.completed << " + failed=" << r.failed << " + timed_out="
+      << r.timed_out << " + in_flight=" << r.in_flight;
+    r.violations.push_back(v.str());
+  }
+  if (counters.completed != r.completed || counters.failed != r.failed ||
+      counters.timed_out != r.timed_out) {
+    std::ostringstream v;
+    v << "ledger mismatch: controller counted completed="
+      << counters.completed << "/failed=" << counters.failed
+      << "/timed_out=" << counters.timed_out << ", records show "
+      << r.completed << "/" << r.failed << "/" << r.timed_out;
+    r.violations.push_back(v.str());
+  }
+  return r;
+}
+
+std::string ConservationAudit::Result::report() const {
+  std::ostringstream out;
+  out << "conservation audit: " << (ok() ? "OK" : "VIOLATED") << "\n"
+      << "  submitted=" << submitted << " accepted=" << accepted
+      << " rejected_503=" << rejected_503 << "\n"
+      << "  completed=" << completed << " failed=" << failed
+      << " timed_out=" << timed_out << " in_flight=" << in_flight
+      << " double_terminal=" << double_terminal << "\n";
+  for (const std::string& v : violations) out << "  ! " << v << "\n";
+  return out.str();
+}
+
+}  // namespace hpcwhisk::analysis

@@ -97,6 +97,10 @@ class JobManager {
   [[nodiscard]] std::size_t queued() const { return queued_.size(); }
   [[nodiscard]] std::size_t active_pilots() const { return pilots_.size(); }
 
+  /// Live invokers of pilots in the serving phase, in slurm-job-id order
+  /// (deterministic). The chaos engine's invoker directory.
+  [[nodiscard]] std::vector<whisk::Invoker*> serving_invokers();
+
   /// Pilots currently in each phase (for the OW-level perspective).
   struct PhaseCounts {
     std::size_t warming_up{0};

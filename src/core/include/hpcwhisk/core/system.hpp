@@ -9,6 +9,7 @@
 #include "hpcwhisk/cloud/lambda_service.hpp"
 #include "hpcwhisk/core/client_wrapper.hpp"
 #include "hpcwhisk/core/job_manager.hpp"
+#include "hpcwhisk/fault/chaos_engine.hpp"
 #include "hpcwhisk/mq/broker.hpp"
 #include "hpcwhisk/sim/simulation.hpp"
 #include "hpcwhisk/slurm/slurmctld.hpp"
@@ -32,6 +33,11 @@ class HpcWhiskSystem {
     JobManager::Config manager;
     cloud::LambdaService::Config commercial;
     ClientWrapper::Config wrapper;
+    /// Fault plan replayed by an embedded ChaosEngine. An empty plan
+    /// (the default) constructs no engine and leaves every injection
+    /// seam — and the RNG fork order of existing runs — untouched.
+    fault::FaultPlan faults;
+    fault::ChaosEngine::Config chaos;  ///< plan field ignored; use `faults`
     std::uint64_t seed{1};
   };
 
@@ -42,8 +48,11 @@ class HpcWhiskSystem {
   HpcWhiskSystem(const HpcWhiskSystem&) = delete;
   HpcWhiskSystem& operator=(const HpcWhiskSystem&) = delete;
 
-  /// Starts the pilot job supply.
-  void start() { manager_->start(); }
+  /// Starts the pilot job supply (and arms the chaos engine, if any).
+  void start() {
+    manager_->start();
+    if (chaos_) chaos_->arm();
+  }
 
   whisk::FunctionRegistry& functions() { return registry_; }
   slurm::Slurmctld& slurm() { return *slurmctld_; }
@@ -52,6 +61,8 @@ class HpcWhiskSystem {
   mq::Broker& broker() { return broker_; }
   cloud::LambdaService& commercial() { return *commercial_; }
   ClientWrapper& client() { return *client_; }
+  /// Null when Config::faults was empty.
+  [[nodiscard]] fault::ChaosEngine* chaos() { return chaos_.get(); }
   [[nodiscard]] const whisk::FunctionRegistry& functions() const {
     return registry_;
   }
@@ -64,6 +75,7 @@ class HpcWhiskSystem {
   std::unique_ptr<JobManager> manager_;
   std::unique_ptr<cloud::LambdaService> commercial_;
   std::unique_ptr<ClientWrapper> client_;
+  std::unique_ptr<fault::ChaosEngine> chaos_;
 };
 
 }  // namespace hpcwhisk::core

@@ -133,6 +133,15 @@ void JobManager::stop() {
   for (const slurm::JobId id : ids) slurmctld_.cancel(id);
 }
 
+std::vector<whisk::Invoker*> JobManager::serving_invokers() {
+  std::vector<whisk::Invoker*> out;
+  for (auto& [id, pilot] : pilots_) {
+    if (pilot->phase() == PilotJob::Phase::kServing)
+      out.push_back(&pilot->invoker());
+  }
+  return out;
+}
+
 JobManager::PhaseCounts JobManager::phase_counts() const {
   PhaseCounts out;
   for (const auto& [id, pilot] : pilots_) {

@@ -32,6 +32,16 @@ HpcWhiskSystem::HpcWhiskSystem(sim::Simulation& simulation, Config config) {
       simulation, registry_, config.commercial, rng.fork());
   client_ = std::make_unique<ClientWrapper>(simulation, *controller_,
                                             *commercial_, config.wrapper);
+  if (!config.faults.empty()) {
+    // Forked last, and only when a plan exists: chaos-free runs draw the
+    // exact same RNG streams as before the engine existed.
+    fault::ChaosEngine::Config chaos = config.chaos;
+    chaos.plan = std::move(config.faults);
+    JobManager* manager = manager_.get();
+    chaos_ = std::make_unique<fault::ChaosEngine>(
+        simulation, *slurmctld_, *controller_, broker_, std::move(chaos),
+        [manager] { return manager->serving_invokers(); }, rng.fork());
+  }
 }
 
 }  // namespace hpcwhisk::core

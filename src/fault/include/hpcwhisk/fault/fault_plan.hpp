@@ -1,0 +1,99 @@
+#pragma once
+// Deterministic fault plans for the chaos engine.
+//
+// A FaultPlan is a list of fault events pinned to the virtual clock —
+// built by hand for targeted scenarios, or sampled from seeded Poisson
+// processes (FaultPlan::sample) for soak testing. Because the plan is
+// fixed before the run and every random draw comes from the seeded
+// sim::Rng, two runs with the same plan, workload and seed replay the
+// exact same failure history.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hpcwhisk/sim/time.hpp"
+
+namespace hpcwhisk::fault {
+
+enum class FaultKind : std::uint8_t {
+  kNodeCrash,     ///< slurm seam: fail_node() with truncated grace + outage
+  kInvokerStall,  ///< whisk seam: invoker freezes (no heartbeats), thaws later
+  kInvokerCrash,  ///< whisk seam: hard-kill a serving invoker, no hand-off
+  kMqDrop,        ///< mq seam: window during which publishes are dropped
+  kMqDelay,       ///< mq seam: window during which publishes are delayed
+  kMqDuplicate,   ///< mq seam: window during which publishes are duplicated
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+/// Sentinel target: the engine picks deterministically from the live
+/// population (pilot-held nodes / serving invokers) at fire time.
+inline constexpr std::uint32_t kAutoTarget = 0xFFFFFFFFu;
+
+struct FaultEvent {
+  sim::SimTime at;  ///< virtual time the fault fires
+  FaultKind kind{FaultKind::kNodeCrash};
+
+  // kNodeCrash: SIGTERM→SIGKILL warning actually granted, then how long
+  // the node stays down before set_node_up().
+  sim::SimTime grace{sim::SimTime::seconds(10)};
+  sim::SimTime outage{sim::SimTime::minutes(4)};
+
+  // kInvokerStall: freeze duration.
+  sim::SimTime stall{sim::SimTime::seconds(45)};
+
+  // kMq*: window length and per-publish fault probability within it.
+  sim::SimTime window{sim::SimTime::seconds(30)};
+  double probability{1.0};
+  sim::SimTime delay{sim::SimTime::seconds(5)};  ///< kMqDelay hold time
+  std::uint32_t copies{1};                       ///< kMqDuplicate extras
+
+  /// Node id (kNodeCrash) or serving-invoker index (kInvoker*);
+  /// kAutoTarget defers the pick to the engine.
+  std::uint32_t target{kAutoTarget};
+};
+
+/// Intensity knobs for sampled plans. Rates are per hour of the
+/// [start, start + horizon) window; 0 disables the class.
+struct FaultProfile {
+  sim::SimTime start{sim::SimTime::minutes(5)};
+  sim::SimTime horizon{sim::SimTime::hours(1)};
+  double node_crash_rate_per_hour{0.0};
+  double invoker_stall_rate_per_hour{0.0};
+  double invoker_crash_rate_per_hour{0.0};
+  double mq_fault_rate_per_hour{0.0};
+  sim::SimTime mean_outage{sim::SimTime::minutes(4)};
+  sim::SimTime mean_stall{sim::SimTime::seconds(45)};
+  /// Node crashes grant a uniform [0, this] truncated grace.
+  sim::SimTime truncated_grace_max{sim::SimTime::seconds(30)};
+  sim::SimTime mq_window{sim::SimTime::seconds(30)};
+  double mq_probability{0.3};
+  sim::SimTime mq_delay{sim::SimTime::seconds(5)};
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Appends an event (events need not be added in time order; the
+  /// engine sorts on arm()).
+  FaultPlan& add(FaultEvent ev);
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+
+  /// Samples a plan from seeded exponential interarrivals, one process
+  /// per fault class, then merges by time (stable: class order breaks
+  /// ties). Same profile + seed => identical plan, on every platform.
+  [[nodiscard]] static FaultPlan sample(const FaultProfile& profile,
+                                        std::uint64_t seed);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace hpcwhisk::fault

@@ -1,0 +1,105 @@
+#include "hpcwhisk/fault/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "hpcwhisk/sim/rng.hpp"
+
+namespace hpcwhisk::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kInvokerStall: return "invoker-stall";
+    case FaultKind::kInvokerCrash: return "invoker-crash";
+    case FaultKind::kMqDrop: return "mq-drop";
+    case FaultKind::kMqDelay: return "mq-delay";
+    case FaultKind::kMqDuplicate: return "mq-duplicate";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(FaultEvent ev) {
+  events_.push_back(ev);
+  return *this;
+}
+
+namespace {
+
+/// Walks one Poisson process over [start, start+horizon), invoking
+/// `emit` at each arrival. rate is per hour.
+template <typename Emit>
+void poisson_arrivals(sim::Rng& rng, const FaultProfile& p, double rate,
+                      Emit emit) {
+  if (rate <= 0.0) return;
+  const double mean_gap_s = 3600.0 / rate;
+  sim::SimTime t = p.start;
+  const sim::SimTime end = p.start + p.horizon;
+  for (;;) {
+    t += sim::SimTime::seconds(rng.exponential(mean_gap_s));
+    if (t >= end) return;
+    emit(t);
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::sample(const FaultProfile& profile, std::uint64_t seed) {
+  sim::Rng rng{seed};
+  FaultPlan plan;
+
+  // Classes are sampled in a fixed order, each from its own forked
+  // stream, so enabling one class never reshuffles another.
+  sim::Rng node_rng = rng.fork();
+  sim::Rng stall_rng = rng.fork();
+  sim::Rng crash_rng = rng.fork();
+  sim::Rng mq_rng = rng.fork();
+
+  poisson_arrivals(node_rng, profile, profile.node_crash_rate_per_hour,
+                   [&](sim::SimTime at) {
+                     FaultEvent ev;
+                     ev.at = at;
+                     ev.kind = FaultKind::kNodeCrash;
+                     ev.grace = sim::SimTime::seconds(node_rng.uniform(
+                         0.0, profile.truncated_grace_max.to_seconds()));
+                     ev.outage = sim::SimTime::seconds(
+                         node_rng.exponential(profile.mean_outage.to_seconds()));
+                     plan.add(ev);
+                   });
+  poisson_arrivals(stall_rng, profile, profile.invoker_stall_rate_per_hour,
+                   [&](sim::SimTime at) {
+                     FaultEvent ev;
+                     ev.at = at;
+                     ev.kind = FaultKind::kInvokerStall;
+                     ev.stall = sim::SimTime::seconds(
+                         stall_rng.exponential(profile.mean_stall.to_seconds()));
+                     plan.add(ev);
+                   });
+  poisson_arrivals(crash_rng, profile, profile.invoker_crash_rate_per_hour,
+                   [&](sim::SimTime at) {
+                     FaultEvent ev;
+                     ev.at = at;
+                     ev.kind = FaultKind::kInvokerCrash;
+                     plan.add(ev);
+                   });
+  poisson_arrivals(mq_rng, profile, profile.mq_fault_rate_per_hour,
+                   [&](sim::SimTime at) {
+                     FaultEvent ev;
+                     ev.at = at;
+                     switch (mq_rng.uniform_int(0, 2)) {
+                       case 0: ev.kind = FaultKind::kMqDrop; break;
+                       case 1: ev.kind = FaultKind::kMqDelay; break;
+                       default: ev.kind = FaultKind::kMqDuplicate; break;
+                     }
+                     ev.window = profile.mq_window;
+                     ev.probability = profile.mq_probability;
+                     ev.delay = profile.mq_delay;
+                     plan.add(ev);
+                   });
+
+  std::stable_sort(
+      plan.events_.begin(), plan.events_.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return plan;
+}
+
+}  // namespace hpcwhisk::fault

@@ -3,6 +3,7 @@
 // global "fast lane" topic that drained invokers re-publish into and that
 // every invoker polls before its own topic (Sec. III-C of the paper).
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -30,12 +31,21 @@ class Broker {
 
   Topic& fast_lane() { return *fast_lane_; }
 
+  /// Runs `hook` on every existing topic and on each topic created later
+  /// (invoker topics appear dynamically as pilots register). The chaos
+  /// engine uses this to install fault filters broker-wide. One hook at a
+  /// time; an empty function clears it.
+  void set_topic_hook(std::function<void(Topic&)> hook);
+
+  /// Names sorted lexicographically: the underlying map is unordered, so
+  /// sorting keeps logs and reports reproducible across platforms.
   [[nodiscard]] std::vector<std::string> topic_names() const;
   [[nodiscard]] std::size_t topic_count() const;
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<Topic>> topics_;
+  std::function<void(Topic&)> topic_hook_;
   Topic* fast_lane_{nullptr};
 };
 

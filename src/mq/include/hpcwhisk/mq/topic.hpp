@@ -5,15 +5,26 @@
 // Thread-safe: the simulator itself is single-threaded, but benchmark
 // harnesses drive independent brokers from worker threads, so the topic
 // guards its queue with a mutex (uncontended locks are cheap).
+//
+// Fault injection: an optional fault filter intercepts every publish and
+// may drop, delay, or duplicate the message — the broker-level failure
+// modes an at-least-once pipeline must survive. The filter is consulted
+// once per publish; delayed and duplicated copies are delivered through
+// an internal path that bypasses it, so a fault decision never cascades.
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "hpcwhisk/mq/message.hpp"
+
+namespace hpcwhisk::sim {
+class Simulation;
+}  // namespace hpcwhisk::sim
 
 namespace hpcwhisk::mq {
 
@@ -27,7 +38,7 @@ class Topic {
   [[nodiscard]] const std::string& name() const { return name_; }
 
   /// Appends a message to the tail. Stamps first_published on the first
-  /// publish and bumps delivery_count.
+  /// publish and bumps delivery_count. Subject to the fault filter.
   void publish(Message msg, sim::SimTime now);
 
   /// Pops up to `max_count` messages from the head (FIFO).
@@ -43,18 +54,46 @@ class Topic {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] bool empty() const { return size() == 0; }
 
+  // --- Fault injection -----------------------------------------------------
+
+  /// What the fault filter decided for one publish. Default = deliver
+  /// normally. `drop` wins over the other fields.
+  struct FaultAction {
+    bool drop{false};
+    /// Extra copies enqueued beyond the original (at-least-once
+    /// duplication, e.g. a producer retry after a lost ack).
+    std::uint32_t extra_copies{0};
+    /// Delivery delay; requires a simulation to schedule against (the
+    /// message is delivered whole after the delay, copies included).
+    sim::SimTime delay{sim::SimTime::zero()};
+  };
+  using FaultFilter = std::function<FaultAction(const Message&)>;
+
+  /// Installs (or, with an empty function, removes) the fault filter.
+  /// `simulation` is required for delayed delivery; without it, delays
+  /// degrade to immediate delivery.
+  void set_fault_filter(FaultFilter filter, sim::Simulation* simulation);
+
   /// Lifetime counters (monotonic).
   struct Counters {
     std::uint64_t published{0};
     std::uint64_t consumed{0};
     std::uint64_t drained{0};
+    std::uint64_t fault_dropped{0};
+    std::uint64_t fault_delayed{0};
+    std::uint64_t fault_duplicated{0};  ///< extra copies enqueued
   };
   [[nodiscard]] Counters counters() const;
 
  private:
+  /// Enqueues one copy, bypassing the fault filter.
+  void deliver(Message msg, sim::SimTime now);
+
   const std::string name_;
   mutable std::mutex mu_;
   std::deque<Message> queue_;
+  FaultFilter fault_filter_;
+  sim::Simulation* sim_{nullptr};
   Counters counters_;
 };
 

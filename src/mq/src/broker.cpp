@@ -1,16 +1,26 @@
 #include "hpcwhisk/mq/broker.hpp"
 
+#include <algorithm>
+
 namespace hpcwhisk::mq {
 
 Broker::Broker() { fast_lane_ = &topic(kFastLane); }
 
 Topic& Broker::topic(const std::string& name) {
-  std::lock_guard lock{mu_};
-  auto it = topics_.find(name);
-  if (it == topics_.end()) {
-    it = topics_.emplace(name, std::make_unique<Topic>(name)).first;
+  Topic* created = nullptr;
+  Topic* result = nullptr;
+  {
+    std::lock_guard lock{mu_};
+    auto it = topics_.find(name);
+    if (it == topics_.end()) {
+      it = topics_.emplace(name, std::make_unique<Topic>(name)).first;
+      created = it->second.get();
+    }
+    result = it->second.get();
   }
-  return *it->second;
+  // The hook runs outside the broker lock so it may take the topic's own.
+  if (created != nullptr && topic_hook_) topic_hook_(*created);
+  return *result;
 }
 
 Topic* Broker::find(const std::string& name) {
@@ -19,11 +29,24 @@ Topic* Broker::find(const std::string& name) {
   return it == topics_.end() ? nullptr : it->second.get();
 }
 
+void Broker::set_topic_hook(std::function<void(Topic&)> hook) {
+  std::vector<Topic*> existing;
+  {
+    std::lock_guard lock{mu_};
+    topic_hook_ = std::move(hook);
+    if (!topic_hook_) return;
+    existing.reserve(topics_.size());
+    for (const auto& [name, t] : topics_) existing.push_back(t.get());
+  }
+  for (Topic* t : existing) topic_hook_(*t);
+}
+
 std::vector<std::string> Broker::topic_names() const {
   std::lock_guard lock{mu_};
   std::vector<std::string> names;
   names.reserve(topics_.size());
   for (const auto& [name, _] : topics_) names.push_back(name);
+  std::sort(names.begin(), names.end());
   return names;
 }
 

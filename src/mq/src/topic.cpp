@@ -1,13 +1,59 @@
 #include "hpcwhisk/mq/topic.hpp"
 
+#include "hpcwhisk/sim/simulation.hpp"
+
 namespace hpcwhisk::mq {
 
 void Topic::publish(Message msg, sim::SimTime now) {
+  FaultAction action;
+  bool filtered = false;
+  {
+    std::lock_guard lock{mu_};
+    if (fault_filter_) {
+      action = fault_filter_(msg);
+      filtered = true;
+    }
+  }
+  if (!filtered) {
+    deliver(std::move(msg), now);
+    return;
+  }
+  if (action.drop) {
+    std::lock_guard lock{mu_};
+    ++counters_.fault_dropped;
+    return;
+  }
+  const std::uint32_t copies = 1 + action.extra_copies;
+  {
+    std::lock_guard lock{mu_};
+    counters_.fault_duplicated += action.extra_copies;
+    if (action.delay > sim::SimTime::zero() && sim_ != nullptr)
+      ++counters_.fault_delayed;
+  }
+  if (action.delay > sim::SimTime::zero() && sim_ != nullptr) {
+    sim::Simulation* simulation = sim_;
+    for (std::uint32_t i = 0; i < copies; ++i) {
+      simulation->after(action.delay, [this, simulation, msg] {
+        deliver(msg, simulation->now());
+      });
+    }
+    return;
+  }
+  for (std::uint32_t i = 0; i < copies; ++i) deliver(msg, now);
+}
+
+void Topic::deliver(Message msg, sim::SimTime now) {
   std::lock_guard lock{mu_};
   if (msg.delivery_count == 0) msg.first_published = now;
   ++msg.delivery_count;
   queue_.push_back(std::move(msg));
   ++counters_.published;
+}
+
+void Topic::set_fault_filter(FaultFilter filter, sim::Simulation* simulation) {
+  std::lock_guard lock{mu_};
+  fault_filter_ = std::move(filter);
+  sim_ = simulation;
 }
 
 std::vector<Message> Topic::poll(std::size_t max_count) {

@@ -117,6 +117,12 @@ class Slurmctld {
   /// Failure injection: marks a node down, killing whatever ran there
   /// (no grace — models a hardware failure). No-op if already down.
   void set_node_down(NodeId id);
+  /// Failure injection with a *truncated* grace: the running job gets
+  /// SIGTERM now and SIGKILL after `grace` (instead of the partition's
+  /// full grace) — a node dying with only seconds of warning. The node
+  /// leaves service once the job is gone and stays down until
+  /// set_node_up(). `grace` <= 0 degrades to set_node_down().
+  void fail_node(NodeId id, sim::SimTime grace);
   /// Returns a down node to service (idle).
   void set_node_up(NodeId id);
 
@@ -211,7 +217,11 @@ class Slurmctld {
 
   void launch(JobRecord& rec, std::vector<NodeId> nodes,
               sim::SimTime granted_limit);
-  void begin_grace(JobRecord& rec, bool preemption);
+  /// Starts the SIGTERM→SIGKILL grace window attributing it to `reason`.
+  /// `grace_override` (when not max()) truncates the partition's grace —
+  /// the fault-injection path for nodes failing with little warning.
+  void begin_grace(JobRecord& rec, EndReason reason,
+                   sim::SimTime grace_override = sim::SimTime::max());
   void finish_job(JobRecord& rec, EndReason reason);
   void free_nodes(const JobRecord& rec);
   void announce(NodeId node);

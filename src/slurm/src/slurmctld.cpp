@@ -123,7 +123,7 @@ bool Slurmctld::cancel(JobId id) {
       finish_job(rec, EndReason::kCancelled);
       return true;
     case JobState::kRunning:
-      begin_grace(rec, /*preemption=*/false);
+      begin_grace(rec, EndReason::kTimeLimit);
       return true;
     case JobState::kCompleting:
       return true;  // already on its way out
@@ -170,6 +170,24 @@ void Slurmctld::set_node_down(NodeId id) {
   node.running_job = 0;
   announce(id);
   request_schedule();
+}
+
+void Slurmctld::fail_node(NodeId id, sim::SimTime grace) {
+  Node& node = nodes_.at(id);
+  if (node.state == NodeState::kDown) return;
+  if (grace <= sim::SimTime::zero() || node.state != NodeState::kAllocated) {
+    set_node_down(id);
+    return;
+  }
+  JobRecord& rec = jobs_.at(node.running_job);
+  ++counters_.node_failures;
+  // Like a maintenance drain, the node leaves service once its job is
+  // gone — but here the job is being killed on a truncated clock.
+  draining_[id] = true;
+  if (rec.state == JobState::kRunning)
+    begin_grace(rec, EndReason::kNodeFailed, grace);
+  // kCompleting: a grace window is already running with an earlier-or-
+  // equal partition deadline; the node goes down when the job leaves.
 }
 
 void Slurmctld::set_node_up(NodeId id) {
@@ -513,7 +531,7 @@ bool Slurmctld::try_start_hpc(JobRecord& rec, PassCache& cache,
   for (const NodeId n : victim_nodes) {
     JobRecord& victim = jobs_.at(nodes_.at(n).running_job);
     if (victim.state == JobState::kRunning)
-      begin_grace(victim, /*preemption=*/true);
+      begin_grace(victim, EndReason::kPreempted);
     // kCompleting victims are already draining; the claim waits for them.
   }
   return true;
@@ -626,7 +644,7 @@ void Slurmctld::launch(JobRecord& rec, std::vector<NodeId> nodes,
     // too — Sec. III-C: "because of eviction or timeout").
     end_events_[id] = sim_.at(at_limit, [this, id] {
       end_events_.erase(id);
-      begin_grace(jobs_.at(id), /*preemption=*/false);
+      begin_grace(jobs_.at(id), EndReason::kTimeLimit);
     });
   }
 
@@ -642,15 +660,18 @@ void Slurmctld::launch(JobRecord& rec, std::vector<NodeId> nodes,
   }
 }
 
-void Slurmctld::begin_grace(JobRecord& rec, bool preemption) {
+void Slurmctld::begin_grace(JobRecord& rec, EndReason reason,
+                            sim::SimTime grace_override) {
   assert(rec.state == JobState::kRunning);
   const sim::SimTime now = sim_.now();
   const Partition& part = partition_of(rec);
+  sim::SimTime grace = part.grace_time;
+  if (grace_override != sim::SimTime::max())
+    grace = std::min(grace, grace_override);
   rec.state = JobState::kCompleting;
-  rec.grace_reason =
-      preemption ? EndReason::kPreempted : EndReason::kTimeLimit;
+  rec.grace_reason = reason;
   // end_time doubles as the SIGKILL deadline while completing.
-  rec.end_time = now + part.grace_time;
+  rec.end_time = now + grace;
 
   // The natural-end event no longer applies (we are being terminated);
   // unless the job would finish on its own before the SIGKILL deadline.
@@ -671,11 +692,9 @@ void Slurmctld::begin_grace(JobRecord& rec, bool preemption) {
     });
   }
 
-  const EndReason kill_reason =
-      preemption ? EndReason::kPreempted : EndReason::kTimeLimit;
-  kill_events_[id] = sim_.at(rec.end_time, [this, id, kill_reason] {
+  kill_events_[id] = sim_.at(rec.end_time, [this, id, reason] {
     kill_events_.erase(id);
-    finish_job(jobs_.at(id), kill_reason);
+    finish_job(jobs_.at(id), reason);
   });
 
   if (rec.spec.on_sigterm) rec.spec.on_sigterm(rec);

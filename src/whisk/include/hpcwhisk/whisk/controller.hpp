@@ -154,6 +154,15 @@ class Controller {
   /// input to the Alg. 1 client wrapper.
   [[nodiscard]] sim::SimTime last_503_time() const { return last_503_; }
 
+  /// Audit hook: fires on every terminal transition made through the
+  /// normal lifecycle (completed / failed / timed-out), after bookkeeping
+  /// and before completion callbacks. Immediate 503 rejections never pass
+  /// through it — they are terminal at submit(). One observer at a time.
+  using TerminalObserver = std::function<void(const ActivationRecord&)>;
+  void set_terminal_observer(TerminalObserver cb) {
+    terminal_observer_ = std::move(cb);
+  }
+
  private:
   struct InvokerEntry {
     InvokerHealth health{InvokerHealth::kHealthy};
@@ -168,7 +177,13 @@ class Controller {
   ActivationRecord& record(ActivationId id);
   void finish(ActivationRecord& rec, ActivationState state);
   void watchdog_sweep();
-  void move_backlog_to_fast_lane(InvokerId id);
+  /// Returns the ids of the activations it re-published.
+  std::vector<ActivationId> move_backlog_to_fast_lane(InvokerId id);
+  /// Re-submits in-flight activations of a vanished invoker (pulled into
+  /// its buffer or mid-execution when it died) to the fast lane, skipping
+  /// ids in `already_rescued` (its unpulled backlog, rescued separately).
+  void rescue_in_flight(InvokerId id,
+                        const std::vector<ActivationId>& already_rescued);
 
   sim::Simulation& sim_;
   mq::Broker& broker_;
@@ -182,6 +197,7 @@ class Controller {
   InvokerId next_invoker_id_{0};
   std::size_t round_robin_next_{0};
   sim::SimTime last_503_{sim::SimTime::zero()};
+  TerminalObserver terminal_observer_;
   Counters counters_;
 };
 

@@ -70,16 +70,32 @@ class Invoker {
   void start();
 
   /// SIGTERM: runs the drain hand-off; `on_drained` fires when the last
-  /// local work item left (immediately if there is none).
+  /// local work item left (immediately if there is none). A stalled
+  /// invoker ignores SIGTERM — the frozen process cannot run the
+  /// hand-off, so only the pilot's eventual SIGKILL ends it.
   void sigterm(std::function<void()> on_drained);
 
   /// SIGKILL without hand-off: everything local is lost.
   void hard_kill();
 
+  /// Fault injection: freezes the invoker for `duration` — no polling, no
+  /// heartbeats, running executions suspended with their remaining time
+  /// preserved (a GC pause / NFS hang / CPU-starved node). The controller
+  /// watchdog sees only silence and marks the invoker unresponsive.
+  /// resume() fires automatically after `duration`. No-op if not started,
+  /// draining, dead, or already stalled.
+  void stall(sim::SimTime duration);
+
+  /// Ends a stall early (or on schedule): restarts the loops, heartbeats
+  /// immediately so the controller readmits us, and resumes suspended
+  /// executions with their preserved remaining time.
+  void resume();
+
   [[nodiscard]] InvokerId id() const { return id_; }
   [[nodiscard]] bool started() const { return started_; }
   [[nodiscard]] bool draining() const { return draining_; }
   [[nodiscard]] bool dead() const { return dead_; }
+  [[nodiscard]] bool stalled() const { return stalled_; }
   [[nodiscard]] std::size_t running_executions() const { return running_.size(); }
   [[nodiscard]] std::size_t buffered_messages() const { return buffer_.size(); }
   [[nodiscard]] const runtime::ContainerPool& pool() const { return pool_; }
@@ -98,14 +114,23 @@ class Invoker {
     mq::Message msg;
     runtime::ContainerId container{0};
     ExecPhase phase{ExecPhase::kStarting};
-    sim::EventId event;  ///< pending start or completion event
+    sim::EventId event;       ///< pending start or completion event
+    sim::SimTime due{};       ///< absolute time `event` fires
+    sim::SimTime remaining{}; ///< time left when suspended by stall()
     bool cold{false};
   };
 
   void poll();
   void dispatch_buffer();
   void begin_execution(mq::Message msg);
+  /// Schedules the exec's next phase transition `delay` from now,
+  /// recording the absolute due time so stall() can suspend it.
+  void schedule_exec_event(ActivationId act, sim::SimTime delay);
+  /// Phase transition: kStarting -> kRunning (container warm, duration
+  /// drawn) or kRunning -> done (release, report, dispatch next).
+  void on_exec_event(ActivationId act);
   void finish_drain_if_idle();
+  void start_loops();
   void stop_loops();
 
   sim::Simulation& sim_;
@@ -124,6 +149,8 @@ class Invoker {
   bool started_{false};
   bool draining_{false};
   bool dead_{false};
+  bool stalled_{false};
+  sim::EventId resume_event_;
   std::function<void()> on_drained_;
   Counters counters_;
 };

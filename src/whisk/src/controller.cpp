@@ -184,9 +184,37 @@ void Controller::deregister(InvokerId id) {
   move_backlog_to_fast_lane(id);
 }
 
-void Controller::move_backlog_to_fast_lane(InvokerId id) {
+std::vector<ActivationId> Controller::move_backlog_to_fast_lane(InvokerId id) {
   auto backlog = broker_.topic(invoker_topic_name(id)).drain();
-  for (auto& msg : backlog) requeue_to_fast_lane(std::move(msg));
+  std::vector<ActivationId> rescued;
+  rescued.reserve(backlog.size());
+  for (auto& msg : backlog) {
+    rescued.push_back(msg.id);
+    requeue_to_fast_lane(std::move(msg));
+  }
+  return rescued;
+}
+
+void Controller::rescue_in_flight(
+    InvokerId id, const std::vector<ActivationId>& already_rescued) {
+  for (ActivationRecord& rec : records_) {
+    if (is_terminal(rec.state)) continue;
+    if (rec.routed_to != id) continue;
+    // Only work the dead invoker actually held: pulled into its buffer
+    // (never started, executed_by unset) or mid-execution there. An
+    // activation it interrupted earlier and handed back carries someone
+    // else's executed_by — or none but lives in the fast lane already;
+    // re-publishing such ids is harmless (at-least-once + deliverable()
+    // dedup) but the backlog we just drained must not go out twice.
+    if (rec.executed_by != kNoInvoker && rec.executed_by != id) continue;
+    if (std::find(already_rescued.begin(), already_rescued.end(), rec.id) !=
+        already_rescued.end())
+      continue;
+    mq::Message msg;
+    msg.id = rec.id;
+    msg.key = rec.function;
+    requeue_to_fast_lane(std::move(msg));
+  }
 }
 
 void Controller::requeue_to_fast_lane(mq::Message msg) {
@@ -309,6 +337,8 @@ void Controller::finish(ActivationRecord& rec, ActivationState state) {
     }
   }
 
+  if (terminal_observer_) terminal_observer_(rec);
+
   // Completion callbacks fire after all bookkeeping.
   const auto cbs = completion_callbacks_.find(rec.id);
   if (cbs != completion_callbacks_.end()) {
@@ -327,8 +357,11 @@ void Controller::watchdog_sweep() {
       entry.health = InvokerHealth::kUnresponsive;
       ++counters_.unresponsive_detected;
       // The invoker vanished without hand-off (hard kill / node failure):
-      // rescue whatever it had not pulled yet.
-      move_backlog_to_fast_lane(id);
+      // rescue its unpulled backlog, then re-submit what it had already
+      // pulled or was executing — that work would otherwise surface only
+      // as client timeouts.
+      const std::vector<ActivationId> rescued = move_backlog_to_fast_lane(id);
+      rescue_in_flight(id, rescued);
     }
   }
 }

@@ -34,6 +34,10 @@ void Invoker::start() {
   started_ = true;
   id_ = controller_.register_invoker();
   own_topic_ = &broker_.topic(Controller::invoker_topic_name(id_));
+  start_loops();
+}
+
+void Invoker::start_loops() {
   poll_loop_ = sim_.every(config_.poll_interval, [this] { poll(); });
   heartbeat_loop_ =
       sim_.every(sim::SimTime::seconds(2), [this] { controller_.heartbeat(id_); });
@@ -79,6 +83,12 @@ void Invoker::begin_execution(mq::Message msg) {
     ++counters_.dropped_undeliverable;
     return;
   }
+  if (running_.count(msg.id) > 0) {
+    // Duplicate delivery of work we are already executing (an mq
+    // duplication fault, or a watchdog rescue racing our own thaw).
+    ++counters_.dropped_undeliverable;
+    return;
+  }
   const FunctionSpec& spec = registry_.at(msg.key);
   const auto acquired =
       pool_.acquire(spec.name, spec.kind, spec.memory_mb, sim_.now());
@@ -96,10 +106,21 @@ void Invoker::begin_execution(mq::Message msg) {
   exec.container = acquired.container;
   exec.cold = acquired.kind == runtime::AcquireResult::Kind::kCold;
   exec.phase = ExecPhase::kStarting;
-  exec.event = sim_.after(acquired.start_latency, [this, act] {
-    auto it = running_.find(act);
-    if (it == running_.end()) return;
-    Exec& e = it->second;
+  running_.emplace(act, std::move(exec));
+  schedule_exec_event(act, acquired.start_latency);
+}
+
+void Invoker::schedule_exec_event(ActivationId act, sim::SimTime delay) {
+  Exec& e = running_.at(act);
+  e.due = sim_.now() + delay;
+  e.event = sim_.after(delay, [this, act] { on_exec_event(act); });
+}
+
+void Invoker::on_exec_event(ActivationId act) {
+  auto it = running_.find(act);
+  if (it == running_.end()) return;
+  Exec& e = it->second;
+  if (e.phase == ExecPhase::kStarting) {
     e.phase = ExecPhase::kRunning;
     pool_.mark_running(e.container, sim_.now());
     controller_.activation_started(act, id_, e.cold);
@@ -111,26 +132,55 @@ void Invoker::begin_execution(mq::Message msg) {
                             static_cast<double>(config_.cores);
       duration = sim::SimTime::seconds(duration.to_seconds() * factor);
     }
-    e.event = sim_.after(duration, [this, act] {
-      auto jt = running_.find(act);
-      if (jt == running_.end()) return;
-      pool_.release(jt->second.container, sim_.now());
-      running_.erase(jt);
-      ++counters_.executed;
-      controller_.activation_completed(act);
-      if (draining_) {
-        finish_drain_if_idle();
-      } else {
-        dispatch_buffer();
-      }
-    });
-  });
-  running_.emplace(act, std::move(exec));
+    schedule_exec_event(act, duration);
+    return;
+  }
+  pool_.release(e.container, sim_.now());
+  running_.erase(it);
+  ++counters_.executed;
+  controller_.activation_completed(act);
+  if (draining_) {
+    finish_drain_if_idle();
+  } else {
+    dispatch_buffer();
+  }
+}
+
+void Invoker::stall(sim::SimTime duration) {
+  if (!started_ || dead_ || draining_ || stalled_) return;
+  stalled_ = true;
+  stop_loops();
+  for (auto& [act, exec] : running_) {
+    sim_.cancel(exec.event);
+    exec.remaining = exec.due - sim_.now();
+    if (exec.remaining < sim::SimTime::zero())
+      exec.remaining = sim::SimTime::zero();
+  }
+  resume_event_ = sim_.after(duration, [this] { resume(); });
+}
+
+void Invoker::resume() {
+  if (!stalled_ || dead_) return;
+  stalled_ = false;
+  sim_.cancel(resume_event_);
+  // Deterministic thaw order: running_ is an unordered_map, so reschedule
+  // by ascending activation id.
+  std::vector<ActivationId> acts;
+  acts.reserve(running_.size());
+  for (const auto& [act, exec] : running_) acts.push_back(act);
+  std::sort(acts.begin(), acts.end());
+  for (const ActivationId act : acts)
+    schedule_exec_event(act, running_.at(act).remaining);
+  start_loops();
+  // Announce liveness now rather than a heartbeat period later, so a
+  // watchdog-flagged invoker is readmitted the moment it thaws.
+  controller_.heartbeat(id_);
 }
 
 void Invoker::sigterm(std::function<void()> on_drained) {
   if (dead_) return;
   if (draining_) return;  // duplicate SIGTERM
+  if (stalled_) return;   // frozen: the hand-off can't run; SIGKILL will land
   draining_ = true;
   on_drained_ = std::move(on_drained);
 
@@ -191,6 +241,7 @@ void Invoker::hard_kill() {
   if (dead_) return;
   dead_ = true;
   stop_loops();
+  sim_.cancel(resume_event_);
   for (auto& [act, exec] : running_) sim_.cancel(exec.event);
   running_.clear();
   buffer_.clear();

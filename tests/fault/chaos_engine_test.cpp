@@ -1,0 +1,143 @@
+// Targeted chaos scenarios against a small end-to-end system: each fault
+// kind must be absorbed by the recovery machinery it aims at, and the
+// conservation audit must hold afterwards.
+
+#include <gtest/gtest.h>
+
+#include "hpcwhisk/analysis/conservation.hpp"
+#include "hpcwhisk/core/system.hpp"
+#include "hpcwhisk/fault/chaos_engine.hpp"
+#include "hpcwhisk/trace/faas_workload.hpp"
+
+namespace hpcwhisk {
+namespace {
+
+using sim::SimTime;
+using sim::Simulation;
+
+core::HpcWhiskSystem::Config small_system(std::uint32_t nodes,
+                                          std::uint64_t seed) {
+  core::HpcWhiskSystem::Config cfg;
+  cfg.seed = seed;
+  cfg.slurm.node_count = nodes;
+  cfg.slurm.min_pass_gap = SimTime::zero();
+  cfg.manager.fib_lengths = core::job_length_set("C1");
+  cfg.manager.fib_per_length = 3;
+  return cfg;
+}
+
+/// Drives a light sleep-function load over [2min, 20min) and runs the
+/// simulation until every client timeout passed.
+void run_with_load(Simulation& simulation, core::HpcWhiskSystem& system,
+                   std::uint64_t load_seed) {
+  const auto functions =
+      trace::register_sleep_functions(system.functions(), 8,
+                                      SimTime::seconds(2));
+  system.start();
+  simulation.run_until(SimTime::minutes(2));
+  trace::FaasLoadGenerator faas{
+      simulation,
+      {.rate_qps = 4.0, .functions = functions},
+      [&system](const std::string& fn) {
+        (void)system.controller().submit(fn);
+      },
+      sim::Rng{load_seed}};
+  faas.start(SimTime::minutes(20));
+  // Default FunctionSpec timeout is 5 minutes; 30 min > 20 min + 5 min.
+  simulation.run_until(SimTime::minutes(30));
+}
+
+TEST(ChaosEngine, NodeCrashIsAbsorbedAndRecovers) {
+  Simulation simulation;
+  auto cfg = small_system(4, 7);
+  fault::FaultEvent ev;
+  ev.at = SimTime::minutes(5);
+  ev.kind = fault::FaultKind::kNodeCrash;
+  ev.grace = SimTime::seconds(5);  // truncated: far below the 3 min grace
+  ev.outage = SimTime::minutes(1);
+  cfg.faults.add(ev);
+  core::HpcWhiskSystem system{simulation, cfg};
+  analysis::ConservationAudit audit{system.controller()};
+  run_with_load(simulation, system, 9);
+
+  ASSERT_NE(system.chaos(), nullptr);
+  ASSERT_EQ(system.chaos()->counters().applied, 1u);
+  EXPECT_GE(system.slurm().counters().node_failures, 1u);
+  const auto& applied = system.chaos()->applied();
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_NE(applied[0].recovery, SimTime::max())
+      << "capacity must return after the outage";
+  const auto result = audit.finalize();
+  EXPECT_TRUE(result.ok()) << result.report();
+}
+
+TEST(ChaosEngine, InvokerStallTripsWatchdogThenReadmits) {
+  Simulation simulation;
+  auto cfg = small_system(4, 11);
+  fault::FaultEvent ev;
+  ev.at = SimTime::minutes(5);
+  ev.kind = fault::FaultKind::kInvokerStall;
+  ev.stall = SimTime::seconds(30);  // > 3 missed heartbeats at 2 s
+  cfg.faults.add(ev);
+  core::HpcWhiskSystem system{simulation, cfg};
+  analysis::ConservationAudit audit{system.controller()};
+  run_with_load(simulation, system, 13);
+
+  ASSERT_EQ(system.chaos()->counters().applied, 1u);
+  EXPECT_GE(system.controller().counters().unresponsive_detected, 1u);
+  ASSERT_EQ(system.chaos()->applied().size(), 1u);
+  EXPECT_NE(system.chaos()->applied()[0].recovery, SimTime::max())
+      << "the thawed invoker heartbeats and is readmitted";
+  const auto result = audit.finalize();
+  EXPECT_TRUE(result.ok()) << result.report();
+}
+
+TEST(ChaosEngine, InvokerCrashLosesNothing) {
+  Simulation simulation;
+  auto cfg = small_system(4, 17);
+  fault::FaultEvent ev;
+  ev.at = SimTime::minutes(6);
+  ev.kind = fault::FaultKind::kInvokerCrash;
+  cfg.faults.add(ev);
+  core::HpcWhiskSystem system{simulation, cfg};
+  analysis::ConservationAudit audit{system.controller()};
+  run_with_load(simulation, system, 19);
+
+  ASSERT_EQ(system.chaos()->counters().applied, 1u);
+  EXPECT_GE(system.controller().counters().unresponsive_detected, 1u);
+  const auto result = audit.finalize();
+  EXPECT_TRUE(result.ok()) << result.report();
+}
+
+TEST(ChaosEngine, MqDropWindowOnlyCostsRetriesOrTimeouts) {
+  Simulation simulation;
+  auto cfg = small_system(4, 23);
+  fault::FaultEvent ev;
+  ev.at = SimTime::minutes(5);
+  ev.kind = fault::FaultKind::kMqDrop;
+  ev.window = SimTime::minutes(1);
+  ev.probability = 1.0;
+  cfg.faults.add(ev);
+  core::HpcWhiskSystem system{simulation, cfg};
+  analysis::ConservationAudit audit{system.controller()};
+  run_with_load(simulation, system, 29);
+
+  ASSERT_EQ(system.chaos()->counters().applied, 1u);
+  std::uint64_t dropped = 0;
+  for (const auto& name : system.broker().topic_names())
+    dropped += system.broker().topic(name).counters().fault_dropped;
+  EXPECT_GT(dropped, 0u) << "the window must have swallowed publishes";
+  const auto result = audit.finalize();
+  EXPECT_TRUE(result.ok()) << result.report();
+  // Dropped submissions surface as client timeouts, never as lost ids.
+  EXPECT_GT(result.completed, 0u);
+}
+
+TEST(ChaosEngine, EmptyPlanConstructsNoEngine) {
+  Simulation simulation;
+  core::HpcWhiskSystem system{simulation, small_system(4, 31)};
+  EXPECT_EQ(system.chaos(), nullptr);
+}
+
+}  // namespace
+}  // namespace hpcwhisk

@@ -1,0 +1,108 @@
+// Multi-seed chaos soak: sampled fault plans over many seeds, each run
+// checked against the activation-conservation audit; plus the
+// reproducibility contract — two same-seed runs produce byte-identical
+// audit and chaos reports.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hpcwhisk/analysis/conservation.hpp"
+#include "hpcwhisk/core/system.hpp"
+#include "hpcwhisk/fault/chaos_engine.hpp"
+#include "hpcwhisk/trace/faas_workload.hpp"
+
+namespace hpcwhisk {
+namespace {
+
+using sim::SimTime;
+using sim::Simulation;
+
+fault::FaultProfile soak_profile() {
+  fault::FaultProfile p;
+  p.start = SimTime::minutes(3);
+  p.horizon = SimTime::minutes(20);
+  p.node_crash_rate_per_hour = 6.0;
+  p.invoker_stall_rate_per_hour = 9.0;
+  p.invoker_crash_rate_per_hour = 6.0;
+  p.mq_fault_rate_per_hour = 9.0;
+  p.mean_outage = SimTime::minutes(2);
+  p.mean_stall = SimTime::seconds(30);
+  return p;
+}
+
+struct SoakOutcome {
+  std::string audit_report;
+  std::string chaos_report;
+  std::uint64_t faults_applied{0};
+  bool ok{false};
+};
+
+SoakOutcome run_soak(std::uint64_t seed) {
+  Simulation simulation;
+  core::HpcWhiskSystem::Config cfg;
+  cfg.seed = seed;
+  cfg.slurm.node_count = 6;
+  cfg.slurm.min_pass_gap = SimTime::zero();
+  cfg.manager.fib_lengths = core::job_length_set("C1");
+  cfg.manager.fib_per_length = 3;
+  cfg.faults = fault::FaultPlan::sample(soak_profile(), seed * 1000 + 17);
+  core::HpcWhiskSystem system{simulation, cfg};
+  analysis::ConservationAudit audit{system.controller()};
+
+  const auto functions =
+      trace::register_sleep_functions(system.functions(), 10,
+                                      SimTime::seconds(2));
+  system.start();
+  simulation.run_until(SimTime::minutes(2));
+  trace::FaasLoadGenerator faas{
+      simulation,
+      {.rate_qps = 4.0, .functions = functions},
+      [&system](const std::string& fn) {
+        (void)system.controller().submit(fn);
+      },
+      sim::Rng{seed + 101}};
+  faas.start(SimTime::minutes(23));
+  // Last submission at 23 min, client timeout 5 min: by 30 min every
+  // accepted activation must have terminated.
+  simulation.run_until(SimTime::minutes(30));
+
+  SoakOutcome out;
+  const auto result = audit.finalize();
+  out.ok = result.ok();
+  out.audit_report = result.report();
+  out.chaos_report =
+      system.chaos() == nullptr ? "" : system.chaos()->report();
+  out.faults_applied =
+      system.chaos() == nullptr ? 0 : system.chaos()->counters().applied;
+  return out;
+}
+
+TEST(ChaosSoak, ConservationHoldsAcrossTwentySeeds) {
+  std::uint64_t total_faults = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const SoakOutcome out = run_soak(seed);
+    EXPECT_TRUE(out.ok) << "seed " << seed << ":\n"
+                        << out.audit_report << out.chaos_report;
+    total_faults += out.faults_applied;
+  }
+  // The profile averages ~10 faults per run; a silent no-op engine would
+  // make the soak vacuous.
+  EXPECT_GT(total_faults, 50u);
+}
+
+TEST(ChaosSoak, SameSeedRunsAreByteIdentical) {
+  const SoakOutcome a = run_soak(5);
+  const SoakOutcome b = run_soak(5);
+  EXPECT_TRUE(a.ok) << a.audit_report;
+  EXPECT_GT(a.faults_applied, 0u);
+  EXPECT_EQ(a.audit_report, b.audit_report);
+  EXPECT_EQ(a.chaos_report, b.chaos_report);
+
+  const SoakOutcome c = run_soak(6);
+  EXPECT_NE(a.chaos_report, c.chaos_report)
+      << "different seeds must produce different failure histories";
+}
+
+}  // namespace
+}  // namespace hpcwhisk

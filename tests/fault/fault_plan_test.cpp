@@ -1,0 +1,101 @@
+#include "hpcwhisk/fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcwhisk::fault {
+namespace {
+
+using sim::SimTime;
+
+FaultProfile busy_profile() {
+  FaultProfile p;
+  p.start = SimTime::minutes(5);
+  p.horizon = SimTime::hours(2);
+  p.node_crash_rate_per_hour = 3.0;
+  p.invoker_stall_rate_per_hour = 4.0;
+  p.invoker_crash_rate_per_hour = 2.0;
+  p.mq_fault_rate_per_hour = 5.0;
+  return p;
+}
+
+bool same_event(const FaultEvent& a, const FaultEvent& b) {
+  return a.at == b.at && a.kind == b.kind && a.grace == b.grace &&
+         a.outage == b.outage && a.stall == b.stall && a.window == b.window &&
+         a.probability == b.probability && a.delay == b.delay &&
+         a.copies == b.copies && a.target == b.target;
+}
+
+TEST(FaultPlan, SampleIsDeterministicPerSeed) {
+  const FaultPlan a = FaultPlan::sample(busy_profile(), 42);
+  const FaultPlan b = FaultPlan::sample(busy_profile(), 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(same_event(a.events()[i], b.events()[i])) << "event " << i;
+
+  const FaultPlan c = FaultPlan::sample(busy_profile(), 43);
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = !same_event(a.events()[i], c.events()[i]);
+  EXPECT_TRUE(differs) << "different seeds must sample different plans";
+}
+
+TEST(FaultPlan, EventsSortedAndInsideTheWindow) {
+  const FaultProfile p = busy_profile();
+  const FaultPlan plan = FaultPlan::sample(p, 7);
+  ASSERT_FALSE(plan.empty());
+  SimTime prev = SimTime::zero();
+  for (const FaultEvent& ev : plan.events()) {
+    EXPECT_GE(ev.at, prev);
+    EXPECT_GE(ev.at, p.start);
+    EXPECT_LT(ev.at, p.start + p.horizon);
+    prev = ev.at;
+  }
+}
+
+TEST(FaultPlan, ZeroRatesSampleNothing) {
+  FaultProfile p;  // all rates default to 0
+  EXPECT_TRUE(FaultPlan::sample(p, 1).empty());
+}
+
+TEST(FaultPlan, HigherRatesYieldMoreEvents) {
+  FaultProfile low = busy_profile();
+  FaultProfile high = busy_profile();
+  high.node_crash_rate_per_hour *= 10;
+  high.invoker_stall_rate_per_hour *= 10;
+  high.invoker_crash_rate_per_hour *= 10;
+  high.mq_fault_rate_per_hour *= 10;
+  EXPECT_GT(FaultPlan::sample(high, 11).size(),
+            FaultPlan::sample(low, 11).size());
+}
+
+TEST(FaultPlan, EnablingOneClassDoesNotReshuffleAnother) {
+  FaultProfile only_nodes = busy_profile();
+  only_nodes.invoker_stall_rate_per_hour = 0;
+  only_nodes.invoker_crash_rate_per_hour = 0;
+  only_nodes.mq_fault_rate_per_hour = 0;
+  const FaultPlan reference = FaultPlan::sample(only_nodes, 5);
+  const FaultPlan combined = FaultPlan::sample(busy_profile(), 5);
+
+  std::vector<FaultEvent> node_events;
+  for (const FaultEvent& ev : combined.events())
+    if (ev.kind == FaultKind::kNodeCrash) node_events.push_back(ev);
+  ASSERT_EQ(node_events.size(), reference.size());
+  for (std::size_t i = 0; i < node_events.size(); ++i)
+    EXPECT_TRUE(same_event(node_events[i], reference.events()[i]));
+}
+
+TEST(FaultPlan, ManualPlanKeepsInsertionData) {
+  FaultPlan plan;
+  FaultEvent ev;
+  ev.at = SimTime::minutes(10);
+  ev.kind = FaultKind::kInvokerStall;
+  ev.stall = SimTime::seconds(20);
+  ev.target = 3;
+  plan.add(ev);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_TRUE(same_event(plan.events()[0], ev));
+  EXPECT_STREQ(to_string(plan.events()[0].kind), "invoker-stall");
+}
+
+}  // namespace
+}  // namespace hpcwhisk::fault

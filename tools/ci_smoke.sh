@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI smoke: configure, build, run the test suite, then a quick bench pass.
+#
+#   SANITIZE=1    build with -DHPCWHISK_SANITIZE=ON (ASan+UBSan) in build-asan/
+#   BUILD_DIR=d   override the build directory
+#   FULL_BENCH=1  smoke every bench binary instead of just chaos_recovery
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${SANITIZE:-0}" == "1" ]]; then
+  BUILD_DIR=${BUILD_DIR:-build-asan}
+  SAN_FLAG=ON
+else
+  BUILD_DIR=${BUILD_DIR:-build}
+  SAN_FLAG=OFF
+fi
+
+cmake -B "$BUILD_DIR" -S . -DHPCWHISK_SANITIZE=$SAN_FLAG
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+export HW_BENCH_QUICK=1
+if [[ "${FULL_BENCH:-0}" == "1" ]]; then
+  for b in "$BUILD_DIR"/bench/*; do
+    [[ -x "$b" ]] || continue
+    echo "== smoke: $b =="
+    "$b"
+  done
+else
+  "$BUILD_DIR"/bench/chaos_recovery
+fi
+
+echo "ci_smoke: OK"
