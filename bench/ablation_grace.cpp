@@ -12,37 +12,39 @@
 using namespace hpcwhisk;
 
 int main() {
-  std::vector<std::vector<std::string>> rows;
-  for (const double grace_min : {1.0, 3.0, 5.0}) {
-    bench::ExperimentConfig cfg;
-    cfg.pilots = core::SupplyModel::kFib;
-    cfg.grace = sim::SimTime::minutes(grace_min);
-    cfg.window = sim::SimTime::hours(12);
-    cfg.faas_qps = 10.0;
-    cfg = bench::apply_env(cfg);
-    const auto result = bench::run_experiment(cfg);
-    const auto report = analysis::slurm_level_report(result.samples);
+  const std::vector<double> sweep{1.0, 3.0, 5.0};
+  // Independent runs: fan out, gather rows in sweep order.
+  const auto rows = exec::parallel_trials(
+      sweep, [](const double grace_min, std::ostream&) {
+        bench::ExperimentConfig cfg;
+        cfg.pilots = core::SupplyModel::kFib;
+        cfg.grace = sim::SimTime::minutes(grace_min);
+        cfg.window = sim::SimTime::hours(12);
+        cfg.faas_qps = 10.0;
+        cfg = bench::apply_env(cfg);
+        const auto result = bench::run_experiment(cfg);
+        const auto report = analysis::slurm_level_report(result.samples);
 
-    // How long preempted pilots actually held their node after SIGTERM:
-    // end_time - (grace start). We approximate with the manager's drain
-    // behaviour: pilots exit via job_exited, so preempted pilot jobs'
-    // records show the real release delay; gather from Slurm counters.
-    const auto& mc = result.system->manager().counters();
-    const auto& cc = result.system->controller().counters();
-    const std::uint64_t accepted = cc.accepted;
-    const double success =
-        accepted == 0 ? 0.0
-                      : static_cast<double>(cc.completed) /
-                            static_cast<double>(accepted);
-    rows.push_back({
-        analysis::fmt(grace_min, 0) + " min",
-        analysis::fmt_pct(report.coverage),
-        std::to_string(mc.preempted),
-        std::to_string(cc.interrupted),
-        analysis::fmt_pct(success),
-        std::to_string(cc.timed_out),
-    });
-  }
+        // How long preempted pilots actually held their node after SIGTERM:
+        // end_time - (grace start). We approximate with the manager's drain
+        // behaviour: pilots exit via job_exited, so preempted pilot jobs'
+        // records show the real release delay; gather from Slurm counters.
+        const auto& mc = result.system->manager().counters();
+        const auto& cc = result.system->controller().counters();
+        const std::uint64_t accepted = cc.accepted;
+        const double success =
+            accepted == 0 ? 0.0
+                          : static_cast<double>(cc.completed) /
+                                static_cast<double>(accepted);
+        return std::vector<std::string>{
+            analysis::fmt(grace_min, 0) + " min",
+            analysis::fmt_pct(report.coverage),
+            std::to_string(mc.preempted),
+            std::to_string(cc.interrupted),
+            analysis::fmt_pct(success),
+            std::to_string(cc.timed_out),
+        };
+      });
   analysis::print_table(
       std::cout, "ablation: preemption grace period (fib + 10 QPS, 12 h)",
       {"grace", "coverage", "pilots preempted", "execs interrupted",

@@ -12,27 +12,31 @@
 using namespace hpcwhisk;
 
 int main() {
-  std::vector<std::vector<std::string>> rows;
-  for (const auto placement : {slurm::PilotPlacement::kPreemptAware,
-                               slurm::PilotPlacement::kHoleFitting}) {
-    bench::ExperimentConfig cfg;
-    cfg.pilots = core::SupplyModel::kFib;
-    cfg.placement = placement;
-    cfg.window = sim::SimTime::hours(12);
-    cfg = bench::apply_env(cfg);
-    const auto result = bench::run_experiment(cfg);
-    const auto report = analysis::slurm_level_report(result.samples);
-    const auto& mc = result.system->manager().counters();
-    rows.push_back({
-        placement == slurm::PilotPlacement::kPreemptAware ? "preempt-aware"
-                                                          : "hole-fitting",
-        analysis::fmt_pct(report.coverage),
-        analysis::fmt(report.pilot_workers.avg, 2),
-        std::to_string(mc.started),
-        std::to_string(mc.preempted),
-        std::to_string(mc.timed_out),
-    });
-  }
+  const std::vector<slurm::PilotPlacement> sweep{
+      slurm::PilotPlacement::kPreemptAware,
+      slurm::PilotPlacement::kHoleFitting};
+  // Independent runs: fan out, gather rows in sweep order.
+  const auto rows = exec::parallel_trials(
+      sweep, [](const slurm::PilotPlacement placement, std::ostream&) {
+        bench::ExperimentConfig cfg;
+        cfg.pilots = core::SupplyModel::kFib;
+        cfg.placement = placement;
+        cfg.window = sim::SimTime::hours(12);
+        cfg = bench::apply_env(cfg);
+        const auto result = bench::run_experiment(cfg);
+        const auto report = analysis::slurm_level_report(result.samples);
+        const auto& mc = result.system->manager().counters();
+        return std::vector<std::string>{
+            placement == slurm::PilotPlacement::kPreemptAware
+                ? "preempt-aware"
+                : "hole-fitting",
+            analysis::fmt_pct(report.coverage),
+            analysis::fmt(report.pilot_workers.avg, 2),
+            std::to_string(mc.started),
+            std::to_string(mc.preempted),
+            std::to_string(mc.timed_out),
+        };
+      });
   analysis::print_table(
       std::cout, "ablation: pilot placement policy (fib, 12 h)",
       {"policy", "coverage", "avg workers", "started", "preempted",

@@ -11,58 +11,61 @@
 using namespace hpcwhisk;
 
 int main() {
-  std::vector<std::vector<std::string>> rows;
-  for (const auto mode :
-       {whisk::RouteMode::kHashProbing, whisk::RouteMode::kHashOnly,
-        whisk::RouteMode::kRoundRobin, whisk::RouteMode::kLeastLoaded}) {
-    bench::ExperimentConfig cfg;
-    cfg.pilots = core::SupplyModel::kFib;
-    cfg.window = sim::SimTime::hours(8);
-    cfg.faas_qps = 10.0;
-    cfg = bench::apply_env(cfg);
+  const std::vector<whisk::RouteMode> sweep{
+      whisk::RouteMode::kHashProbing, whisk::RouteMode::kHashOnly,
+      whisk::RouteMode::kRoundRobin, whisk::RouteMode::kLeastLoaded};
+  // Independent runs: fan out, gather rows in sweep order.
+  const auto rows = exec::parallel_trials(
+      sweep, [](const whisk::RouteMode mode, std::ostream&) {
+        bench::ExperimentConfig cfg;
+        cfg.pilots = core::SupplyModel::kFib;
+        cfg.window = sim::SimTime::hours(8);
+        cfg.faas_qps = 10.0;
+        cfg = bench::apply_env(cfg);
 
-    // run_experiment wires the controller internally; route mode rides
-    // in through the system config, so build the run manually here.
-    sim::Simulation simulation;
-    core::HpcWhiskSystem::Config sys_cfg;
-    sys_cfg.seed = cfg.seed;
-    sys_cfg.slurm.node_count = cfg.nodes;
-    sys_cfg.controller.route_mode = mode;
-    core::HpcWhiskSystem system{simulation, sys_cfg};
-    trace::HpcWorkloadGenerator workload{simulation, system.slurm(), {},
-                                         sim::Rng{cfg.seed ^ 0x9E3779B9ULL}};
-    const auto functions =
-        trace::register_sleep_functions(system.functions(), 100);
-    trace::FaasLoadGenerator faas{
-        simulation,
-        {.rate_qps = cfg.faas_qps, .functions = functions},
-        [&system](const std::string& fn) {
-          (void)system.controller().submit(fn);
-        },
-        sim::Rng{cfg.seed ^ 0xC0FFEEULL}};
-    workload.start();
-    system.start();
-    const auto end = cfg.burn_in + cfg.window;
-    simulation.at(cfg.burn_in, [&faas, end] { faas.start(end); });
-    simulation.run_until(end + sim::SimTime::minutes(10));
+        // run_experiment wires the controller internally; route mode rides
+        // in through the system config, so build the run manually here.
+        sim::Simulation simulation;
+        core::HpcWhiskSystem::Config sys_cfg;
+        sys_cfg.seed = cfg.seed;
+        sys_cfg.slurm.node_count = cfg.nodes;
+        sys_cfg.controller.route_mode = mode;
+        core::HpcWhiskSystem system{simulation, sys_cfg};
+        trace::HpcWorkloadGenerator workload{
+            simulation, system.slurm(), {},
+            sim::Rng{cfg.seed ^ 0x9E3779B9ULL}};
+        const auto functions =
+            trace::register_sleep_functions(system.functions(), 100);
+        trace::FaasLoadGenerator faas{
+            simulation,
+            {.rate_qps = cfg.faas_qps, .functions = functions},
+            [&system](const std::string& fn) {
+              (void)system.controller().submit(fn);
+            },
+            sim::Rng{cfg.seed ^ 0xC0FFEEULL}};
+        workload.start();
+        system.start();
+        const auto end = cfg.burn_in + cfg.window;
+        simulation.at(cfg.burn_in, [&faas, end] { faas.start(end); });
+        simulation.run_until(end + sim::SimTime::minutes(10));
 
-    std::vector<double> response_ms;
-    std::uint64_t cold = 0, total = 0;
-    for (const auto& rec : system.controller().activations()) {
-      if (rec.state != whisk::ActivationState::kCompleted) continue;
-      ++total;
-      if (rec.cold_start) ++cold;
-      response_ms.push_back(rec.response_time().to_seconds() * 1e3);
-    }
-    const auto rt = analysis::summarize(response_ms);
-    rows.push_back({
-        to_string(mode),
-        std::to_string(total),
-        analysis::fmt_pct(total ? static_cast<double>(cold) / total : 0),
-        analysis::fmt(rt.p50, 0),
-        analysis::fmt(analysis::percentile(response_ms, 0.99), 0),
-    });
-  }
+        std::vector<double> response_ms;
+        std::uint64_t cold = 0, total = 0;
+        for (const auto& rec : system.controller().activations()) {
+          if (rec.state != whisk::ActivationState::kCompleted) continue;
+          ++total;
+          if (rec.cold_start) ++cold;
+          response_ms.push_back(rec.response_time().to_seconds() * 1e3);
+        }
+        const auto rt = analysis::summarize(response_ms);
+        return std::vector<std::string>{
+            to_string(mode),
+            std::to_string(total),
+            analysis::fmt_pct(total ? static_cast<double>(cold) / total : 0),
+            analysis::fmt(rt.p50, 0),
+            analysis::fmt(analysis::percentile(response_ms, 0.99), 0),
+        };
+      });
   analysis::print_table(
       std::cout, "ablation: controller routing (fib + 10 QPS, 8 h)",
       {"policy", "completed", "cold-start rate", "p50 resp [ms]",

@@ -11,30 +11,32 @@
 using namespace hpcwhisk;
 
 int main() {
-  std::vector<std::vector<std::string>> rows;
   struct Point {
     std::size_t per_length;
     double replenish_s;
   };
-  for (const Point p : {Point{1, 15}, Point{3, 15}, Point{10, 15},
-                        Point{10, 60}, Point{10, 240}}) {
-    bench::ExperimentConfig cfg;
-    cfg.pilots = core::SupplyModel::kFib;
-    cfg.fib_per_length = p.per_length;
-    cfg.replenish_interval = sim::SimTime::seconds(p.replenish_s);
-    cfg.window = sim::SimTime::hours(12);
-    cfg = bench::apply_env(cfg);
-    const auto result = bench::run_experiment(cfg);
-    const auto report = analysis::slurm_level_report(result.samples);
-    const auto& mc = result.system->manager().counters();
-    rows.push_back({
-        std::to_string(p.per_length),
-        analysis::fmt(p.replenish_s, 0) + " s",
-        analysis::fmt_pct(report.coverage),
-        analysis::fmt(report.pilot_workers.avg, 2),
-        std::to_string(mc.started),
-    });
-  }
+  const std::vector<Point> sweep{Point{1, 15}, Point{3, 15}, Point{10, 15},
+                                 Point{10, 60}, Point{10, 240}};
+  // Independent runs: fan out, gather rows in sweep order.
+  const auto rows =
+      exec::parallel_trials(sweep, [](const Point& p, std::ostream&) {
+        bench::ExperimentConfig cfg;
+        cfg.pilots = core::SupplyModel::kFib;
+        cfg.fib_per_length = p.per_length;
+        cfg.replenish_interval = sim::SimTime::seconds(p.replenish_s);
+        cfg.window = sim::SimTime::hours(12);
+        cfg = bench::apply_env(cfg);
+        const auto result = bench::run_experiment(cfg);
+        const auto report = analysis::slurm_level_report(result.samples);
+        const auto& mc = result.system->manager().counters();
+        return std::vector<std::string>{
+            std::to_string(p.per_length),
+            analysis::fmt(p.replenish_s, 0) + " s",
+            analysis::fmt_pct(report.coverage),
+            analysis::fmt(report.pilot_workers.avg, 2),
+            std::to_string(mc.started),
+        };
+      });
   analysis::print_table(
       std::cout,
       "ablation: pilot supply (fib, 12 h; paper: 10 per length / 15 s)",

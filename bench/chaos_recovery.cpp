@@ -7,6 +7,7 @@
 //
 //   HW_BENCH_QUICK=1  quarter-scale cluster and window
 //   HW_SEED=<n>       base RNG seed (default 1)
+//   HW_BENCH_JOBS=<n> intensities run in parallel (default hw threads)
 
 #include <cstdlib>
 #include <iostream>
@@ -32,7 +33,8 @@ struct RunResult {
   bool audit_ok{false};
 };
 
-RunResult run(double intensity, bool quick, std::uint64_t seed) {
+RunResult run(double intensity, bool quick, std::uint64_t seed,
+              std::ostream& os) {
   sim::Simulation simulation;
   core::HpcWhiskSystem::Config cfg;
   cfg.seed = seed;
@@ -107,7 +109,9 @@ RunResult run(double intensity, bool quick, std::uint64_t seed) {
 
   const auto result = audit.finalize();
   out.audit_ok = result.ok();
-  if (!result.ok()) std::cerr << result.report();
+  // Into the trial's own stream so parallel runs report failures in
+  // intensity order, never interleaved.
+  if (!result.ok()) os << result.report();
   return out;
 }
 
@@ -119,18 +123,26 @@ int main() {
   const std::uint64_t seed =
       seed_env == nullptr ? 1 : std::strtoull(seed_env, nullptr, 10);
 
-  const std::pair<const char*, double> sweep[] = {
+  const std::vector<std::pair<const char*, double>> sweep = {
       {"none", 0.0}, {"low", 0.5}, {"medium", 1.0},
       {"high", 2.0}, {"extreme", 4.0},
   };
 
+  // The five intensities are independent simulations: fan them out and
+  // gather the results by index so the table rows keep sweep order.
+  const std::vector<RunResult> results = exec::parallel_trials(
+      sweep, [quick, seed](const std::pair<const char*, double>& point,
+                           std::ostream& os) {
+        return run(point.second, quick, seed, os);
+      });
+
   bool all_ok = true;
   std::vector<std::vector<std::string>> rows;
-  for (const auto& [label, intensity] : sweep) {
-    const RunResult r = run(intensity, quick, seed);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const RunResult& r = results[i];
     all_ok = all_ok && r.audit_ok;
     rows.push_back({
-        label,
+        sweep[i].first,
         std::to_string(r.faults),
         std::to_string(r.accepted),
         analysis::fmt_pct(r.completion_rate),

@@ -17,6 +17,25 @@ ExperimentConfig apply_env(ExperimentConfig cfg) {
   return cfg;
 }
 
+std::size_t trial_count() {
+  if (const char* env = std::getenv("HW_BENCH_TRIALS")) {
+    const unsigned long n = std::strtoul(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+std::vector<ExperimentConfig> seed_sweep(ExperimentConfig base,
+                                         std::size_t n) {
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    configs.push_back(base);
+    configs.back().seed = base.seed + i;
+  }
+  return configs;
+}
+
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   ExperimentResult result;
   result.simulation = std::make_unique<sim::Simulation>();

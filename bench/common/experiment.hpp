@@ -5,14 +5,19 @@
 // paper's three perspectives need.
 //
 // Environment knobs (all optional):
-//   HW_BENCH_QUICK=1   quarter-scale cluster and window (smoke runs)
-//   HW_SEED=<n>        base RNG seed (default 1)
+//   HW_BENCH_QUICK=1    quarter-scale cluster and window (smoke runs)
+//   HW_SEED=<n>         base RNG seed (default 1)
+//   HW_BENCH_TRIALS=<n> seed-sweep width for the table benches (default 1)
+//   HW_BENCH_JOBS=<n>   worker threads for independent trials (default
+//                       hardware concurrency; 1 = serial)
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "hpcwhisk/exec/parallel_trials.hpp"
 
 #include "hpcwhisk/analysis/clairvoyant.hpp"
 #include "hpcwhisk/analysis/node_state_log.hpp"
@@ -49,6 +54,13 @@ struct ExperimentConfig {
 
 /// Applies HW_BENCH_QUICK / HW_SEED to a config.
 ExperimentConfig apply_env(ExperimentConfig cfg);
+
+/// Seed-sweep width for the table benches: HW_BENCH_TRIALS, default 1.
+std::size_t trial_count();
+
+/// `n` copies of `base` with seeds base.seed, base.seed+1, ... — the unit
+/// of work for exec::parallel_trials.
+std::vector<ExperimentConfig> seed_sweep(ExperimentConfig base, std::size_t n);
 
 struct ExperimentResult {
   sim::SimTime measure_start;

@@ -5,12 +5,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "hpcwhisk/mq/broker.hpp"
 #include "hpcwhisk/runtime/container_pool.hpp"
 #include "hpcwhisk/sebs/graph.hpp"
 #include "hpcwhisk/sebs/kernels.hpp"
 #include "hpcwhisk/sim/event_queue.hpp"
 #include "hpcwhisk/sim/rng.hpp"
+#include "hpcwhisk/sim/simulation.hpp"
+#include "hpcwhisk/slurm/slurmctld.hpp"
 
 namespace {
 
@@ -57,6 +61,74 @@ void BM_event_queue_schedule_pop(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_event_queue_schedule_pop);
+
+/// Prometheus-scale scheduler fixture: 2,239 nodes mostly occupied by
+/// long-limit HPC jobs, a deep pending backlog (beyond backfill_depth)
+/// and a tier-0 pilot queue, so every pass exercises the full scan,
+/// reservation and pilot-placement machinery in steady state.
+struct SchedFixture {
+  sim::Simulation simulation;
+  std::unique_ptr<slurm::Slurmctld> ctld;
+
+  SchedFixture() {
+    slurm::Slurmctld::Config cfg;
+    cfg.node_count = 2239;
+    std::vector<slurm::Partition> partitions{
+        {.name = "main", .priority_tier = 1},
+        {.name = "pilot",
+         .priority_tier = 0,
+         .preempt_mode = slurm::PreemptMode::kCancel}};
+    ctld = std::make_unique<slurm::Slurmctld>(simulation, cfg,
+                                              std::move(partitions));
+    sim::Rng rng{42};
+    // Fill the cluster: jobs that never exit on their own, declared
+    // limits 2-12 h. ~2100 nodes end up busy; the rest stay idle.
+    for (int i = 0; i < 700; ++i) {
+      slurm::JobSpec spec;
+      spec.partition = "main";
+      spec.num_nodes = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+      spec.time_limit = sim::SimTime::hours(rng.uniform_int(2, 12));
+      ctld->submit(std::move(spec));
+    }
+    simulation.run_until(sim::SimTime::minutes(10));
+    // Pending backlog deeper than backfill_depth, too wide to start.
+    for (int i = 0; i < 300; ++i) {
+      slurm::JobSpec spec;
+      spec.partition = "main";
+      spec.num_nodes = static_cast<std::uint32_t>(rng.uniform_int(8, 16));
+      spec.time_limit = sim::SimTime::hours(rng.uniform_int(1, 6));
+      ctld->submit(std::move(spec));
+    }
+    // A tier-0 pilot queue competing for the remaining idle nodes.
+    for (int i = 0; i < 50; ++i) {
+      slurm::JobSpec spec;
+      spec.partition = "pilot";
+      spec.num_nodes = 1;
+      spec.time_limit = sim::SimTime::minutes(13);
+      ctld->submit(std::move(spec));
+    }
+    simulation.run_until(sim::SimTime::minutes(12));
+  }
+};
+
+void BM_slurm_build_availability(benchmark::State& state) {
+  SchedFixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.ctld->availability_snapshot(1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          fx.ctld->node_count());
+}
+BENCHMARK(BM_slurm_build_availability);
+
+void BM_slurm_sched_pass(benchmark::State& state) {
+  SchedFixture fx;
+  for (auto _ : state) {
+    fx.ctld->schedule_now();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_slurm_sched_pass);
 
 void BM_container_pool_warm_path(benchmark::State& state) {
   runtime::ContainerPool::Config cfg;

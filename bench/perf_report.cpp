@@ -1,0 +1,190 @@
+// Machine-readable perf baseline: runs the canonical experiments under a
+// wall clock and emits BENCH_perf.json with the simulator's fundamental
+// throughput numbers (events/sec, sched passes/sec), per-experiment
+// wall-clock, and the parallel-trial speedup of an 8-trial seed sweep
+// versus jobs=1 — including a byte-identity check of the two outputs.
+//
+//   HW_BENCH_QUICK=1  quarter-scale canonical runs (CI smoke)
+//   HW_SEED=<n>       base RNG seed (default 1)
+//   HW_BENCH_JOBS=<n> worker threads for the parallel leg of the sweep
+//   HW_PERF_OUT=<p>   output path (default BENCH_perf.json)
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/experiment.hpp"
+
+using namespace hpcwhisk;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct ExperimentPerf {
+  std::string name;
+  double wall_s{0};
+  std::uint64_t events{0};
+  std::uint64_t sched_passes{0};
+};
+
+ExperimentPerf measure(const std::string& name,
+                       const bench::ExperimentConfig& cfg) {
+  const auto start = Clock::now();
+  const auto result = bench::run_experiment(cfg);
+  ExperimentPerf perf;
+  perf.name = name;
+  perf.wall_s = seconds_since(start);
+  perf.events = result.simulation->executed_events();
+  perf.sched_passes = result.system->slurm().counters().sched_passes;
+  return perf;
+}
+
+struct SweepPerf {
+  std::size_t trials{0};
+  std::size_t jobs_parallel{0};
+  double wall_serial_s{0};
+  double wall_parallel_s{0};
+  bool outputs_identical{false};
+};
+
+/// Times the same 8-trial seed sweep serial (jobs=1) and parallel
+/// (HW_BENCH_JOBS / hardware concurrency), asserting byte-identical
+/// serialized output.
+SweepPerf measure_sweep(const bench::ExperimentConfig& base) {
+  SweepPerf sweep;
+  sweep.trials = 8;
+  // The headline comparison is jobs=8 vs jobs=1; HW_BENCH_JOBS overrides.
+  sweep.jobs_parallel =
+      std::getenv("HW_BENCH_JOBS") != nullptr ? exec::job_count() : 8;
+  const auto configs = bench::seed_sweep(base, sweep.trials);
+  const auto trial = [](const bench::ExperimentConfig& cfg,
+                        std::ostream& os) {
+    const auto result = bench::run_experiment(cfg);
+    const auto report = analysis::slurm_level_report(result.samples);
+    os << "seed " << cfg.seed << " coverage "
+       << analysis::fmt_pct(report.coverage) << " events "
+       << result.simulation->executed_events() << "\n";
+  };
+
+  std::ostringstream serial_out;
+  auto start = Clock::now();
+  exec::parallel_trials(configs, trial, 1, serial_out);
+  sweep.wall_serial_s = seconds_since(start);
+
+  std::ostringstream parallel_out;
+  start = Clock::now();
+  exec::parallel_trials(configs, trial, sweep.jobs_parallel, parallel_out);
+  sweep.wall_parallel_s = seconds_since(start);
+
+  sweep.outputs_identical = serial_out.str() == parallel_out.str();
+  return sweep;
+}
+
+std::string fmt_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("HW_BENCH_QUICK") != nullptr;
+  const char* out_env = std::getenv("HW_PERF_OUT");
+  const std::string out_path = out_env != nullptr ? out_env : "BENCH_perf.json";
+
+  // Canonical experiments: the fib production day (table2) and the var
+  // production day (table3) — the two headline runs of the paper.
+  std::vector<ExperimentPerf> experiments;
+  {
+    bench::ExperimentConfig cfg;
+    cfg.pilots = core::SupplyModel::kFib;
+    cfg = bench::apply_env(cfg);
+    experiments.push_back(measure("table2_fib", cfg));
+  }
+  {
+    bench::ExperimentConfig cfg;
+    cfg.pilots = core::SupplyModel::kVar;
+    cfg = bench::apply_env(cfg);
+    experiments.push_back(measure("table3_var", cfg));
+  }
+
+  // The sweep always runs at quarter scale so the serial leg stays
+  // tractable (8 full production days would dominate the report).
+  bench::ExperimentConfig sweep_base;
+  sweep_base.pilots = core::SupplyModel::kFib;
+  sweep_base.nodes = std::max<std::uint32_t>(64, sweep_base.nodes / 4);
+  sweep_base.window = sim::SimTime::hours(6);
+  sweep_base.burn_in = sim::SimTime::hours(2);
+  if (const char* seed = std::getenv("HW_SEED"))
+    sweep_base.seed = std::strtoull(seed, nullptr, 10);
+  const SweepPerf sweep = measure_sweep(sweep_base);
+  const double speedup = sweep.wall_parallel_s > 0
+                             ? sweep.wall_serial_s / sweep.wall_parallel_s
+                             : 0.0;
+
+  std::ofstream json{out_path};
+  json << "{\n"
+       << "  \"bench\": \"perf_report\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"jobs\": " << exec::job_count() << ",\n"
+       << "  \"experiments\": [\n";
+  for (std::size_t i = 0; i < experiments.size(); ++i) {
+    const auto& e = experiments[i];
+    json << "    {\"name\": \"" << e.name << "\", \"wall_s\": "
+         << fmt_num(e.wall_s) << ", \"events\": " << e.events
+         << ", \"events_per_sec\": "
+         << fmt_num(e.wall_s > 0 ? static_cast<double>(e.events) / e.wall_s
+                                 : 0.0)
+         << ", \"sched_passes\": " << e.sched_passes
+         << ", \"sched_passes_per_sec\": "
+         << fmt_num(e.wall_s > 0
+                        ? static_cast<double>(e.sched_passes) / e.wall_s
+                        : 0.0)
+         << "}" << (i + 1 < experiments.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"sweep\": {\"trials\": " << sweep.trials
+       << ", \"jobs_serial\": 1, \"jobs_parallel\": " << sweep.jobs_parallel
+       << ", \"wall_serial_s\": " << fmt_num(sweep.wall_serial_s)
+       << ", \"wall_parallel_s\": " << fmt_num(sweep.wall_parallel_s)
+       << ", \"speedup\": " << fmt_num(speedup)
+       << ", \"outputs_identical\": "
+       << (sweep.outputs_identical ? "true" : "false") << "}\n"
+       << "}\n";
+  json.close();
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& e : experiments) {
+    rows.push_back({e.name, analysis::fmt(e.wall_s, 2),
+                    std::to_string(e.events),
+                    fmt_num(e.wall_s > 0
+                                ? static_cast<double>(e.events) / e.wall_s
+                                : 0.0),
+                    std::to_string(e.sched_passes)});
+  }
+  analysis::print_table(std::cout, "perf baseline (see BENCH_perf.json)",
+                        {"experiment", "wall s", "events", "events/s",
+                         "sched passes"},
+                        rows);
+  std::cout << "sweep: " << sweep.trials << " trials, serial "
+            << analysis::fmt(sweep.wall_serial_s, 2) << " s, parallel (x"
+            << sweep.jobs_parallel << ") "
+            << analysis::fmt(sweep.wall_parallel_s, 2) << " s, speedup "
+            << analysis::fmt(speedup, 2) << ", outputs "
+            << (sweep.outputs_identical ? "byte-identical" : "DIVERGED")
+            << "\nwrote " << out_path << "\n";
+  return sweep.outputs_identical ? 0 : 1;
+}

@@ -6,6 +6,9 @@
 // Paper's result: the choice of set barely matters (ready share
 // 80.0-81.2%); A1 is slightly best among the fixed sets, C2 (the var
 // model's effective set) best overall — which is why fib uses A1.
+//
+// HW_BENCH_TRIALS=<n> sweeps seeds base..base+n-1; trials run in
+// parallel under HW_BENCH_JOBS and print in seed order.
 
 #include <iostream>
 
@@ -13,15 +16,11 @@
 
 using namespace hpcwhisk;
 
-int main() {
-  bench::ExperimentConfig cfg;
-  cfg.window = sim::SimTime::days(7);
-  cfg.pilots.reset();  // Table I is computed over the raw idle log
-  cfg = bench::apply_env(cfg);
+namespace {
 
-  std::cout << "bench: table1_lengths (seed " << cfg.seed << ", "
-            << cfg.nodes << " nodes, " << cfg.window.to_string()
-            << " window)\n\n";
+void run_one(const bench::ExperimentConfig& cfg, std::ostream& os) {
+  os << "bench: table1_lengths (seed " << cfg.seed << ", " << cfg.nodes
+     << " nodes, " << cfg.window.to_string() << " window)\n\n";
 
   const auto result = bench::run_experiment(cfg);
   // The paper computes Table I from the 10-second sampled node lists —
@@ -54,15 +53,28 @@ int main() {
     });
   }
   analysis::print_table(
-      std::cout,
+      os,
       "Table I: clairvoyant coverage of idleness periods by job-length set",
       {"set", "# jobs", "warm up", "ready", "not used", "25%", "50%", "75%",
        "avg", "non-avail"},
       rows);
 
-  std::cout
-      << "paper shape check: all sets within ~1.2 points of ready share;\n"
-         "A1 best of the fixed sets, C2 best overall (fewest, longest "
-         "jobs);\nB (powers of two) worst: most jobs, most warm-ups.\n";
+  os << "paper shape check: all sets within ~1.2 points of ready share;\n"
+        "A1 best of the fixed sets, C2 best overall (fewest, longest "
+        "jobs);\nB (powers of two) worst: most jobs, most warm-ups.\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::ExperimentConfig base;
+  base.window = sim::SimTime::days(7);
+  base.pilots.reset();  // Table I is computed over the raw idle log
+  base = bench::apply_env(base);
+
+  const auto configs = bench::seed_sweep(base, bench::trial_count());
+  exec::parallel_trials(configs,
+                        [](const bench::ExperimentConfig& cfg,
+                           std::ostream& os) { run_one(cfg, os); });
   return 0;
 }

@@ -7,6 +7,9 @@
 //                 avg 10.66 workers);
 //   OW-level    — controller's view (paper: avg 10.39 healthy invokers,
 //                 0.40 warming, 0.06 irresponsive).
+//
+// HW_BENCH_TRIALS=<n> sweeps seeds base..base+n-1; trials run in
+// parallel under HW_BENCH_JOBS and print in seed order.
 
 #include <iostream>
 
@@ -14,23 +17,20 @@
 
 using namespace hpcwhisk;
 
-int main() {
-  bench::ExperimentConfig cfg;
-  cfg.pilots = core::SupplyModel::kFib;
-  cfg = bench::apply_env(cfg);
+namespace {
 
-  std::cout << "bench: table2_fib (seed " << cfg.seed << ", " << cfg.nodes
-            << " nodes, " << cfg.window.to_string() << " window)\n\n";
+void run_one(const bench::ExperimentConfig& cfg, std::ostream& os) {
+  os << "bench: table2_fib (seed " << cfg.seed << ", " << cfg.nodes
+     << " nodes, " << cfg.window.to_string() << " window)\n\n";
 
   const auto result = bench::run_experiment(cfg);
   const auto summary = bench::summarize_coverage(
       result, core::job_length_set("A1"), sim::SimTime::minutes(120));
 
-  bench::print_coverage_table(std::cout, "Table II: fib job manager",
-                              summary);
+  bench::print_coverage_table(os, "Table II: fib job manager", summary);
 
   analysis::print_table(
-      std::cout, "Table II headline comparison",
+      os, "Table II headline comparison",
       {"metric", "paper", "measured"},
       {
           {"Slurm-level coverage", "90%",
@@ -63,7 +63,7 @@ int main() {
     serving_min.push_back(d.to_minutes());
   const auto serving = analysis::summarize(serving_min);
   analysis::print_table(
-      std::cout, "fib invoker serving durations [min]",
+      os, "fib invoker serving durations [min]",
       {"metric", "paper", "measured"},
       {
           {"median", "~11", analysis::fmt(serving.p50, 1)},
@@ -75,30 +75,43 @@ int main() {
   std::vector<double> sim_series;
   for (const auto v : summary.simulation.ready_series)
     sim_series.push_back(v);
-  analysis::print_series(std::cout, "Fig 5a (Simulation): ready workers",
+  analysis::print_series(os, "Fig 5a (Simulation): ready workers",
                          sim_series, 10.0, 96);
   std::vector<double> slurm_series, idle_series;
   for (const auto& s : result.samples) {
     slurm_series.push_back(s.pilot);
     idle_series.push_back(s.idle);
   }
-  analysis::print_series(std::cout, "Fig 5a (Slurm-level): worker jobs",
+  analysis::print_series(os, "Fig 5a (Slurm-level): worker jobs",
                          slurm_series, 10.0, 96);
   std::vector<double> ow_series;
   for (const auto& s : result.ow_samples) ow_series.push_back(s.healthy);
-  analysis::print_series(std::cout, "Fig 5a (OW-level): healthy invokers",
+  analysis::print_series(os, "Fig 5a (OW-level): healthy invokers",
                          ow_series, 10.0, 96);
-  analysis::print_series(std::cout, "Fig 5a: remaining idle nodes",
+  analysis::print_series(os, "Fig 5a: remaining idle nodes",
                          idle_series, 10.0, 96);
 
   // ---- Fig. 5c: CDFs of node counts -------------------------------------
   std::vector<double> avail_series;
   for (const auto& s : result.samples) avail_series.push_back(s.available());
-  analysis::print_cdf(std::cout, "Fig 5c: idle nodes (green)",
+  analysis::print_cdf(os, "Fig 5c: idle nodes (green)",
                       analysis::cdf_points(idle_series, 30));
-  analysis::print_cdf(std::cout, "Fig 5c: OpenWhisk nodes (orange)",
+  analysis::print_cdf(os, "Fig 5c: OpenWhisk nodes (orange)",
                       analysis::cdf_points(slurm_series, 30));
-  analysis::print_cdf(std::cout, "Fig 5c: originally-idle nodes (black)",
+  analysis::print_cdf(os, "Fig 5c: originally-idle nodes (black)",
                       analysis::cdf_points(avail_series, 30));
+}
+
+}  // namespace
+
+int main() {
+  bench::ExperimentConfig base;
+  base.pilots = core::SupplyModel::kFib;
+  base = bench::apply_env(base);
+
+  const auto configs = bench::seed_sweep(base, bench::trial_count());
+  exec::parallel_trials(configs,
+                        [](const bench::ExperimentConfig& cfg,
+                           std::ostream& os) { run_one(cfg, os); });
   return 0;
 }

@@ -5,6 +5,9 @@
 // its own 84% clairvoyant bound — the scheduler's variable-length sizing
 // path is too slow for the environment's churn (Sec. V-B2). Our model
 // reproduces that as a slower var placement cadence plus stale sizing.
+//
+// HW_BENCH_TRIALS=<n> sweeps seeds base..base+n-1; trials run in
+// parallel under HW_BENCH_JOBS and print in seed order.
 
 #include <iostream>
 
@@ -12,23 +15,20 @@
 
 using namespace hpcwhisk;
 
-int main() {
-  bench::ExperimentConfig cfg;
-  cfg.pilots = core::SupplyModel::kVar;
-  cfg = bench::apply_env(cfg);
+namespace {
 
-  std::cout << "bench: table3_var (seed " << cfg.seed << ", " << cfg.nodes
-            << " nodes, " << cfg.window.to_string() << " window)\n\n";
+void run_one(const bench::ExperimentConfig& cfg, std::ostream& os) {
+  os << "bench: table3_var (seed " << cfg.seed << ", " << cfg.nodes
+     << " nodes, " << cfg.window.to_string() << " window)\n\n";
 
   const auto result = bench::run_experiment(cfg);
   const auto summary = bench::summarize_coverage(
       result, core::job_length_set("C2"), sim::SimTime::minutes(120));
 
-  bench::print_coverage_table(std::cout, "Table III: var job manager",
-                              summary);
+  bench::print_coverage_table(os, "Table III: var job manager", summary);
 
   analysis::print_table(
-      std::cout, "Table III headline comparison",
+      os, "Table III headline comparison",
       {"metric", "paper", "measured"},
       {
           {"Slurm-level coverage", "68%",
@@ -55,7 +55,7 @@ int main() {
     serving_min.push_back(d.to_minutes());
   const auto serving = analysis::summarize(serving_min);
   analysis::print_table(
-      std::cout, "var invoker serving durations [min]",
+      os, "var invoker serving durations [min]",
       {"metric", "paper", "measured"},
       {
           {"median", "~7", analysis::fmt(serving.p50, 1)},
@@ -67,32 +67,45 @@ int main() {
   std::vector<double> sim_series;
   for (const auto v : summary.simulation.ready_series)
     sim_series.push_back(v);
-  analysis::print_series(std::cout, "Fig 6a (Simulation): ready workers",
+  analysis::print_series(os, "Fig 6a (Simulation): ready workers",
                          sim_series, 10.0, 96);
   std::vector<double> slurm_series, idle_series;
   for (const auto& s : result.samples) {
     slurm_series.push_back(s.pilot);
     idle_series.push_back(s.idle);
   }
-  analysis::print_series(std::cout, "Fig 6a (Slurm-level): worker jobs",
+  analysis::print_series(os, "Fig 6a (Slurm-level): worker jobs",
                          slurm_series, 10.0, 96);
   std::vector<double> ow_series;
   for (const auto& s : result.ow_samples) ow_series.push_back(s.healthy);
-  analysis::print_series(std::cout, "Fig 6a (OW-level): healthy invokers",
+  analysis::print_series(os, "Fig 6a (OW-level): healthy invokers",
                          ow_series, 10.0, 96);
 
   // ---- Fig. 6c: CDFs of node counts -------------------------------------
   std::vector<double> avail_series;
   for (const auto& s : result.samples) avail_series.push_back(s.available());
-  analysis::print_cdf(std::cout, "Fig 6c: idle nodes (green)",
+  analysis::print_cdf(os, "Fig 6c: idle nodes (green)",
                       analysis::cdf_points(idle_series, 30));
-  analysis::print_cdf(std::cout, "Fig 6c: OpenWhisk nodes (orange)",
+  analysis::print_cdf(os, "Fig 6c: OpenWhisk nodes (orange)",
                       analysis::cdf_points(slurm_series, 30));
-  analysis::print_cdf(std::cout, "Fig 6c: originally-idle nodes (black)",
+  analysis::print_cdf(os, "Fig 6c: originally-idle nodes (black)",
                       analysis::cdf_points(avail_series, 30));
 
-  std::cout << "shape check: var coverage must sit well below fib's "
-               "(bench table2_fib)\nand well below its own Simulation "
-               "bound — the paper's central var-vs-fib finding.\n";
+  os << "shape check: var coverage must sit well below fib's "
+        "(bench table2_fib)\nand well below its own Simulation "
+        "bound — the paper's central var-vs-fib finding.\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::ExperimentConfig base;
+  base.pilots = core::SupplyModel::kVar;
+  base = bench::apply_env(base);
+
+  const auto configs = bench::seed_sweep(base, bench::trial_count());
+  exec::parallel_trials(configs,
+                        [](const bench::ExperimentConfig& cfg,
+                           std::ostream& os) { run_one(cfg, os); });
   return 0;
 }

@@ -1,0 +1,120 @@
+#pragma once
+// parallel_trials: fan independent (config, seed) simulation trials
+// across a thread pool while keeping output byte-identical to a serial
+// run. Contract:
+//   * each trial runs fn(config, out) with a private std::ostringstream;
+//   * results are gathered by input index;
+//   * buffers are flushed to the sink in input order, on the calling
+//     thread only, as soon as all earlier trials have finished;
+//   * jobs == 1 runs everything inline on the calling thread — the exact
+//     pre-parallel behavior (same thread, same order, same stream);
+//   * a trial exception is rethrown on the calling thread after the
+//     outputs of all earlier trials (and the failing trial's partial
+//     output) have been flushed — again matching a serial run, where
+//     later trials would never have started printing.
+//
+// Trials must be independent: one sim::Simulation per trial, no shared
+// mutable state, RNG seeds forked per trial (see DESIGN.md §9).
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "hpcwhisk/exec/thread_pool.hpp"
+
+namespace hpcwhisk::exec {
+
+/// Worker count for trial sweeps: HW_BENCH_JOBS when set and positive,
+/// otherwise std::thread::hardware_concurrency() (at least 1).
+[[nodiscard]] std::size_t job_count();
+
+template <typename Config, typename Fn>
+auto parallel_trials(const std::vector<Config>& configs, Fn fn,
+                     std::size_t jobs = 0, std::ostream& sink = std::cout) {
+  using R = std::invoke_result_t<Fn&, const Config&, std::ostream&>;
+  constexpr bool kVoid = std::is_void_v<R>;
+  using Stored = std::conditional_t<kVoid, char, R>;
+
+  struct Trial {
+    std::ostringstream out;
+    std::optional<Stored> result;
+    std::exception_ptr error;
+    bool done{false};
+  };
+
+  const std::size_t n = configs.size();
+  if (jobs == 0) jobs = job_count();
+  jobs = std::min(jobs, std::max<std::size_t>(1, n));
+
+  std::vector<Trial> trials(n);
+
+  const auto run_one = [&fn](const Config& cfg, Trial& t) {
+    try {
+      if constexpr (kVoid) {
+        fn(cfg, t.out);
+        t.result.emplace();
+      } else {
+        t.result.emplace(fn(cfg, t.out));
+      }
+    } catch (...) {
+      t.error = std::current_exception();
+    }
+  };
+
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      run_one(configs[i], trials[i]);
+      sink << trials[i].out.str();
+      sink.flush();
+      if (trials[i].error) std::rethrow_exception(trials[i].error);
+    }
+  } else {
+    std::mutex mutex;
+    std::condition_variable cv;
+    {
+      ThreadPool pool{jobs};
+      for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&, i] {
+          run_one(configs[i], trials[i]);
+          {
+            const std::lock_guard lock{mutex};
+            trials[i].done = true;
+          }
+          cv.notify_all();
+        });
+      }
+      // In-order progressive flush on the calling thread.
+      for (std::size_t i = 0; i < n; ++i) {
+        {
+          std::unique_lock lock{mutex};
+          cv.wait(lock, [&] { return trials[i].done; });
+        }
+        sink << trials[i].out.str();
+        sink.flush();
+        if (trials[i].error) break;  // pool joins queued work on destruction
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (trials[i].error) std::rethrow_exception(trials[i].error);
+    }
+  }
+
+  if constexpr (kVoid) {
+    return;
+  } else {
+    std::vector<R> results;
+    results.reserve(n);
+    for (Trial& t : trials) results.push_back(std::move(*t.result));
+    return results;
+  }
+}
+
+}  // namespace hpcwhisk::exec

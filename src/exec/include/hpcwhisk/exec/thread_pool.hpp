@@ -1,0 +1,61 @@
+#pragma once
+// A small fixed-size thread pool for fanning independent simulations
+// across cores. Deliberately minimal: FIFO task queue, std::future-based
+// result/exception propagation, join-on-destruction. Simulations share
+// no mutable state (each trial owns its Simulation, RNG forks and logs),
+// so the pool needs no work stealing or priorities — sweep throughput is
+// bounded by the slowest trial, not by queueing discipline.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace hpcwhisk::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Signals shutdown and joins. Tasks already queued still run;
+  /// submit() after destruction begins is undefined.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. An exception
+  /// thrown by `fn` is captured and rethrown from future::get().
+  template <typename Fn>
+  std::future<std::invoke_result_t<Fn>> submit(Fn fn) {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> out = task->get_future();
+    {
+      const std::lock_guard lock{mutex_};
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return out;
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hpcwhisk::exec

@@ -1,0 +1,18 @@
+#include "hpcwhisk/exec/parallel_trials.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace hpcwhisk::exec {
+
+std::size_t job_count() {
+  if (const char* env = std::getenv("HW_BENCH_JOBS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace hpcwhisk::exec

@@ -3,12 +3,18 @@
 //
 // Events scheduled for the same instant fire in schedule order (FIFO),
 // which makes every simulation run bit-reproducible for a fixed seed.
-// Cancellation is O(log n) amortized via lazy deletion.
+//
+// Storage is a slab of callback slots indexed by a free list; the heap
+// holds (time, seq, slot) triples only. Cancellation is O(1): the slot's
+// callback is destroyed eagerly (so captured state is reclaimed at once,
+// not when the tombstone is eventually popped) and the heap entry is
+// dropped lazily. When tombstones outnumber live entries past a
+// threshold the heap is compacted in one O(n) sweep, so cancellation-
+// heavy workloads (periodic handles, drain timers, grace windows) never
+// accumulate dead entries.
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "hpcwhisk/sim/time.hpp"
@@ -24,11 +30,14 @@ class EventId {
 
  private:
   friend class EventQueue;
-  constexpr explicit EventId(std::uint64_t seq) : seq_{seq} {}
+  constexpr EventId(std::uint64_t seq, std::uint32_t slot)
+      : seq_{seq}, slot_{slot} {}
   std::uint64_t seq_{0};
+  std::uint32_t slot_{0};
 };
 
-/// Min-heap of (time, sequence) with lazy cancellation.
+/// Min-heap of (time, sequence) with slab-allocated callbacks and lazy
+/// tombstone removal.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
@@ -38,11 +47,16 @@ class EventQueue {
   EventId schedule(SimTime when, Callback cb);
 
   /// Cancels a previously scheduled event. Returns false if the event
-  /// already fired or was already cancelled.
+  /// already fired or was already cancelled. The callback (and anything
+  /// it captures) is destroyed before this returns.
   bool cancel(EventId id);
 
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Heap entries including tombstones (telemetry: bounded at
+  /// max(live + kCompactFloor, 2 * live) by compaction).
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
 
   /// Time of the earliest live event; SimTime::max() when empty.
   [[nodiscard]] SimTime next_time() const;
@@ -55,19 +69,41 @@ class EventQueue {
   Popped pop();
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  /// Compaction triggers when tombstones exceed both this floor and the
+  /// live count — amortized O(1) per cancellation.
+  static constexpr std::size_t kCompactFloor = 64;
+
   struct Entry {
     SimTime when;
     std::uint64_t seq;
-    friend bool operator>(const Entry& a, const Entry& b) {
+    std::uint32_t slot;
+  };
+  /// Min-heap order for std::push_heap/pop_heap (which build max-heaps
+  /// under operator<): "greater" comparison on (when, seq).
+  struct EntryAfter {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
-  void drain_cancelled() const;
+  struct Slot {
+    Callback cb;
+    std::uint64_t seq{0};        ///< 0 while dead/free
+    std::uint32_t next_free{kNoSlot};
+  };
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  [[nodiscard]] bool entry_live(const Entry& e) const {
+    return slots_[e.slot].seq == e.seq;
+  }
+  void release_slot(std::uint32_t slot);
+  void drain_cancelled() const;
+  void maybe_compact();
+
+  mutable std::vector<Entry> heap_;
+  mutable std::vector<Slot> slots_;
+  mutable std::uint32_t free_head_{kNoSlot};
   std::uint64_t next_seq_{1};
   std::size_t live_{0};
 };

@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "hpcwhisk/sim/event_queue.hpp"
 #include "hpcwhisk/sim/time.hpp"
@@ -48,6 +49,13 @@ class Simulation {
  public:
   using Callback = std::function<void()>;
 
+  Simulation() = default;
+  /// Breaks callback<->handle reference cycles of still-armed periodic
+  /// series so they are freed with the simulation.
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `cb` at absolute time `when` (must be >= now()).
@@ -84,9 +92,26 @@ class Simulation {
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Total events executed so far (perf telemetry: events/sec is the
+  /// simulator's fundamental throughput unit).
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
  private:
+  friend class PeriodicHandle;
+
+  /// Fires one periodic tick and re-arms. The scheduled closure captures
+  /// only the raw state pointer (8 trivially-copyable bytes), so every
+  /// rearm fits std::function's small-buffer storage — periodic series
+  /// (invoker poll loops, samplers: millions of firings per run) never
+  /// touch the heap after creation. Ownership lives in periodics_.
+  void fire_periodic(detail::PeriodicState* st);
+  void arm_periodic(detail::PeriodicState* st);
+  void release_periodic(const detail::PeriodicState* st);
+
   SimTime now_{SimTime::zero()};
   EventQueue queue_;
+  std::uint64_t executed_{0};
+  std::vector<std::shared_ptr<detail::PeriodicState>> periodics_;
 };
 
 }  // namespace hpcwhisk::sim

@@ -1,5 +1,6 @@
 #include "hpcwhisk/sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -7,44 +8,79 @@ namespace hpcwhisk::sim {
 
 EventId EventQueue::schedule(SimTime when, Callback cb) {
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq});
-  callbacks_.emplace(seq, std::move(cb));
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.seq = seq;
+  s.next_free = kNoSlot;
+  heap_.push_back(Entry{when, seq, slot});
+  std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
   ++live_;
-  return EventId{seq};
+  return EventId{seq, slot};
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = callbacks_.find(id.seq_);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
+  if (id.seq_ == 0 || id.slot_ >= slots_.size()) return false;
+  Slot& s = slots_[id.slot_];
+  if (s.seq != id.seq_) return false;  // already fired or cancelled
+  // Eager reclamation: the callback (and its captures) dies now; only
+  // the 24-byte heap entry lingers as a tombstone until drained.
+  s.cb = nullptr;
+  s.seq = 0;
+  s.next_free = free_head_;
+  free_head_ = id.slot_;
   --live_;
+  maybe_compact();
   return true;
 }
 
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb = nullptr;
+  s.seq = 0;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
 void EventQueue::drain_cancelled() const {
-  // Const because callers like next_time() are logically const; the heap
-  // shrink only discards tombstones and never changes observable state.
+  // Const because callers like next_time() are logically const; dropping
+  // tombstones never changes observable state. Cancelled entries' slots
+  // were already returned to the free list by cancel(), so a tombstone
+  // is any entry whose slot has moved on to a different seq (or none).
   auto& heap = heap_;
-  auto& self = const_cast<EventQueue&>(*this);
-  while (!heap.empty() &&
-         self.callbacks_.find(heap.top().seq) == self.callbacks_.end()) {
-    self.heap_.pop();
+  while (!heap.empty() && !entry_live(heap.front())) {
+    std::pop_heap(heap.begin(), heap.end(), EntryAfter{});
+    heap.pop_back();
   }
+}
+
+void EventQueue::maybe_compact() {
+  const std::size_t dead = heap_.size() - live_;
+  if (dead <= kCompactFloor || dead <= live_) return;
+  std::erase_if(heap_, [this](const Entry& e) { return !entry_live(e); });
+  std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
 }
 
 SimTime EventQueue::next_time() const {
   drain_cancelled();
-  return heap_.empty() ? SimTime::max() : heap_.top().when;
+  return heap_.empty() ? SimTime::max() : heap_.front().when;
 }
 
 EventQueue::Popped EventQueue::pop() {
   drain_cancelled();
   assert(!heap_.empty() && "pop() on empty EventQueue");
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(top.seq);
-  Popped out{top.when, std::move(it->second)};
-  callbacks_.erase(it);
+  const Entry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  heap_.pop_back();
+  Popped out{top.when, std::move(slots_[top.slot].cb)};
+  release_slot(top.slot);
   --live_;
   return out;
 }

@@ -28,19 +28,55 @@ std::string SimTime::to_string() const {
 
 void PeriodicHandle::stop() {
   if (!st_ || st_->stopped) return;
-  st_->stopped = true;
-  if (st_->sim != nullptr) st_->sim->cancel(st_->current);
+  // Keep the state alive on the stack: clearing cb below may destroy the
+  // last handle referencing it (user callbacks often capture their own
+  // handle, forming a cycle state->cb->handle->state).
+  const std::shared_ptr<detail::PeriodicState> st = st_;
+  st->stopped = true;
+  if (st->sim != nullptr) {
+    // cancel() fails exactly when the tick already popped, i.e. we are
+    // being stopped from inside the callback; fire_periodic() then owns
+    // the release (the state must stay alive until cb() returns).
+    if (st->sim->cancel(st->current)) {
+      st->sim->release_periodic(st.get());
+      st->cb = nullptr;
+    }
+  }
 }
 
-namespace {
-void arm(const std::shared_ptr<detail::PeriodicState>& st) {
-  st->current = st->sim->after(st->interval, [st] {
-    if (st->stopped) return;
-    st->cb();
-    if (!st->stopped) arm(st);
-  });
+void Simulation::arm_periodic(detail::PeriodicState* st) {
+  st->current = after(st->interval, [st] { st->sim->fire_periodic(st); });
 }
-}  // namespace
+
+void Simulation::fire_periodic(detail::PeriodicState* st) {
+  st->cb();
+  // The registry entry is guaranteed alive here: stop() only releases
+  // when it managed to cancel the pending tick, which it cannot while
+  // that tick is executing.
+  if (!st->stopped) {
+    arm_periodic(st);
+  } else {
+    st->cb = nullptr;  // safe: cb() has returned; breaks handle cycles
+    release_periodic(st);
+  }
+}
+
+Simulation::~Simulation() {
+  // Series still armed at teardown: their callbacks routinely capture
+  // their own handle (state->cb->handle->state); break the cycle so the
+  // registry drop actually frees them.
+  for (const auto& st : periodics_) st->cb = nullptr;
+}
+
+void Simulation::release_periodic(const detail::PeriodicState* st) {
+  for (auto& owned : periodics_) {
+    if (owned.get() == st) {
+      owned = std::move(periodics_.back());
+      periodics_.pop_back();
+      return;
+    }
+  }
+}
 
 PeriodicHandle Simulation::every(SimTime interval, Callback cb) {
   if (interval <= SimTime::zero())
@@ -49,7 +85,8 @@ PeriodicHandle Simulation::every(SimTime interval, Callback cb) {
   st->sim = this;
   st->interval = interval;
   st->cb = std::move(cb);
-  arm(st);
+  periodics_.push_back(st);
+  arm_periodic(st.get());
   return PeriodicHandle{std::move(st)};
 }
 
@@ -59,6 +96,7 @@ void Simulation::run_until(SimTime until) {
     if (t > until) break;
     auto [when, cb] = queue_.pop();
     now_ = when;
+    ++executed_;
     cb();
   }
   if (now_ < until) now_ = until;
@@ -73,6 +111,7 @@ bool Simulation::step() {
   if (queue_.empty()) return false;
   auto [when, cb] = queue_.pop();
   now_ = when;
+  ++executed_;
   cb();
   return true;
 }

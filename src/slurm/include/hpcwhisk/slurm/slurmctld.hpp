@@ -171,6 +171,18 @@ class Slurmctld {
   /// Forces a full scheduling pass right now (tests/benches).
   void schedule_now();
 
+  /// Availability timeline: for every node, when the scheduler expects it
+  /// to be free (now for idle; expected_end for HPC jobs; `now` for nodes
+  /// held only by preemptible lower-tier jobs when scheduling tier >= 1).
+  struct Availability {
+    std::vector<sim::SimTime> free_at;       // per node, for HPC planning
+    std::vector<sim::SimTime> pilot_free_at; // per node, incl. pilots
+  };
+  /// Rebuilds and returns the availability timeline for `tier`. Exposed
+  /// for micro-benchmarks and tooling; scheduling passes reuse internal
+  /// scratch buffers instead of calling this.
+  [[nodiscard]] Availability availability_snapshot(std::int32_t tier) const;
+
  private:
   /// Pending-queue entry, kept sorted by (priority desc, id asc) at
   /// insertion so scheduling passes never sort.
@@ -195,14 +207,11 @@ class Slurmctld {
   // Scheduling pipeline.
   void request_schedule();       // coalesced event-driven pass
   void run_sched_pass(bool periodic);
-  /// Availability timeline: for every node, when the scheduler expects it
-  /// to be free (now for idle; expected_end for HPC jobs; `now` for nodes
-  /// held only by preemptible lower-tier jobs when scheduling tier >= 1).
-  struct Availability {
-    std::vector<sim::SimTime> free_at;       // per node, for HPC planning
-    std::vector<sim::SimTime> pilot_free_at; // per node, incl. pilots
-  };
-  [[nodiscard]] Availability build_availability(std::int32_t tier) const;
+  /// Rebuilds the availability timeline for `tier` into `out`, reusing
+  /// its capacity. Called once per (pass, tier); the scheduler then
+  /// advances `out.free_at` in place as its planning timeline, instead
+  /// of ever copying or reallocating full per-node vectors.
+  void build_availability_into(std::int32_t tier, Availability& out) const;
 
   /// Attempts to start `rec` now, preempting lower tiers if allowed.
   /// Returns true if the job was launched or is waiting on preempted
@@ -264,6 +273,25 @@ class Slurmctld {
   Counters counters_;
   /// Stale availability picture for var sizing (see Config).
   std::vector<sim::SimTime> last_pass_reserved_from_;
+
+  // --- Per-pass scratch buffers ------------------------------------------
+  // The scheduler pass runs every <=30 s simulated over thousands of
+  // nodes; all working vectors live here so steady-state passes perform
+  // no heap allocation at all (capacities stabilize after the first few
+  // passes). Only valid for the duration of one pass.
+  Availability avail_scratch_;                  ///< per-tier timeline cache
+  PassCache pass_cache_;
+  std::vector<sim::SimTime> reserved_from_scratch_;
+  std::vector<std::pair<sim::SimTime, NodeId>> horizon_scratch_;
+  std::vector<QueueEntry> still_pending_scratch_;
+  std::vector<NodeId> chosen_scratch_;
+  std::vector<NodeId> victim_scratch_;
+  std::vector<std::size_t> taken_idle_scratch_;
+  std::vector<std::size_t> taken_pilot_scratch_;
+  std::vector<std::size_t> pilot_order_scratch_;
+  std::vector<sim::SimTime> pilot_start_scratch_;
+  std::vector<NodeId> cold_first_scratch_;
+  std::vector<NodeId> unused_nodes_scratch_;
 };
 
 }  // namespace hpcwhisk::slurm

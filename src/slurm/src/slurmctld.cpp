@@ -309,11 +309,12 @@ const Partition& Slurmctld::partition_of(const JobRecord& rec) const {
   return partitions_.at(rec.spec.partition);
 }
 
-Slurmctld::Availability Slurmctld::build_availability(std::int32_t tier) const {
-  Availability a;
+void Slurmctld::build_availability_into(std::int32_t tier,
+                                        Availability& a) const {
   const sim::SimTime now = sim_.now();
   a.free_at.assign(nodes_.size(), now);
   a.pilot_free_at.assign(nodes_.size(), now);
+  const bool any_claims = !node_claims_.empty();
   for (const Node& node : nodes_) {
     sim::SimTime hpc_free = now;
     sim::SimTime pilot_free = now;
@@ -332,17 +333,25 @@ Slurmctld::Availability Slurmctld::build_availability(std::int32_t tier) const {
       hpc_free = preemptable_by_us ? now : expected;
     }
     // Claimed nodes are spoken for until the claimant's expected end.
-    const auto claim = node_claims_.find(node.id);
-    if (claim != node_claims_.end()) {
-      const JobRecord& claimant = jobs_.at(claim->second);
-      const sim::SimTime claim_end =
-          now + claimant.granted_limit + partition_of(claimant).grace_time;
-      hpc_free = std::max(hpc_free, claim_end);
-      pilot_free = std::max(pilot_free, claim_end);
+    if (any_claims) {
+      const auto claim = node_claims_.find(node.id);
+      if (claim != node_claims_.end()) {
+        const JobRecord& claimant = jobs_.at(claim->second);
+        const sim::SimTime claim_end =
+            now + claimant.granted_limit + partition_of(claimant).grace_time;
+        hpc_free = std::max(hpc_free, claim_end);
+        pilot_free = std::max(pilot_free, claim_end);
+      }
     }
     a.free_at[node.id] = hpc_free;
     a.pilot_free_at[node.id] = pilot_free;
   }
+}
+
+Slurmctld::Availability Slurmctld::availability_snapshot(
+    std::int32_t tier) const {
+  Availability a;
+  build_availability_into(tier, a);
   return a;
 }
 
@@ -351,10 +360,15 @@ void Slurmctld::run_sched_pass(bool periodic) {
   const sim::SimTime now = sim_.now();
   last_pass_ = now;
 
-  // Node lists for this pass, updated in place as launches happen.
-  PassCache cache;
+  // Node lists for this pass, updated in place as launches happen. All
+  // pass-local vectors are member scratch: steady-state passes allocate
+  // nothing (ISSUE 2 hot-path contract, pinned by SchedGolden).
+  PassCache& cache = pass_cache_;
+  cache.idle.clear();
+  cache.pilot_held.clear();
+  const bool any_claims = !node_claims_.empty();
   for (const Node& node : nodes_) {
-    if (node_claims_.contains(node.id)) continue;
+    if (any_claims && node_claims_.contains(node.id)) continue;
     if (node.state == NodeState::kIdle) {
       cache.idle.push_back(node.id);
     } else if (node.state == NodeState::kAllocated) {
@@ -375,7 +389,8 @@ void Slurmctld::run_sched_pass(bool periodic) {
   // reservation_depth future reservations. reserved_from[n] = earliest
   // instant from which node n is reserved for a blocked job (max() when
   // unreserved); backfilled jobs must end before it.
-  std::vector<sim::SimTime> reserved_from(nodes_.size(), sim::SimTime::max());
+  std::vector<sim::SimTime>& reserved_from = reserved_from_scratch_;
+  reserved_from.assign(nodes_.size(), sim::SimTime::max());
   std::size_t reservations_made = 0;
 
   for (auto& [tier, queue] : pending_) {
@@ -383,9 +398,13 @@ void Slurmctld::run_sched_pass(bool periodic) {
 
     // Planning timeline for this tier: when each node is expected free,
     // advanced as we launch jobs and book reservations within this pass.
-    std::vector<sim::SimTime> scratch = build_availability(tier).free_at;
+    // Built once per (pass, tier) into the cached buffer and then
+    // mutated in place — never rebuilt or copied mid-tier.
+    build_availability_into(tier, avail_scratch_);
+    std::vector<sim::SimTime>& scratch = avail_scratch_.free_at;
 
-    std::vector<QueueEntry> still_pending;
+    std::vector<QueueEntry>& still_pending = still_pending_scratch_;
+    still_pending.clear();
     still_pending.reserve(queue.size());
     std::size_t examined = 0;
     for (const QueueEntry& entry : queue) {
@@ -406,7 +425,9 @@ void Slurmctld::run_sched_pass(bool periodic) {
       if (reservations_made < config_.reservation_depth) {
         // Book a future reservation for this blocked job on the nodes
         // that free earliest in the planning timeline.
-        std::vector<std::pair<sim::SimTime, NodeId>> horizon;
+        std::vector<std::pair<sim::SimTime, NodeId>>& horizon =
+            horizon_scratch_;
+        horizon.clear();
         horizon.reserve(nodes_.size());
         for (const Node& node : nodes_) {
           if (scratch[node.id] == sim::SimTime::max()) continue;
@@ -428,7 +449,7 @@ void Slurmctld::run_sched_pass(bool periodic) {
         }
       }
     }
-    queue = std::move(still_pending);
+    queue.swap(still_pending);
   }
 
   // ---- Phase 2: tier-0 pilot placement on idle nodes. ------------------
@@ -459,9 +480,11 @@ bool Slurmctld::try_start_hpc(JobRecord& rec, PassCache& cache,
   };
 
   // Prefer idle nodes: fewer preemptions, no grace-period delay.
-  std::vector<NodeId> chosen;
+  std::vector<NodeId>& chosen = chosen_scratch_;
+  chosen.clear();
   chosen.reserve(rec.spec.num_nodes);
-  std::vector<std::size_t> taken_idle_idx;
+  std::vector<std::size_t>& taken_idle_idx = taken_idle_scratch_;
+  taken_idle_idx.clear();
   for (std::size_t i = 0; i < cache.idle.size(); ++i) {
     if (chosen.size() == rec.spec.num_nodes) break;
     if (!usable(cache.idle[i])) continue;
@@ -471,19 +494,24 @@ bool Slurmctld::try_start_hpc(JobRecord& rec, PassCache& cache,
   // Preempt the *youngest* pilots first: the least accumulated serving
   // time is lost, and long-lived workers (warm containers, long queues)
   // survive — matching the long-serving invoker tail the paper reports.
-  std::vector<std::size_t> pilot_order(cache.pilot_held.size());
+  // Start times are gathered once so the sort never touches the jobs_
+  // hash table (two lookups per comparison in the old code).
+  std::vector<sim::SimTime>& pilot_start = pilot_start_scratch_;
+  pilot_start.clear();
+  pilot_start.reserve(cache.pilot_held.size());
+  for (const NodeId n : cache.pilot_held)
+    pilot_start.push_back(jobs_.at(nodes_[n].running_job).start_time);
+  std::vector<std::size_t>& pilot_order = pilot_order_scratch_;
+  pilot_order.resize(cache.pilot_held.size());
   for (std::size_t i = 0; i < pilot_order.size(); ++i) pilot_order[i] = i;
-  std::stable_sort(
-      pilot_order.begin(), pilot_order.end(),
-      [this, &cache](std::size_t a, std::size_t b) {
-        const JobRecord& ja =
-            jobs_.at(nodes_.at(cache.pilot_held[a]).running_job);
-        const JobRecord& jb =
-            jobs_.at(nodes_.at(cache.pilot_held[b]).running_job);
-        return ja.start_time > jb.start_time;
-      });
-  std::vector<NodeId> victim_nodes;
-  std::vector<std::size_t> taken_pilot_idx;
+  std::stable_sort(pilot_order.begin(), pilot_order.end(),
+                   [&pilot_start](std::size_t a, std::size_t b) {
+                     return pilot_start[a] > pilot_start[b];
+                   });
+  std::vector<NodeId>& victim_nodes = victim_scratch_;
+  victim_nodes.clear();
+  std::vector<std::size_t>& taken_pilot_idx = taken_pilot_scratch_;
+  taken_pilot_idx.clear();
   for (const std::size_t i : pilot_order) {
     if (chosen.size() == rec.spec.num_nodes) break;
     if (!usable(cache.pilot_held[i])) continue;
@@ -561,8 +589,10 @@ void Slurmctld::place_pilots(PassCache& cache,
   // Pilots take the *coldest* idle nodes (longest idle first): under the
   // LIFO reuse order HPC jobs consume hot nodes, so cold placement keeps
   // pilots out of the line of fire and lengthens their serving lives.
-  std::vector<NodeId> unused_nodes;
-  std::vector<NodeId> cold_first{cache.idle.rbegin(), cache.idle.rend()};
+  std::vector<NodeId>& unused_nodes = unused_nodes_scratch_;
+  unused_nodes.clear();
+  std::vector<NodeId>& cold_first = cold_first_scratch_;
+  cold_first.assign(cache.idle.rbegin(), cache.idle.rend());
   for (const NodeId node : cold_first) {
     if (now - last_freed_[node] < config_.pilot_min_idle) {
       unused_nodes.push_back(node);
@@ -608,7 +638,7 @@ void Slurmctld::place_pilots(PassCache& cache,
     if (!placed) unused_nodes.push_back(node);
   }
   std::reverse(unused_nodes.begin(), unused_nodes.end());
-  cache.idle = std::move(unused_nodes);
+  cache.idle.swap(unused_nodes);
 }
 
 void Slurmctld::launch(JobRecord& rec, std::vector<NodeId> nodes,

@@ -1,0 +1,156 @@
+// The parallel trial runner's contract: results gathered by input index,
+// output flushed to the sink in input order (byte-identical to a serial
+// run), exceptions rethrown on the calling thread, pool join on shutdown.
+
+#include "hpcwhisk/exec/parallel_trials.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hpcwhisk/exec/thread_pool.hpp"
+#include "hpcwhisk/sim/rng.hpp"
+
+namespace hpcwhisk::exec {
+namespace {
+
+/// A deterministic stand-in for a simulation trial: burns the seed's RNG
+/// stream and reports a value that depends only on the seed.
+std::uint64_t trial_value(std::uint64_t seed) {
+  sim::Rng rng{seed};
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 1000; ++i)
+    acc ^= static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+  return acc;
+}
+
+TEST(ParallelTrials, SerialAndParallelResultsIdentical) {
+  std::vector<std::uint64_t> seeds{11, 12, 13, 14, 15, 16, 17, 18};
+  const auto fn = [](const std::uint64_t seed, std::ostream& os) {
+    const std::uint64_t v = trial_value(seed);
+    os << "trial " << seed << " -> " << v << "\n";
+    return v;
+  };
+
+  std::ostringstream serial_sink, parallel_sink;
+  const auto serial = parallel_trials(seeds, fn, 1, serial_sink);
+  const auto parallel = parallel_trials(seeds, fn, 4, parallel_sink);
+
+  ASSERT_EQ(serial.size(), seeds.size());
+  EXPECT_EQ(serial, parallel);
+  for (std::size_t i = 0; i < seeds.size(); ++i)
+    EXPECT_EQ(serial[i], trial_value(seeds[i])) << "index " << i;
+  // The satellite guarantee: stdout of a parallel sweep is byte-identical
+  // to the serial sweep, regardless of completion order.
+  EXPECT_EQ(serial_sink.str(), parallel_sink.str());
+}
+
+TEST(ParallelTrials, OutputStaysInInputOrderWhenLaterTrialsFinishFirst) {
+  // Earlier trials sleep longer, so completion order is the reverse of
+  // input order — the flusher must still emit input order.
+  std::vector<int> delays_ms{40, 20, 5, 0};
+  std::ostringstream sink;
+  parallel_trials(
+      delays_ms,
+      [](const int delay, std::ostream& os) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        os << "slept " << delay << "\n";
+      },
+      4, sink);
+  EXPECT_EQ(sink.str(), "slept 40\nslept 20\nslept 5\nslept 0\n");
+}
+
+TEST(ParallelTrials, VoidFunctionIsSupported) {
+  std::vector<int> configs{1, 2, 3};
+  std::ostringstream sink;
+  parallel_trials(
+      configs, [](const int v, std::ostream& os) { os << v; }, 2, sink);
+  EXPECT_EQ(sink.str(), "123");
+}
+
+TEST(ParallelTrials, FirstErrorByIndexPropagates) {
+  std::vector<int> configs{0, 1, 2, 3};
+  const auto fn = [](const int v, std::ostream& os) {
+    os << "start " << v << "\n";
+    if (v >= 2) throw std::runtime_error("boom " + std::to_string(v));
+    return v;
+  };
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    std::ostringstream sink;
+    try {
+      parallel_trials(configs, fn, jobs, sink);
+      FAIL() << "expected exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      // Trials 2 and 3 both throw; the rethrow must pick the first by
+      // input index, exactly as a serial run would encounter it.
+      EXPECT_STREQ(e.what(), "boom 2") << "jobs=" << jobs;
+    }
+    // Everything up to and including the failing trial was flushed.
+    EXPECT_TRUE(sink.str().starts_with("start 0\nstart 1\nstart 2\n"))
+        << "jobs=" << jobs << " got: " << sink.str();
+  }
+}
+
+TEST(ParallelTrials, EmptyConfigListIsANoOp) {
+  std::ostringstream sink;
+  const auto results = parallel_trials(
+      std::vector<int>{},
+      [](const int v, std::ostream&) { return v; }, 4, sink);
+  EXPECT_TRUE(results.empty());
+  EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(JobCount, EnvOverrideWins) {
+  ASSERT_EQ(setenv("HW_BENCH_JOBS", "3", 1), 0);
+  EXPECT_EQ(job_count(), 3u);
+  ASSERT_EQ(setenv("HW_BENCH_JOBS", "0", 1), 0);  // invalid: fall through
+  EXPECT_GE(job_count(), 1u);
+  ASSERT_EQ(unsetenv("HW_BENCH_JOBS"), 0);
+  EXPECT_GE(job_count(), 1u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsValues) {
+  ThreadPool pool{2};
+  EXPECT_EQ(pool.thread_count(), 2u);
+  auto a = pool.submit([] { return 7; });
+  auto b = pool.submit([] { return std::string{"ok"}; });
+  EXPECT_EQ(a.get(), 7);
+  EXPECT_EQ(b.get(), "ok");
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool{2};
+  auto f = pool.submit([]() -> int { throw std::runtime_error("bad"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool{2};
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++ran;
+      });
+    }
+    // Destructor: join-on-destruction must run everything already queued.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, AtLeastOneWorker) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::exec

@@ -1,14 +1,20 @@
 // Multi-seed chaos soak: sampled fault plans over many seeds, each run
 // checked against the activation-conservation audit; plus the
 // reproducibility contract — two same-seed runs produce byte-identical
-// audit and chaos reports.
+// audit and chaos reports. The seeds fan out over exec::parallel_trials
+// (HW_BENCH_JOBS), which also exercises the runner under real
+// simulation load.
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <numeric>
 #include <string>
+#include <vector>
 
 #include "hpcwhisk/analysis/conservation.hpp"
 #include "hpcwhisk/core/system.hpp"
+#include "hpcwhisk/exec/parallel_trials.hpp"
 #include "hpcwhisk/fault/chaos_engine.hpp"
 #include "hpcwhisk/trace/faas_workload.hpp"
 
@@ -79,10 +85,17 @@ SoakOutcome run_soak(std::uint64_t seed) {
 }
 
 TEST(ChaosSoak, ConservationHoldsAcrossTwentySeeds) {
+  std::vector<std::uint64_t> seeds(20);
+  std::iota(seeds.begin(), seeds.end(), 1);
+  const std::vector<SoakOutcome> outcomes = exec::parallel_trials(
+      seeds, [](const std::uint64_t seed, std::ostream&) {
+        return run_soak(seed);
+      });
+  ASSERT_EQ(outcomes.size(), seeds.size());
   std::uint64_t total_faults = 0;
-  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-    const SoakOutcome out = run_soak(seed);
-    EXPECT_TRUE(out.ok) << "seed " << seed << ":\n"
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const SoakOutcome& out = outcomes[i];
+    EXPECT_TRUE(out.ok) << "seed " << seeds[i] << ":\n"
                         << out.audit_report << out.chaos_report;
     total_faults += out.faults_applied;
   }

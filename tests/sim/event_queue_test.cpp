@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace hpcwhisk::sim {
@@ -76,6 +77,43 @@ TEST(EventQueue, DefaultEventIdInvalid) {
   EXPECT_FALSE(id.valid());
   EventQueue q;
   EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelReclaimsCallbackEagerly) {
+  EventQueue q;
+  auto token = std::make_shared<int>(7);
+  const EventId id = q.schedule(SimTime::seconds(1), [token] {});
+  EXPECT_EQ(token.use_count(), 2);
+  EXPECT_TRUE(q.cancel(id));
+  // The capture must die at cancel() time, not when the tombstone is
+  // eventually popped — cancellation-heavy runs must not hoard memory.
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueue, CompactionBoundsTombstones) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  ids.reserve(10000);
+  for (int i = 0; i < 10000; ++i)
+    ids.push_back(q.schedule(SimTime::micros(i), [] {}));
+  for (const EventId id : ids) EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  // All 10k entries are dead; compaction must have swept nearly all of
+  // them without a pop ever happening.
+  EXPECT_LE(q.heap_entries(), 128u);
+  EXPECT_EQ(q.next_time(), SimTime::max());
+}
+
+TEST(EventQueue, SlotReuseKeepsIdsDistinct) {
+  EventQueue q;
+  const EventId a = q.schedule(SimTime::seconds(1), [] {});
+  ASSERT_TRUE(q.cancel(a));
+  // The freed slot is recycled; the stale id must not cancel the new one.
+  const EventId b = q.schedule(SimTime::seconds(2), [] {});
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(EventQueue, ManyInterleavedCancellations) {

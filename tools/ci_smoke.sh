@@ -1,5 +1,9 @@
 #!/usr/bin/env bash
-# CI smoke: configure, build, run the test suite, then a quick bench pass.
+# CI smoke: configure, build, run the test suite, then a quick bench pass —
+# serial and again under HW_BENCH_JOBS=4 (the parallel trial runner, which
+# must produce byte-identical output) — and emit the BENCH_perf.json perf
+# baseline. With SANITIZE=1 the same parallel bench passes run under
+# ASan+UBSan, which is the thread-safety smoke for src/exec.
 #
 #   SANITIZE=1    build with -DHPCWHISK_SANITIZE=ON (ASan+UBSan) in build-asan/
 #   BUILD_DIR=d   override the build directory
@@ -28,6 +32,22 @@ if [[ "${FULL_BENCH:-0}" == "1" ]]; then
   done
 else
   "$BUILD_DIR"/bench/chaos_recovery
+fi
+
+# Parallel trial runner: quick benches again under HW_BENCH_JOBS=4; output
+# must be byte-identical to the serial run above.
+echo "== parallel smoke (HW_BENCH_JOBS=4) =="
+"$BUILD_DIR"/bench/chaos_recovery > "$BUILD_DIR/chaos_serial.txt"
+HW_BENCH_JOBS=4 "$BUILD_DIR"/bench/chaos_recovery > "$BUILD_DIR/chaos_par.txt"
+cmp "$BUILD_DIR/chaos_serial.txt" "$BUILD_DIR/chaos_par.txt"
+HW_BENCH_JOBS=4 HW_BENCH_TRIALS=2 "$BUILD_DIR"/bench/table2_fib > /dev/null
+
+# Machine-readable perf baseline, archived in the build dir (and at the
+# repo root for the non-sanitizer run, where timings are meaningful).
+echo "== perf baseline =="
+HW_PERF_OUT="$BUILD_DIR/BENCH_perf.json" "$BUILD_DIR"/bench/perf_report
+if [[ "${SANITIZE:-0}" != "1" ]]; then
+  cp "$BUILD_DIR/BENCH_perf.json" BENCH_perf.json
 fi
 
 echo "ci_smoke: OK"
