@@ -1,5 +1,6 @@
 #include "experiment.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <ostream>
 
@@ -41,7 +42,21 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   result.simulation = std::make_unique<sim::Simulation>();
   sim::Simulation& simulation = *result.simulation;
 
+  if (cfg.observe) {
+    obs::Observability::Config obs_cfg;
+    obs_cfg.trace_capacity = cfg.trace_capacity;
+    result.obs = std::make_unique<obs::Observability>(obs_cfg);
+    result.obs->metrics.add_collector(
+        [sim = &simulation](obs::MetricsRegistry& m) {
+          m.gauge("sim.executed_events")
+              .set(static_cast<double>(sim->executed_events()));
+          m.gauge("sim.pending_events")
+              .set(static_cast<double>(sim->pending_events()));
+        });
+  }
+
   core::HpcWhiskSystem::Config sys_cfg;
+  sys_cfg.obs = result.obs.get();
   sys_cfg.seed = cfg.seed;
   sys_cfg.slurm.node_count = cfg.nodes;
   sys_cfg.partitions = core::default_partitions(cfg.grace);
@@ -105,6 +120,19 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (cfg.faas_qps > 0) {
     const auto names = trace::register_sleep_functions(system.functions(),
                                                        cfg.faas_functions);
+    // Re-register a share of the fleet as long-running interruptible
+    // actions: long executions are the ones live drains interrupt and
+    // reroute, which 10 ms sleeps essentially never exercise.
+    if (cfg.faas_long_share > 0) {
+      const std::size_t n_long = std::min(
+          names.size(), static_cast<std::size_t>(
+                            cfg.faas_long_share *
+                            static_cast<double>(names.size())));
+      for (std::size_t i = 0; i < n_long; ++i) {
+        system.functions().put(
+            whisk::fixed_duration_function(names[i], cfg.faas_long_duration));
+      }
+    }
     trace::FaasLoadGenerator::Config faas_cfg;
     faas_cfg.rate_qps = cfg.faas_qps;
     faas_cfg.functions = names;

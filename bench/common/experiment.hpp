@@ -25,6 +25,7 @@
 #include "hpcwhisk/analysis/stats.hpp"
 #include "hpcwhisk/core/job_manager.hpp"
 #include "hpcwhisk/core/system.hpp"
+#include "hpcwhisk/obs/observability.hpp"
 #include "hpcwhisk/trace/faas_workload.hpp"
 #include "hpcwhisk/trace/hpc_workload.hpp"
 
@@ -50,6 +51,20 @@ struct ExperimentConfig {
   std::size_t fib_per_length{10};
   std::vector<sim::SimTime> fib_lengths;  // empty => set A1
   sim::SimTime replenish_interval{sim::SimTime::seconds(15)};
+
+  /// Observability: when true the run carries a per-trial
+  /// obs::Observability sink (span trace + metrics) wired into every
+  /// component; the result owns it. Per-trial sinks — never a shared
+  /// one — keep exec::parallel_trials byte-identical with serial runs.
+  bool observe{false};
+  std::size_t trace_capacity{obs::TraceCollector::kDefaultCapacity};
+
+  /// Share of the FaaS functions re-registered as long-running
+  /// (interruptible) actions of `faas_long_duration`: long executions
+  /// are what drains actually interrupt, so this exercises the
+  /// fast-lane reroute path that 10 ms sleeps almost never hit.
+  double faas_long_share{0.0};
+  sim::SimTime faas_long_duration{sim::SimTime::seconds(30)};
 };
 
 /// Applies HW_BENCH_QUICK / HW_SEED to a config.
@@ -63,6 +78,11 @@ std::size_t trial_count();
 std::vector<ExperimentConfig> seed_sweep(ExperimentConfig base, std::size_t n);
 
 struct ExperimentResult {
+  /// Trace + metrics sink for this trial (null unless cfg.observe).
+  /// Declared first: components record into it from their destructors
+  /// (drain hand-offs in pilot teardown), so it must be destroyed last.
+  std::unique_ptr<obs::Observability> obs;
+
   sim::SimTime measure_start;
   sim::SimTime measure_end;
   /// Ground-truth node-state log over the whole run (burn-in included;

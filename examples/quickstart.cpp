@@ -4,21 +4,35 @@
 // all without delaying the HPC jobs.
 //
 //   $ ./quickstart
+//   $ ./quickstart --trace-out out.json   # + Perfetto span timeline
 //
 // Walks through: wiring the system, registering a function, submitting
 // the HPC schedule of Fig. 3, invoking functions, and printing both the
-// node timeline and the invocation outcomes.
+// node timeline and the invocation outcomes. With --trace-out the whole
+// run is traced and exported as Chrome trace_event JSON — open it at
+// https://ui.perfetto.dev to scrub activation and pilot spans.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "hpcwhisk/analysis/node_state_log.hpp"
 #include "hpcwhisk/core/system.hpp"
+#include "hpcwhisk/obs/export.hpp"
+#include "hpcwhisk/obs/observability.hpp"
 
 using namespace hpcwhisk;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
+  }
+
   sim::Simulation simulation;
+  obs::Observability obs;  // trace + metrics sink (used with --trace-out)
 
   // 1. A 5-node cluster with the canonical two partitions: "hpc" (tier 1)
   //    and preemptible "pilot" (tier 0, 3-minute grace).
@@ -28,6 +42,7 @@ int main() {
   cfg.manager.model = core::SupplyModel::kFib;
   cfg.manager.fib_lengths = core::job_length_set("C1");  // short pilots
   cfg.manager.fib_per_length = 2;
+  if (!trace_out.empty()) cfg.obs = &obs;
   core::HpcWhiskSystem system{simulation, cfg};
 
   // 2. A FaaS function: 100 ms of compute, 128 MB.
@@ -89,5 +104,14 @@ int main() {
             << "\n";
   std::cout << "\nthe HPC jobs were never delayed: pilots are preemptible\n"
                "tier-0 jobs that drain within seconds of SIGTERM.\n";
+
+  if (!trace_out.empty()) {
+    std::ofstream os{trace_out};
+    obs::ExportInfo info;
+    info.run = "quickstart";
+    obs::write_perfetto_json(os, obs.trace, info);
+    std::cout << "\nwrote " << obs.trace.size() << " trace events to "
+              << trace_out << " — open at https://ui.perfetto.dev\n";
+  }
   return 0;
 }

@@ -23,11 +23,19 @@
 
 #include "hpcwhisk/whisk/controller.hpp"
 
+namespace hpcwhisk::obs {
+struct Observability;
+}  // namespace hpcwhisk::obs
+
 namespace hpcwhisk::analysis {
 
 class ConservationAudit {
  public:
-  explicit ConservationAudit(whisk::Controller& controller);
+  /// `obs` (optional) receives one kAudit instant event per violation
+  /// (corr = offending activation id) plus audit.* counters whenever
+  /// finalize() runs; it must outlive the audit.
+  explicit ConservationAudit(whisk::Controller& controller,
+                             obs::Observability* obs = nullptr);
 
   ConservationAudit(const ConservationAudit&) = delete;
   ConservationAudit& operator=(const ConservationAudit&) = delete;
@@ -56,6 +64,7 @@ class ConservationAudit {
 
  private:
   whisk::Controller& controller_;
+  obs::Observability* obs_{nullptr};
   /// Terminal transitions seen per activation (ordered => deterministic
   /// violation output).
   std::map<whisk::ActivationId, std::uint32_t> terminal_seen_;

@@ -38,8 +38,10 @@ void print_table(std::ostream& os, const std::string& title,
 void print_cdf(std::ostream& os, const std::string& name,
                const std::vector<CdfPoint>& points);
 
-/// Prints a time series, downsampled to at most `max_points` rows of
-/// "t_seconds value".
+/// Prints a time series, downsampled (bucket-averaged) to roughly
+/// `max_points` rows of "t_seconds value". When downsampling kicks in,
+/// the header carries a "(downsampled from N)" suffix; `max_points == 0`
+/// disables downsampling and prints every sample.
 void print_series(std::ostream& os, const std::string& name,
                   const std::vector<double>& values, double dt_seconds,
                   std::size_t max_points = 48);

@@ -88,12 +88,19 @@ void print_cdf(std::ostream& os, const std::string& name,
 void print_series(std::ostream& os, const std::string& name,
                   const std::vector<double>& values, double dt_seconds,
                   std::size_t max_points) {
-  os << "-- series: " << name << " (t_seconds value) --\n";
   if (values.empty()) {
+    os << "-- series: " << name << " (t_seconds value) --\n";
     os << "(empty)\n\n";
     return;
   }
-  const std::size_t step = std::max<std::size_t>(1, values.size() / max_points);
+  // max_points == 0 means "no downsampling": every sample is printed.
+  const std::size_t step =
+      max_points == 0
+          ? 1
+          : std::max<std::size_t>(1, values.size() / max_points);
+  os << "-- series: " << name << " (t_seconds value)";
+  if (step > 1) os << " (downsampled from " << values.size() << ")";
+  os << " --\n";
   for (std::size_t i = 0; i < values.size(); i += step) {
     // Aggregate the bucket by averaging so bursts are not aliased away.
     double sum = 0;

@@ -78,6 +78,11 @@ class JobManager {
     /// comparison because it demonstrates *why* hole observation is
     /// needed.
     std::function<std::vector<double>()> hole_sampler;
+
+    /// Optional trace/metrics sink, also handed to every pilot it
+    /// creates; null disables all instrumentation. (The owner separately
+    /// sets `invoker.obs` for invoker-level events.)
+    obs::Observability* obs{nullptr};
   };
 
   JobManager(sim::Simulation& simulation, slurm::Slurmctld& slurmctld,

@@ -20,6 +20,10 @@
 #include "hpcwhisk/slurm/slurmctld.hpp"
 #include "hpcwhisk/whisk/invoker.hpp"
 
+namespace hpcwhisk::obs {
+struct Observability;
+}
+
 namespace hpcwhisk::core {
 
 class PilotJob {
@@ -33,10 +37,10 @@ class PilotJob {
 
   /// `warmup` models the boot-to-registered delay. The invoker is owned
   /// by the pilot and constructed immediately (it registers only after
-  /// warm-up).
+  /// warm-up). `obs` (nullable) records the pilot's phase transitions.
   PilotJob(sim::Simulation& simulation, slurm::Slurmctld& slurmctld,
            slurm::JobId slurm_job, std::unique_ptr<whisk::Invoker> invoker,
-           sim::SimTime warmup);
+           sim::SimTime warmup, obs::Observability* obs = nullptr);
 
   PilotJob(const PilotJob&) = delete;
   PilotJob& operator=(const PilotJob&) = delete;
@@ -67,6 +71,7 @@ class PilotJob {
   sim::EventId warmup_event_;
   sim::SimTime started_at_;
   sim::SimTime serving_since_;
+  obs::Observability* obs_{nullptr};
 };
 
 }  // namespace hpcwhisk::core

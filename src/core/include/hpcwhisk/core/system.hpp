@@ -39,6 +39,12 @@ class HpcWhiskSystem {
     fault::FaultPlan faults;
     fault::ChaosEngine::Config chaos;  ///< plan field ignored; use `faults`
     std::uint64_t seed{1};
+    /// Optional trace/metrics sink propagated to every component
+    /// (slurmctld, controller, invokers, pilots, broker, chaos). Null —
+    /// the default — disables all instrumentation; the instance must
+    /// outlive the system. Per-component obs fields set inside the
+    /// nested configs are overwritten by this one.
+    obs::Observability* obs{nullptr};
   };
 
   /// Functions must be registered on `registry` before invocations; the

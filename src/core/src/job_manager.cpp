@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "hpcwhisk/obs/observability.hpp"
+
 namespace hpcwhisk::core {
 
 const char* to_string(SupplyModel m) {
@@ -48,6 +50,18 @@ JobManager::JobManager(sim::Simulation& simulation, slurm::Slurmctld& slurmctld,
       rng_{rng},
       warmup_{config_.warmup_median_s, config_.warmup_p95_s, 0.95} {
   if (config_.fib_lengths.empty()) config_.fib_lengths = job_length_set("A1");
+  HW_OBS_IF(config_.obs) {
+    config_.obs->metrics.add_collector([this](obs::MetricsRegistry& m) {
+      m.counter("pilot.submitted").set(counters_.submitted);
+      m.counter("pilot.started").set(counters_.started);
+      m.counter("pilot.preempted").set(counters_.preempted);
+      m.counter("pilot.timed_out").set(counters_.timed_out);
+      m.counter("pilot.completed").set(counters_.completed);
+      m.counter("pilot.hard_killed").set(counters_.hard_killed);
+      m.gauge("pilot.active").set(static_cast<double>(pilots_.size()));
+      m.gauge("pilot.queued").set(static_cast<double>(queued_.size()));
+    });
+  }
 }
 
 void JobManager::start() {
@@ -199,6 +213,11 @@ void JobManager::submit_pilot(sim::SimTime length, bool variable) {
   const slurm::JobId id = slurmctld_.submit(std::move(spec));
   queued_.emplace(id, length);
   ++counters_.submitted;
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record_chained(
+        obs::Cat::kPilot, obs::Phase::kAsyncBegin, "pilot", obs::Track::kPilot,
+        id, id, sim_.now(), length.to_minutes(), variable ? 1.0 : 0.0);
+  }
 }
 
 void JobManager::on_pilot_start(const slurm::JobRecord& rec) {
@@ -208,9 +227,16 @@ void JobManager::on_pilot_start(const slurm::JobRecord& rec) {
       sim_, broker_, registry_, controller_, config_.invoker, rng_.fork());
   const sim::SimTime warmup = sim::SimTime::seconds(warmup_.sample(rng_));
   warmup_durations_.push_back(warmup);
-  pilots_.emplace(rec.id,
-                  std::make_unique<PilotJob>(sim_, slurmctld_, rec.id,
-                                             std::move(invoker), warmup));
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record_chained(
+        obs::Cat::kPilot, obs::Phase::kInstant, "pilot_start",
+        obs::Track::kPilot, rec.id, rec.id, sim_.now(), warmup.to_seconds());
+    config_.obs->metrics.histogram("pilot.warmup_s")
+        .observe(warmup.to_seconds());
+  }
+  pilots_.emplace(rec.id, std::make_unique<PilotJob>(
+                              sim_, slurmctld_, rec.id, std::move(invoker),
+                              warmup, config_.obs));
 }
 
 void JobManager::on_pilot_sigterm(const slurm::JobRecord& rec) {
@@ -226,8 +252,21 @@ void JobManager::on_pilot_end(const slurm::JobRecord& rec,
   if (it == pilots_.end()) return;
 
   PilotJob& pilot = *it->second;
-  if (pilot.serving_since() > sim::SimTime::zero())
-    serving_durations_.push_back(sim_.now() - pilot.serving_since());
+  sim::SimTime served = sim::SimTime::zero();
+  if (pilot.serving_since() > sim::SimTime::zero()) {
+    served = sim_.now() - pilot.serving_since();
+    serving_durations_.push_back(served);
+    HW_OBS_IF(config_.obs) {
+      config_.obs->metrics.histogram("pilot.serving_min")
+          .observe(served.to_minutes());
+    }
+  }
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record_chained(
+        obs::Cat::kPilot, obs::Phase::kAsyncEnd, "pilot", obs::Track::kPilot,
+        rec.id, rec.id, sim_.now(),
+        static_cast<double>(static_cast<int>(reason)), served.to_minutes());
+  }
   // Ending while still serving means no SIGTERM ever arrived (node
   // failure / forced kill): local state is lost.
   if (pilot.phase() == PilotJob::Phase::kServing) ++counters_.hard_killed;

@@ -1,19 +1,28 @@
 #include "hpcwhisk/core/pilot.hpp"
 
+#include "hpcwhisk/obs/observability.hpp"
+
 namespace hpcwhisk::core {
 
 PilotJob::PilotJob(sim::Simulation& simulation, slurm::Slurmctld& slurmctld,
                    slurm::JobId slurm_job,
-                   std::unique_ptr<whisk::Invoker> invoker, sim::SimTime warmup)
+                   std::unique_ptr<whisk::Invoker> invoker, sim::SimTime warmup,
+                   obs::Observability* obs)
     : sim_{simulation},
       slurmctld_{slurmctld},
       slurm_job_{slurm_job},
       invoker_{std::move(invoker)},
-      started_at_{simulation.now()} {
+      started_at_{simulation.now()},
+      obs_{obs} {
   warmup_event_ = sim_.after(warmup, [this] {
     if (phase_ != Phase::kWarmingUp) return;
     phase_ = Phase::kServing;
     serving_since_ = sim_.now();
+    HW_OBS_IF(obs_) {
+      obs_->trace.record_chained(
+          obs::Cat::kPilot, obs::Phase::kInstant, "pilot_serving",
+          obs::Track::kPilot, slurm_job_, slurm_job_, sim_.now());
+    }
     invoker_->start();
   });
 }
@@ -26,6 +35,14 @@ PilotJob::~PilotJob() {
 }
 
 void PilotJob::on_sigterm() {
+  HW_OBS_IF(obs_) {
+    if (phase_ == Phase::kWarmingUp || phase_ == Phase::kServing) {
+      obs_->trace.record_chained(
+          obs::Cat::kPilot, obs::Phase::kInstant, "pilot_sigterm",
+          obs::Track::kPilot, slurm_job_, slurm_job_, sim_.now(),
+          static_cast<double>(static_cast<int>(phase_)));
+    }
+  }
   switch (phase_) {
     case Phase::kWarmingUp:
       // Not registered yet: nothing to hand off; exit immediately.

@@ -19,6 +19,16 @@ std::vector<slurm::Partition> default_partitions(sim::SimTime grace) {
 
 HpcWhiskSystem::HpcWhiskSystem(sim::Simulation& simulation, Config config) {
   if (config.partitions.empty()) config.partitions = default_partitions();
+  if (config.obs != nullptr) {
+    // One sink for the whole deployment: fan the pointer out to every
+    // component config before construction.
+    config.slurm.obs = config.obs;
+    config.controller.obs = config.obs;
+    config.manager.obs = config.obs;
+    config.manager.invoker.obs = config.obs;
+    config.chaos.obs = config.obs;
+    broker_.set_observability(config.obs);
+  }
   sim::Rng rng{config.seed};
   slurmctld_ = std::make_unique<slurm::Slurmctld>(simulation, config.slurm,
                                                   config.partitions);

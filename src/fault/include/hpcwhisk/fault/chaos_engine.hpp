@@ -29,6 +29,10 @@
 #include "hpcwhisk/whisk/controller.hpp"
 #include "hpcwhisk/whisk/invoker.hpp"
 
+namespace hpcwhisk::obs {
+struct Observability;
+}
+
 namespace hpcwhisk::fault {
 
 /// One fault the engine actually applied, with its observed recovery.
@@ -56,6 +60,8 @@ class ChaosEngine {
     sim::SimTime recovery_poll{sim::SimTime::seconds(1)};
     /// Give up calling a fault "recovered" after this long.
     sim::SimTime recovery_timeout{sim::SimTime::minutes(30)};
+    /// Optional trace/metrics sink; null disables all instrumentation.
+    obs::Observability* obs{nullptr};
   };
 
   ChaosEngine(sim::Simulation& simulation, slurm::Slurmctld& slurm,

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "hpcwhisk/obs/observability.hpp"
 #include "hpcwhisk/slurm/node.hpp"
 
 namespace hpcwhisk::fault {
@@ -23,6 +24,12 @@ ChaosEngine::ChaosEngine(sim::Simulation& simulation, slurm::Slurmctld& slurm,
 void ChaosEngine::arm() {
   if (armed_) throw std::logic_error("ChaosEngine::arm: already armed");
   armed_ = true;
+  HW_OBS_IF(config_.obs) {
+    config_.obs->metrics.add_collector([this](obs::MetricsRegistry& m) {
+      m.counter("fault.applied").set(counters_.applied);
+      m.counter("fault.skipped").set(counters_.skipped);
+    });
+  }
 
   std::vector<FaultEvent> events = config_.plan.events();
   std::stable_sort(
@@ -74,6 +81,11 @@ void ChaosEngine::fire_node_crash(const FaultEvent& ev) {
       if (states[id] == slurm::ObservedNodeState::kPilot) pilots.push_back(id);
     if (pilots.empty()) {
       ++counters_.skipped;
+      HW_OBS_IF(config_.obs) {
+        config_.obs->trace.record(obs::Cat::kFault, obs::Phase::kInstant,
+                                  "fault_skipped", obs::Track::kChaos, 0,
+                                  obs::kNoCorr, sim_.now());
+      }
       return;
     }
     node = pilots[static_cast<std::size_t>(
@@ -87,6 +99,15 @@ void ChaosEngine::fire_node_crash(const FaultEvent& ev) {
   fault.healthy_before = controller_.healthy_count();
   applied_.push_back(fault);
   ++counters_.applied;
+  HW_OBS_IF(config_.obs) {
+    // corr is the applied-fault index so the later "recovered" instant
+    // chains back to the injection; arg0 = unavailability window (s),
+    // arg1 = target node.
+    config_.obs->trace.record_chained(
+        obs::Cat::kFault, obs::Phase::kInstant, to_string(ev.kind),
+        obs::Track::kChaos, 0, applied_.size() - 1, sim_.now(),
+        (ev.grace + ev.outage).to_seconds(), static_cast<double>(node));
+  }
 
   slurm_.fail_node(node, ev.grace);
   sim_.after(ev.grace + ev.outage, [this, node] { slurm_.set_node_up(node); });
@@ -119,6 +140,11 @@ void ChaosEngine::fire_invoker(const FaultEvent& ev) {
   whisk::Invoker* inv = pick_invoker(ev.target);
   if (inv == nullptr) {
     ++counters_.skipped;
+    HW_OBS_IF(config_.obs) {
+      config_.obs->trace.record(obs::Cat::kFault, obs::Phase::kInstant,
+                                "fault_skipped", obs::Track::kChaos, 0,
+                                obs::kNoCorr, sim_.now());
+    }
     return;
   }
 
@@ -129,6 +155,13 @@ void ChaosEngine::fire_invoker(const FaultEvent& ev) {
   fault.healthy_before = controller_.healthy_count();
   applied_.push_back(fault);
   ++counters_.applied;
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record_chained(
+        obs::Cat::kFault, obs::Phase::kInstant, to_string(ev.kind),
+        obs::Track::kChaos, 0, applied_.size() - 1, sim_.now(),
+        ev.kind == FaultKind::kInvokerStall ? ev.stall.to_seconds() : 0.0,
+        static_cast<double>(inv->id()));
+  }
 
   if (ev.kind == FaultKind::kInvokerStall) {
     inv->stall(ev.stall);
@@ -156,6 +189,14 @@ void ChaosEngine::open_mq_window(const FaultEvent& ev) {
   fault.recovery = ev.window;
   applied_.push_back(fault);
   ++counters_.applied;
+  HW_OBS_IF(config_.obs) {
+    // Instants cannot span; arg0 carries the window length (s) so
+    // consumers reconstruct [at, at + arg0] as the disturbance window.
+    config_.obs->trace.record_chained(
+        obs::Cat::kFault, obs::Phase::kInstant, to_string(ev.kind),
+        obs::Track::kChaos, 0, applied_.size() - 1, sim_.now(),
+        ev.window.to_seconds(), ev.probability);
+  }
 }
 
 mq::Topic::FaultAction ChaosEngine::decide(const mq::Message& msg) {
@@ -193,6 +234,12 @@ void ChaosEngine::watch_recovery(std::size_t index) {
     if (fault.recovery != sim::SimTime::max()) return;
     if (controller_.healthy_count() >= fault.healthy_before) {
       fault.recovery = sim_.now() - fault.at;
+      HW_OBS_IF(config_.obs) {
+        config_.obs->trace.record_chained(
+            obs::Cat::kFault, obs::Phase::kInstant, "recovered",
+            obs::Track::kChaos, 0, index, sim_.now(),
+            fault.recovery.to_seconds());
+      }
       return;
     }
     if (sim_.now() - fault.at >= config_.recovery_timeout) return;

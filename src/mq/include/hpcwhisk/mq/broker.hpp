@@ -12,6 +12,10 @@
 
 #include "hpcwhisk/mq/topic.hpp"
 
+namespace hpcwhisk::obs {
+struct Observability;
+}
+
 namespace hpcwhisk::mq {
 
 class Broker {
@@ -41,6 +45,12 @@ class Broker {
   /// sorting keeps logs and reports reproducible across platforms.
   [[nodiscard]] std::vector<std::string> topic_names() const;
   [[nodiscard]] std::size_t topic_count() const;
+
+  /// Registers a metrics collector on `obs` that sums every topic's
+  /// counters into the mq.* instruments at snapshot time (publishes stay
+  /// uninstrumented — the hot path is untouched). `obs` must not outlive
+  /// the broker. Null is a no-op.
+  void set_observability(obs::Observability* obs);
 
  private:
   mutable std::mutex mu_;

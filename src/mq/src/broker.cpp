@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "hpcwhisk/obs/observability.hpp"
+
 namespace hpcwhisk::mq {
 
 Broker::Broker() { fast_lane_ = &topic(kFastLane); }
@@ -53,6 +55,37 @@ std::vector<std::string> Broker::topic_names() const {
 std::size_t Broker::topic_count() const {
   std::lock_guard lock{mu_};
   return topics_.size();
+}
+
+void Broker::set_observability(obs::Observability* obs) {
+  HW_OBS_IF(obs) {
+    obs->metrics.add_collector([this](obs::MetricsRegistry& m) {
+      Topic::Counters total;
+      Topic::Counters fast;
+      {
+        std::lock_guard lock{mu_};
+        for (const auto& [name, t] : topics_) {
+          const Topic::Counters c = t->counters();
+          total.published += c.published;
+          total.consumed += c.consumed;
+          total.drained += c.drained;
+          total.fault_dropped += c.fault_dropped;
+          total.fault_delayed += c.fault_delayed;
+          total.fault_duplicated += c.fault_duplicated;
+          if (t.get() == fast_lane_) fast = c;
+        }
+      }
+      m.counter("mq.published").set(total.published);
+      m.counter("mq.consumed").set(total.consumed);
+      m.counter("mq.drained").set(total.drained);
+      m.counter("mq.fault_dropped").set(total.fault_dropped);
+      m.counter("mq.fault_delayed").set(total.fault_delayed);
+      m.counter("mq.fault_duplicated").set(total.fault_duplicated);
+      m.counter("mq.fast_lane.published").set(fast.published);
+      m.counter("mq.fast_lane.consumed").set(fast.consumed);
+      m.gauge("mq.topics").set(static_cast<double>(topics_.size()));
+    });
+  }
 }
 
 }  // namespace hpcwhisk::mq

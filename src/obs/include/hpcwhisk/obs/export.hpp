@@ -1,0 +1,47 @@
+#pragma once
+// Trace/metrics exporters.
+//
+//  * write_perfetto_json — Chrome trace_event JSON (the legacy format
+//    both chrome://tracing and ui.perfetto.dev load directly): sync
+//    spans as B/E on per-component threads, causal activation/pilot
+//    spans as legacy async b/e correlated by id, instants as i. Open
+//    the file at https://ui.perfetto.dev to scrub the run's timeline.
+//  * write_metrics_jsonl — one JSON object per instrument per line
+//    (MetricsRegistry::write_jsonl plus a leading run-info line).
+//
+// Both outputs are deterministic for a seeded run: events emit in record
+// order, metrics in name order, numbers in fixed formats.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "hpcwhisk/obs/metrics.hpp"
+#include "hpcwhisk/obs/trace.hpp"
+
+namespace hpcwhisk::obs {
+
+struct ExportInfo {
+  std::string run{"hpcwhisk"};  ///< label stamped into both outputs
+  std::uint64_t seed{0};
+};
+
+void write_perfetto_json(std::ostream& os, const TraceCollector& trace,
+                         const ExportInfo& info = {});
+
+/// Leading line: {"name":"_run","type":"info",...}; then the registry.
+/// Call metrics.collect() first if collectors are registered.
+void write_metrics_jsonl(std::ostream& os, const MetricsRegistry& metrics,
+                         const ExportInfo& info = {});
+
+/// Minimal structural validation of an exported Perfetto JSON document:
+/// balanced braces/brackets outside strings and the required top-level
+/// keys. Used by bench/obs_report to self-check its artifact (the CI
+/// smoke additionally parses it with python3 when available).
+[[nodiscard]] bool looks_like_perfetto_json(std::string_view doc);
+
+/// Stable thread-id assignment used by the exporter, exposed so tests
+/// can assert track mapping.
+[[nodiscard]] std::uint64_t perfetto_tid(Track kind, std::uint64_t track);
+
+}  // namespace hpcwhisk::obs

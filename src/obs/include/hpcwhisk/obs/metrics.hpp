@@ -1,0 +1,132 @@
+#pragma once
+// MetricsRegistry: named counters, gauges, and log-bucketed histograms.
+//
+// Runtime components register instruments once (a map lookup) and cache
+// the returned reference; hot paths then pay one pointer write or one
+// bucket increment. Histograms are HDR-style log-bucketed (8 sub-buckets
+// per power of two => <= 12.5 % relative quantile error) so p50/p95/p99
+// come out of 4 KB of fixed state without storing raw samples.
+//
+// Components whose counters already exist (Slurmctld::Counters,
+// Controller::Counters, Topic::Counters...) register a *collector*
+// instead: a callback run at snapshot time that copies those counters
+// into the registry, keeping the hot paths untouched.
+//
+// Everything is deterministic: instruments iterate in name order
+// (std::map) and values are integers or exact doubles, so a metrics
+// snapshot of a seeded run is byte-identical across repeats — the same
+// contract the benches already hold for their stdout.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hpcwhisk::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  /// Absolute assignment: the collector path for pre-existing counters.
+  void set(std::uint64_t v) { value_ = v; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_{0};
+};
+
+/// Log-bucketed histogram over non-negative values. Buckets split each
+/// octave [2^k, 2^(k+1)) into kSubBuckets linear slices; values below 1
+/// land in the first bucket (callers observe microsecond ticks, so only
+/// sub-microsecond durations lose resolution there).
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 8;
+  static constexpr int kOctaves = 60;
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double avg() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  /// Quantile estimate from the bucket boundaries, clamped to the exact
+  /// observed [min, max]. q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  static std::size_t bucket_index(double v);
+  /// Arithmetic midpoint of bucket `idx`'s value range.
+  static double bucket_mid(std::size_t idx);
+
+  std::array<std::uint64_t, static_cast<std::size_t>(kOctaves) * kSubBuckets>
+      buckets_{};
+  std::uint64_t count_{0};
+  double sum_{0};
+  double min_{0};
+  double max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Return the named instrument, creating it on first use. References
+  /// stay valid for the registry's lifetime. Re-requesting a name with a
+  /// different type throws std::logic_error.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Snapshot callback: runs on every collect(), typically copying a
+  /// component's existing counter struct into registry instruments.
+  /// Collectors must not outlive the component they capture.
+  void add_collector(std::function<void(MetricsRegistry&)> fn);
+
+  /// Runs all collectors (in registration order). Call before exporting.
+  void collect();
+
+  /// One JSON object per line, sorted by metric name; deterministic for
+  /// a seeded run. Does NOT call collect() — callers decide when.
+  void write_jsonl(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t instrument_count() const { return entries_.size(); }
+
+  enum class Type : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Type type{};
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> hist;  // 4 KB: heap-allocated on demand
+  };
+  /// Name-ordered iteration for exporters and tests.
+  [[nodiscard]] const std::map<std::string, Entry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  Entry& entry(const std::string& name, Type type);
+
+  std::map<std::string, Entry> entries_;
+  std::vector<std::function<void(MetricsRegistry&)>> collectors_;
+};
+
+}  // namespace hpcwhisk::obs

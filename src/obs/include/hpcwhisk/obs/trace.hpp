@@ -1,0 +1,146 @@
+#pragma once
+// TraceCollector: the typed event timeline behind every run diagnosis.
+//
+// The paper's entire evaluation is reconstructed from event timelines —
+// per-activation state transitions (Figs. 5b/6b), pilot lifecycles and
+// drain windows, node-state samples. The collector records those as
+// typed spans and instant events in one append-only per-simulation
+// buffer, in strict simulation order (the driver is single-threaded), so
+// a trace is a total order of everything the run did.
+//
+// Cost model: recording is bounded-time (one bounds check, one struct
+// write, and for chained events one hash-map update); names must be
+// string literals so no allocation or copy ever happens per event. When
+// tracing is off the collector does not exist at all — call sites guard
+// on a null Observability pointer (see observability.hpp), which is the
+// runtime flag, and the HW_OBS_IF macro compiles the whole site away
+// when HPCWHISK_OBS_COMPILED=0.
+//
+// Causality: record_chained() links each event to the previous event
+// recorded for the same (category, correlation id) — activation events
+// thread controller → topic → invoker → container through submit /
+// pull / exec / drain-reroute / terminal, so a terminal span can be
+// walked back to its submission. tests/obs/causality_test.cpp holds the
+// invariant.
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "hpcwhisk/sim/time.hpp"
+
+namespace hpcwhisk::obs {
+
+/// Event category: the span taxonomy (DESIGN.md §10).
+enum class Cat : std::uint8_t {
+  kActivation,  ///< one function invocation, submit -> terminal
+  kPilot,       ///< pilot-job / invoker lifecycle (queued..kill)
+  kSched,       ///< slurmctld passes, launches, preemptions
+  kFault,       ///< chaos injections and recoveries
+  kMq,          ///< broker-level fault actions
+  kAudit,       ///< conservation-audit findings
+  kMark,        ///< harness markers (measure window, export points)
+};
+
+[[nodiscard]] const char* to_string(Cat c);
+
+/// How the event renders on a timeline (mirrors Chrome trace phases).
+enum class Phase : std::uint8_t {
+  kBegin,       ///< synchronous span opens on its track
+  kEnd,         ///< ... closes
+  kAsyncBegin,  ///< id-correlated span opens (may migrate tracks)
+  kAsyncEnd,    ///< ... closes
+  kInstant,     ///< point event
+};
+
+/// Which timeline row the event belongs to. Exported as Perfetto thread
+/// ids; `track` below disambiguates within a kind (invoker id, job id).
+enum class Track : std::uint8_t {
+  kController,
+  kSlurmctld,
+  kChaos,
+  kInvoker,
+  kPilot,
+};
+
+inline constexpr std::uint32_t kNoParent = 0xFFFFFFFFu;
+inline constexpr std::uint64_t kNoCorr = ~0ull;
+
+struct TraceEvent {
+  sim::SimTime at;
+  const char* name;    ///< static string literal; never freed or copied
+  std::uint64_t corr;  ///< correlation id (activation id, slurm job id)
+  std::uint64_t track; ///< row within track_kind (invoker id, job id, 0)
+  double arg0{0};
+  double arg1{0};
+  std::uint32_t parent{kNoParent};  ///< seq of the causal parent event
+  Cat cat{};
+  Phase phase{};
+  Track track_kind{};
+};
+
+class TraceCollector {
+ public:
+  /// Default ring capacity: 1M events (~64 MB). Recording past capacity
+  /// drops the newest events and counts them — never silently.
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  explicit TraceCollector(std::size_t capacity = kDefaultCapacity);
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Records one event; returns its sequence number (index into
+  /// events()), or kNoParent if the buffer is full and it was dropped.
+  /// `name` MUST be a string literal (stored by pointer).
+  std::uint32_t record(Cat cat, Phase phase, const char* name, Track track_kind,
+                       std::uint64_t track, std::uint64_t corr,
+                       sim::SimTime at, double arg0 = 0.0, double arg1 = 0.0);
+
+  /// Like record(), but sets `parent` to the previous event recorded for
+  /// the same (cat, corr) through this method — the causal-chain variant
+  /// used for activation and pilot lifecycles.
+  std::uint32_t record_chained(Cat cat, Phase phase, const char* name,
+                               Track track_kind, std::uint64_t track,
+                               std::uint64_t corr, sim::SimTime at,
+                               double arg0 = 0.0, double arg1 = 0.0);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events refused because the buffer was full.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Seq of the most recent chained event for (cat, corr); kNoParent if
+  /// none (tests and exporters walk chains with this).
+  [[nodiscard]] std::uint32_t chain_tail(Cat cat, std::uint64_t corr) const;
+
+  void clear();
+
+ private:
+  static std::uint64_t chain_key(Cat cat, std::uint64_t corr) {
+    return (static_cast<std::uint64_t>(cat) << 56) ^ corr;
+  }
+
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::uint64_t, std::uint32_t> chain_tail_;
+  std::size_t capacity_;
+  std::uint64_t dropped_{0};
+};
+
+/// FNV-1a over bytes: the repo's canonical decision-log digest (shared
+/// with tests/slurm/sched_golden_test.cpp and bench/obs_report's
+/// traced-vs-untraced determinism check).
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace hpcwhisk::obs

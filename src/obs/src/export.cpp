@@ -1,0 +1,138 @@
+#include "hpcwhisk/obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+namespace hpcwhisk::obs {
+
+namespace {
+
+const char* phase_code(Phase p) {
+  switch (p) {
+    case Phase::kBegin: return "B";
+    case Phase::kEnd: return "E";
+    case Phase::kAsyncBegin: return "b";
+    case Phase::kAsyncEnd: return "e";
+    case Phase::kInstant: return "i";
+  }
+  return "i";
+}
+
+std::string json_num(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 9.0e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string track_name(Track kind, std::uint64_t track) {
+  switch (kind) {
+    case Track::kController: return "controller";
+    case Track::kSlurmctld: return "slurmctld";
+    case Track::kChaos: return "chaos";
+    case Track::kInvoker: return "invoker-" + std::to_string(track);
+    case Track::kPilot: return "pilot-job-" + std::to_string(track);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::uint64_t perfetto_tid(Track kind, std::uint64_t track) {
+  switch (kind) {
+    case Track::kController: return 1;
+    case Track::kSlurmctld: return 2;
+    case Track::kChaos: return 3;
+    case Track::kInvoker: return 100 + track;
+    case Track::kPilot: return 100000 + track;
+  }
+  return 99;
+}
+
+void write_perfetto_json(std::ostream& os, const TraceCollector& trace,
+                         const ExportInfo& info) {
+  constexpr int kPid = 1;
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"run\": \""
+     << info.run << "\", \"seed\": " << info.seed
+     << ", \"events\": " << trace.size()
+     << ", \"dropped_events\": " << trace.dropped() << "},\n"
+     << "\"traceEvents\": [\n";
+
+  os << "{\"ph\":\"M\",\"pid\":" << kPid
+     << ",\"name\":\"process_name\",\"args\":{\"name\":\"hpc-whisk\"}}";
+
+  // Deterministic thread metadata: every (kind, track) row seen, in tid
+  // order.
+  std::map<std::uint64_t, std::string> threads;
+  for (const TraceEvent& ev : trace.events())
+    threads.emplace(perfetto_tid(ev.track_kind, ev.track),
+                    track_name(ev.track_kind, ev.track));
+  for (const auto& [tid, name] : threads) {
+    os << ",\n{\"ph\":\"M\",\"pid\":" << kPid << ",\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << name << "\"}}";
+  }
+
+  const auto& events = trace.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    os << ",\n{\"ph\":\"" << phase_code(ev.phase) << "\",\"pid\":" << kPid
+       << ",\"tid\":" << perfetto_tid(ev.track_kind, ev.track)
+       << ",\"ts\":" << ev.at.ticks() << ",\"name\":\"" << ev.name
+       << "\",\"cat\":\"" << to_string(ev.cat) << '"';
+    if (ev.phase == Phase::kAsyncBegin || ev.phase == Phase::kAsyncEnd) {
+      os << ",\"id\":" << ev.corr;
+    }
+    if (ev.phase == Phase::kInstant) os << ",\"s\":\"t\"";
+    os << ",\"args\":{\"seq\":" << i;
+    if (ev.corr != kNoCorr) os << ",\"corr\":" << ev.corr;
+    if (ev.parent != kNoParent) os << ",\"parent\":" << ev.parent;
+    os << ",\"a0\":" << json_num(ev.arg0) << ",\"a1\":" << json_num(ev.arg1)
+       << "}}";
+  }
+  os << "\n]\n}\n";
+}
+
+void write_metrics_jsonl(std::ostream& os, const MetricsRegistry& metrics,
+                         const ExportInfo& info) {
+  os << "{\"name\":\"_run\",\"type\":\"info\",\"run\":\"" << info.run
+     << "\",\"seed\":" << info.seed
+     << ",\"instruments\":" << metrics.instrument_count() << "}\n";
+  metrics.write_jsonl(os);
+}
+
+bool looks_like_perfetto_json(std::string_view doc) {
+  if (doc.find("\"traceEvents\"") == std::string_view::npos) return false;
+  if (doc.find("\"otherData\"") == std::string_view::npos) return false;
+  // Structural balance outside of strings.
+  long braces = 0, brackets = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : doc) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0 && !in_string;
+}
+
+}  // namespace hpcwhisk::obs

@@ -1,0 +1,132 @@
+#include "hpcwhisk/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace hpcwhisk::obs {
+
+std::size_t Histogram::bucket_index(double v) {
+  if (!(v >= 1.0)) return 0;  // negatives, zeros, NaNs: first bucket
+  int exp = 0;
+  const double mant = std::frexp(v, &exp);  // v = mant * 2^exp, mant in [0.5,1)
+  const int octave = std::min(exp - 1, kOctaves - 1);
+  const int sub = std::min(kSubBuckets - 1,
+                           static_cast<int>((mant - 0.5) * 2.0 * kSubBuckets));
+  return static_cast<std::size_t>(octave) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+double Histogram::bucket_mid(std::size_t idx) {
+  const double octave = static_cast<double>(idx / kSubBuckets);
+  const double sub = static_cast<double>(idx % kSubBuckets);
+  const double lo = std::ldexp(1.0 + sub / kSubBuckets, static_cast<int>(octave));
+  const double hi =
+      std::ldexp(1.0 + (sub + 1.0) / kSubBuckets, static_cast<int>(octave));
+  return (lo + hi) / 2.0;
+}
+
+void Histogram::observe(double v) {
+  ++buckets_[bucket_index(v)];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th observation (nearest-rank, 1-based).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return std::clamp(bucket_mid(i), min_, max_);
+  }
+  return max_;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
+                                               Type type) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.type = type;
+    if (type == Type::kHistogram)
+      it->second.hist = std::make_unique<Histogram>();
+  } else if (it->second.type != type) {
+    throw std::logic_error("MetricsRegistry: '" + name +
+                           "' re-registered with a different type");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return entry(name, Type::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return entry(name, Type::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return *entry(name, Type::kHistogram).hist;
+}
+
+void MetricsRegistry::add_collector(std::function<void(MetricsRegistry&)> fn) {
+  collectors_.push_back(std::move(fn));
+}
+
+void MetricsRegistry::collect() {
+  for (const auto& fn : collectors_) fn(*this);
+}
+
+namespace {
+/// Shortest round-trip double rendering without locale surprises.
+std::string json_num(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 9.0e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+}  // namespace
+
+void MetricsRegistry::write_jsonl(std::ostream& os) const {
+  for (const auto& [name, e] : entries_) {
+    switch (e.type) {
+      case Type::kCounter:
+        os << "{\"name\":\"" << name << "\",\"type\":\"counter\",\"value\":"
+           << e.counter.value() << "}\n";
+        break;
+      case Type::kGauge:
+        os << "{\"name\":\"" << name << "\",\"type\":\"gauge\",\"value\":"
+           << json_num(e.gauge.value()) << "}\n";
+        break;
+      case Type::kHistogram: {
+        const Histogram& h = *e.hist;
+        os << "{\"name\":\"" << name << "\",\"type\":\"histogram\",\"count\":"
+           << h.count() << ",\"sum\":" << json_num(h.sum())
+           << ",\"min\":" << json_num(h.min())
+           << ",\"max\":" << json_num(h.max())
+           << ",\"avg\":" << json_num(h.avg())
+           << ",\"p50\":" << json_num(h.quantile(0.50))
+           << ",\"p95\":" << json_num(h.quantile(0.95))
+           << ",\"p99\":" << json_num(h.quantile(0.99)) << "}\n";
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace hpcwhisk::obs

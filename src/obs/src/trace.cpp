@@ -1,0 +1,75 @@
+#include "hpcwhisk/obs/trace.hpp"
+
+#include <algorithm>
+
+namespace hpcwhisk::obs {
+
+const char* to_string(Cat c) {
+  switch (c) {
+    case Cat::kActivation: return "activation";
+    case Cat::kPilot: return "pilot";
+    case Cat::kSched: return "sched";
+    case Cat::kFault: return "fault";
+    case Cat::kMq: return "mq";
+    case Cat::kAudit: return "audit";
+    case Cat::kMark: return "mark";
+  }
+  return "?";
+}
+
+TraceCollector::TraceCollector(std::size_t capacity) : capacity_{capacity} {
+  // Reserve the first chunk up front; the vector then grows normally up
+  // to `capacity` so small traces do not pay the full footprint.
+  events_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+std::uint32_t TraceCollector::record(Cat cat, Phase phase, const char* name,
+                                     Track track_kind, std::uint64_t track,
+                                     std::uint64_t corr, sim::SimTime at,
+                                     double arg0, double arg1) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return kNoParent;
+  }
+  TraceEvent ev;
+  ev.at = at;
+  ev.name = name;
+  ev.corr = corr;
+  ev.track = track;
+  ev.arg0 = arg0;
+  ev.arg1 = arg1;
+  ev.cat = cat;
+  ev.phase = phase;
+  ev.track_kind = track_kind;
+  events_.push_back(ev);
+  return static_cast<std::uint32_t>(events_.size() - 1);
+}
+
+std::uint32_t TraceCollector::record_chained(Cat cat, Phase phase,
+                                             const char* name, Track track_kind,
+                                             std::uint64_t track,
+                                             std::uint64_t corr, sim::SimTime at,
+                                             double arg0, double arg1) {
+  const std::uint32_t seq =
+      record(cat, phase, name, track_kind, track, corr, at, arg0, arg1);
+  if (seq == kNoParent) return kNoParent;
+  auto [it, inserted] = chain_tail_.try_emplace(chain_key(cat, corr), seq);
+  if (!inserted) {
+    events_[seq].parent = it->second;
+    it->second = seq;
+  }
+  return seq;
+}
+
+std::uint32_t TraceCollector::chain_tail(Cat cat, std::uint64_t corr) const {
+  const auto it = chain_tail_.find(chain_key(cat, corr));
+  return it == chain_tail_.end() ? kNoParent : it->second;
+}
+
+void TraceCollector::clear() {
+  events_.clear();
+  chain_tail_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace hpcwhisk::obs

@@ -33,6 +33,10 @@
 #include "hpcwhisk/slurm/node.hpp"
 #include "hpcwhisk/slurm/partition.hpp"
 
+namespace hpcwhisk::obs {
+struct Observability;
+}
+
 namespace hpcwhisk::slurm {
 
 /// Per-node observed-state transition, the ground-truth event stream that
@@ -94,6 +98,8 @@ class Slurmctld {
     /// Scheduler processing latency applied to each job launch
     /// (state propagation, prolog). Small but nonzero in production.
     sim::SimTime launch_latency{sim::SimTime::millis(200)};
+    /// Optional trace/metrics sink; null disables all instrumentation.
+    obs::Observability* obs{nullptr};
   };
 
   Slurmctld(sim::Simulation& simulation, Config config,

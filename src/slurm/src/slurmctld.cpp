@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "hpcwhisk/obs/observability.hpp"
+
 namespace hpcwhisk::slurm {
 
 const char* to_string(JobState s) {
@@ -64,6 +66,20 @@ Slurmctld::Slurmctld(sim::Simulation& simulation, Config config,
   draining_.assign(config_.node_count, false);
   last_pass_reserved_from_.assign(config_.node_count, sim::SimTime::max());
   sim_.every(config_.sched_interval, [this] { run_sched_pass(true); });
+  HW_OBS_IF(config_.obs) {
+    config_.obs->metrics.add_collector([this](obs::MetricsRegistry& m) {
+      m.counter("slurm.jobs.submitted").set(counters_.submitted);
+      m.counter("slurm.jobs.started").set(counters_.started);
+      m.counter("slurm.jobs.completed").set(counters_.completed);
+      m.counter("slurm.jobs.timed_out").set(counters_.timed_out);
+      m.counter("slurm.jobs.preempted").set(counters_.preempted);
+      m.counter("slurm.jobs.cancelled").set(counters_.cancelled);
+      m.counter("slurm.node_failures").set(counters_.node_failures);
+      m.counter("slurm.sched_passes").set(counters_.sched_passes);
+      m.gauge("slurm.nodes.idle").set(static_cast<double>(idle_node_count()));
+      m.gauge("slurm.jobs.running").set(static_cast<double>(running_count()));
+    });
+  }
 }
 
 void Slurmctld::enqueue_pending(std::int32_t tier, const JobRecord& rec) {
@@ -175,6 +191,11 @@ void Slurmctld::set_node_down(NodeId id) {
 void Slurmctld::fail_node(NodeId id, sim::SimTime grace) {
   Node& node = nodes_.at(id);
   if (node.state == NodeState::kDown) return;
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record(obs::Cat::kFault, obs::Phase::kInstant,
+                              "node_fail", obs::Track::kSlurmctld, 0, id,
+                              sim_.now(), grace.to_seconds());
+  }
   if (grace <= sim::SimTime::zero() || node.state != NodeState::kAllocated) {
     set_node_down(id);
     return;
@@ -357,6 +378,7 @@ Slurmctld::Availability Slurmctld::availability_snapshot(
 
 void Slurmctld::run_sched_pass(bool periodic) {
   ++counters_.sched_passes;
+  const std::uint64_t started_before = counters_.started;
   const sim::SimTime now = sim_.now();
   last_pass_ = now;
 
@@ -457,6 +479,14 @@ void Slurmctld::run_sched_pass(bool periodic) {
 
   // Remember this pass's reservation picture for stale var sizing.
   if (periodic) last_pass_reserved_from_ = reserved_from;
+
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record(
+        obs::Cat::kSched, obs::Phase::kInstant, "sched_pass",
+        obs::Track::kSlurmctld, 0, counters_.sched_passes, now,
+        periodic ? 1.0 : 0.0,
+        static_cast<double>(counters_.started - started_before));
+  }
 }
 
 bool Slurmctld::try_start_hpc(JobRecord& rec, PassCache& cache,
@@ -656,6 +686,12 @@ void Slurmctld::launch(JobRecord& rec, std::vector<NodeId> nodes,
     announce(n);
   }
   ++counters_.started;
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record_chained(
+        obs::Cat::kSched, obs::Phase::kInstant, "job_launch",
+        obs::Track::kSlurmctld, 0, rec.id, now,
+        static_cast<double>(rec.nodes.size()), granted_limit.to_seconds());
+  }
 
   const JobId id = rec.id;
   const sim::SimTime natural =
@@ -727,6 +763,13 @@ void Slurmctld::begin_grace(JobRecord& rec, EndReason reason,
     finish_job(jobs_.at(id), reason);
   });
 
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record_chained(
+        obs::Cat::kSched, obs::Phase::kInstant, "job_grace",
+        obs::Track::kSlurmctld, 0, rec.id, now, grace.to_seconds(),
+        static_cast<double>(static_cast<int>(reason)));
+  }
+
   if (rec.spec.on_sigterm) rec.spec.on_sigterm(rec);
 }
 
@@ -763,6 +806,12 @@ void Slurmctld::finish_job(JobRecord& rec, EndReason reason) {
     case EndReason::kNodeFailed:
       rec.state = JobState::kNodeFailed;
       break;
+  }
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record_chained(
+        obs::Cat::kSched, obs::Phase::kInstant, "job_end",
+        obs::Track::kSlurmctld, 0, rec.id, rec.end_time,
+        static_cast<double>(static_cast<int>(reason)));
   }
   if (was_active) free_nodes(rec);
   if (rec.spec.on_end) rec.spec.on_end(rec, reason);

@@ -36,8 +36,13 @@ struct ActivationRecord {
   std::string function;
   ActivationState state{ActivationState::kQueued};
   sim::SimTime submit_time;
-  sim::SimTime start_time;  ///< first began executing (zero if never)
-  sim::SimTime end_time;    ///< reached a terminal state
+  /// Most recent execution attempt began (zero if never executed). After
+  /// a drain interruption + fast-lane reroute this is the restart time;
+  /// use first_start_time / queue_wait() for client-perceived queueing.
+  sim::SimTime start_time;
+  /// First execution attempt began (zero if never executed). Set once.
+  sim::SimTime first_start_time;
+  sim::SimTime end_time;  ///< reached a terminal state
   InvokerId executed_by{kNoInvoker};
   /// Invoker the controller originally routed the message to (load
   /// accounting); may differ from executed_by after fast-lane reroutes.
@@ -52,6 +57,12 @@ struct ActivationRecord {
   /// Client-visible response time; meaningful for terminal states.
   [[nodiscard]] sim::SimTime response_time() const {
     return end_time - submit_time;
+  }
+
+  /// Submission-to-first-execution wait; meaningful once the activation
+  /// has started at least once (first_start_time != zero).
+  [[nodiscard]] sim::SimTime queue_wait() const {
+    return first_start_time - submit_time;
   }
 };
 

@@ -24,6 +24,10 @@
 #include "hpcwhisk/whisk/activation.hpp"
 #include "hpcwhisk/whisk/function.hpp"
 
+namespace hpcwhisk::obs {
+struct Observability;
+}
+
 namespace hpcwhisk::whisk {
 
 enum class InvokerHealth : std::uint8_t {
@@ -69,6 +73,8 @@ class Controller {
     /// Per-invoker in-flight budget used by kHashProbing before stepping
     /// to the next invoker (OpenWhisk: invoker slot count).
     std::uint32_t invoker_slots{32};
+    /// Optional trace/metrics sink; null disables all instrumentation.
+    obs::Observability* obs{nullptr};
   };
 
   Controller(sim::Simulation& simulation, mq::Broker& broker,

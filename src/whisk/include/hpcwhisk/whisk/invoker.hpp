@@ -55,6 +55,8 @@ class Invoker {
         .idle_timeout = sim::SimTime::minutes(10),
     };
     runtime::RuntimeKind runtime_kind{runtime::RuntimeKind::kSingularity};
+    /// Optional trace/metrics sink; null disables all instrumentation.
+    obs::Observability* obs{nullptr};
   };
 
   Invoker(sim::Simulation& simulation, mq::Broker& broker,

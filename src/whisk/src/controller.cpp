@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "hpcwhisk/obs/observability.hpp"
+
 namespace hpcwhisk::whisk {
 
 const char* to_string(ActivationState s) {
@@ -41,6 +43,24 @@ Controller::Controller(sim::Simulation& simulation, mq::Broker& broker,
                        const FunctionRegistry& registry, Config config)
     : sim_{simulation}, broker_{broker}, registry_{registry}, config_{config} {
   sim_.every(config_.watchdog_interval, [this] { watchdog_sweep(); });
+  HW_OBS_IF(config_.obs) {
+    config_.obs->metrics.add_collector([this](obs::MetricsRegistry& m) {
+      m.counter("whisk.controller.submitted").set(counters_.submitted);
+      m.counter("whisk.controller.accepted").set(counters_.accepted);
+      m.counter("whisk.controller.rejected_503").set(counters_.rejected_503);
+      m.counter("whisk.controller.completed").set(counters_.completed);
+      m.counter("whisk.controller.failed").set(counters_.failed);
+      m.counter("whisk.controller.timed_out").set(counters_.timed_out);
+      m.counter("whisk.controller.requeued").set(counters_.requeued);
+      m.counter("whisk.controller.interrupted").set(counters_.interrupted);
+      m.counter("whisk.controller.unresponsive_detected")
+          .set(counters_.unresponsive_detected);
+      m.counter("whisk.controller.sequence_invocations")
+          .set(counters_.sequence_invocations);
+      m.gauge("whisk.controller.healthy_invokers")
+          .set(static_cast<double>(healthy_count()));
+    });
+  }
 }
 
 Controller::Controller(sim::Simulation& simulation, mq::Broker& broker,
@@ -69,6 +89,11 @@ SubmitResult Controller::submit(const std::string& function) {
     records_.push_back(rec);
     ++counters_.rejected_503;
     last_503_ = sim_.now();
+    HW_OBS_IF(config_.obs) {
+      config_.obs->trace.record_chained(
+          obs::Cat::kActivation, obs::Phase::kInstant, "reject_503",
+          obs::Track::kController, 0, rec.id, sim_.now());
+    }
     return SubmitResult{false, rec.id};
   }
 
@@ -78,6 +103,14 @@ SubmitResult Controller::submit(const std::string& function) {
   const InvokerId target = route(function, healthy);
   records_.back().routed_to = target;
   ++invokers_[target].in_flight;
+  HW_OBS_IF(config_.obs) {
+    // The root of the activation's causal chain: everything later
+    // (pulls, execs, reroutes, the terminal event) parents back here.
+    config_.obs->trace.record_chained(
+        obs::Cat::kActivation, obs::Phase::kAsyncBegin, "activation",
+        obs::Track::kController, 0, rec.id, sim_.now(),
+        static_cast<double>(target));
+  }
 
   mq::Message msg;
   msg.id = rec.id;
@@ -222,6 +255,12 @@ void Controller::requeue_to_fast_lane(mq::Message msg) {
     ActivationRecord& rec = records_[msg.id];
     if (is_terminal(rec.state)) return;  // e.g. already timed out: drop
     ++rec.requeues;
+    HW_OBS_IF(config_.obs) {
+      config_.obs->trace.record_chained(
+          obs::Cat::kActivation, obs::Phase::kInstant, "fast_lane_reroute",
+          obs::Track::kController, 0, rec.id, sim_.now(),
+          static_cast<double>(rec.requeues));
+    }
   }
   ++counters_.requeued;
   broker_.fast_lane().publish(std::move(msg), sim_.now());
@@ -232,7 +271,14 @@ void Controller::activation_started(ActivationId id, InvokerId by,
   ActivationRecord& rec = record(id);
   if (is_terminal(rec.state)) return;
   rec.state = ActivationState::kRunning;
-  if (rec.start_time == sim::SimTime::zero()) rec.start_time = sim_.now();
+  if (rec.first_start_time == sim::SimTime::zero()) {
+    rec.first_start_time = sim_.now();
+    HW_OBS_IF(config_.obs) {
+      config_.obs->metrics.histogram("whisk.activation.queue_wait_us")
+          .observe(static_cast<double>(rec.queue_wait().ticks()));
+    }
+  }
+  rec.start_time = sim_.now();
   rec.executed_by = by;
   rec.cold_start = cold_start;
 }
@@ -307,6 +353,15 @@ void Controller::on_completion(ActivationId id, CompletionCallback cb) {
 void Controller::finish(ActivationRecord& rec, ActivationState state) {
   rec.state = state;
   rec.end_time = sim_.now();
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record_chained(
+        obs::Cat::kActivation, obs::Phase::kAsyncEnd, "activation",
+        obs::Track::kController, 0, rec.id, sim_.now(),
+        static_cast<double>(static_cast<int>(state)),
+        static_cast<double>(rec.requeues));
+    config_.obs->metrics.histogram("whisk.activation.response_us")
+        .observe(static_cast<double>(rec.response_time().ticks()));
+  }
   if (rec.routed_to != kNoInvoker) {
     const auto it = invokers_.find(rec.routed_to);
     if (it != invokers_.end() && it->second.in_flight > 0)
@@ -356,6 +411,11 @@ void Controller::watchdog_sweep() {
     if (sim_.now() - entry.last_heartbeat > deadline) {
       entry.health = InvokerHealth::kUnresponsive;
       ++counters_.unresponsive_detected;
+      HW_OBS_IF(config_.obs) {
+        config_.obs->trace.record(
+            obs::Cat::kPilot, obs::Phase::kInstant, "invoker_unresponsive",
+            obs::Track::kController, 0, id, sim_.now());
+      }
       // The invoker vanished without hand-off (hard kill / node failure):
       // rescue its unpulled backlog, then re-submit what it had already
       // pulled or was executing — that work would otherwise surface only

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "hpcwhisk/obs/observability.hpp"
+
 namespace hpcwhisk::whisk {
 
 namespace {
@@ -59,11 +61,21 @@ void Invoker::poll() {
   }
   std::size_t remaining = budget;
   for (auto& msg : broker_.fast_lane().poll(remaining)) {
+    HW_OBS_IF(config_.obs) {
+      config_.obs->trace.record_chained(
+          obs::Cat::kActivation, obs::Phase::kInstant, "pull",
+          obs::Track::kInvoker, id_, msg.id, sim_.now(), /*arg0=*/1.0);
+    }
     buffer_.push_back(std::move(msg));
     --remaining;
   }
   if (remaining > 0) {
     for (auto& msg : own_topic_->poll(remaining)) {
+      HW_OBS_IF(config_.obs) {
+        config_.obs->trace.record_chained(
+            obs::Cat::kActivation, obs::Phase::kInstant, "pull",
+            obs::Track::kInvoker, id_, msg.id, sim_.now(), /*arg0=*/0.0);
+      }
       buffer_.push_back(std::move(msg));
     }
   }
@@ -81,12 +93,21 @@ void Invoker::dispatch_buffer() {
 void Invoker::begin_execution(mq::Message msg) {
   if (!controller_.deliverable(msg.id)) {
     ++counters_.dropped_undeliverable;
+    HW_OBS_IF(config_.obs) {
+      config_.obs->trace.record_chained(
+          obs::Cat::kActivation, obs::Phase::kInstant, "drop_undeliverable",
+          obs::Track::kInvoker, id_, msg.id, sim_.now());
+      config_.obs->metrics.counter("whisk.invoker.dropped_undeliverable").add();
+    }
     return;
   }
   if (running_.count(msg.id) > 0) {
     // Duplicate delivery of work we are already executing (an mq
     // duplication fault, or a watchdog rescue racing our own thaw).
     ++counters_.dropped_undeliverable;
+    HW_OBS_IF(config_.obs) {
+      config_.obs->metrics.counter("whisk.invoker.dropped_undeliverable").add();
+    }
     return;
   }
   const FunctionSpec& spec = registry_.at(msg.key);
@@ -96,6 +117,12 @@ void Invoker::begin_execution(mq::Message msg) {
     // Node-level container saturation: the invocation fails (the episode
     // of Sec. V-C where invokers hit the concurrent-container limit).
     ++counters_.capacity_failures;
+    HW_OBS_IF(config_.obs) {
+      config_.obs->trace.record_chained(
+          obs::Cat::kActivation, obs::Phase::kInstant, "capacity_reject",
+          obs::Track::kInvoker, id_, msg.id, sim_.now());
+      config_.obs->metrics.counter("whisk.invoker.capacity_failures").add();
+    }
     controller_.activation_failed(msg.id);
     return;
   }
@@ -107,6 +134,12 @@ void Invoker::begin_execution(mq::Message msg) {
   exec.cold = acquired.kind == runtime::AcquireResult::Kind::kCold;
   exec.phase = ExecPhase::kStarting;
   running_.emplace(act, std::move(exec));
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record_chained(
+        obs::Cat::kActivation, obs::Phase::kAsyncBegin, "exec",
+        obs::Track::kInvoker, id_, act, sim_.now(),
+        /*arg0=*/running_.at(act).cold ? 1.0 : 0.0);
+  }
   schedule_exec_event(act, acquired.start_latency);
 }
 
@@ -132,12 +165,26 @@ void Invoker::on_exec_event(ActivationId act) {
                             static_cast<double>(config_.cores);
       duration = sim::SimTime::seconds(duration.to_seconds() * factor);
     }
+    HW_OBS_IF(config_.obs) {
+      config_.obs->trace.record_chained(
+          obs::Cat::kActivation, obs::Phase::kInstant, "exec_running",
+          obs::Track::kInvoker, id_, act, sim_.now(),
+          static_cast<double>(duration.ticks()), e.cold ? 1.0 : 0.0);
+      config_.obs->metrics.histogram("whisk.invoker.exec_us")
+          .observe(static_cast<double>(duration.ticks()));
+    }
     schedule_exec_event(act, duration);
     return;
   }
   pool_.release(e.container, sim_.now());
   running_.erase(it);
   ++counters_.executed;
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record_chained(
+        obs::Cat::kActivation, obs::Phase::kAsyncEnd, "exec",
+        obs::Track::kInvoker, id_, act, sim_.now(), /*arg0=*/1.0);
+    config_.obs->metrics.counter("whisk.invoker.executed").add();
+  }
   controller_.activation_completed(act);
   if (draining_) {
     finish_drain_if_idle();
@@ -149,6 +196,12 @@ void Invoker::on_exec_event(ActivationId act) {
 void Invoker::stall(sim::SimTime duration) {
   if (!started_ || dead_ || draining_ || stalled_) return;
   stalled_ = true;
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record(
+        obs::Cat::kPilot, obs::Phase::kInstant, "stall", obs::Track::kInvoker,
+        id_, id_, sim_.now(), duration.to_seconds(),
+        static_cast<double>(running_.size()));
+  }
   stop_loops();
   for (auto& [act, exec] : running_) {
     sim_.cancel(exec.event);
@@ -162,6 +215,11 @@ void Invoker::stall(sim::SimTime duration) {
 void Invoker::resume() {
   if (!stalled_ || dead_) return;
   stalled_ = false;
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record(
+        obs::Cat::kPilot, obs::Phase::kInstant, "resume", obs::Track::kInvoker,
+        id_, id_, sim_.now(), static_cast<double>(running_.size()));
+  }
   sim_.cancel(resume_event_);
   // Deterministic thaw order: running_ is an unordered_map, so reschedule
   // by ascending activation id.
@@ -191,6 +249,13 @@ void Invoker::sigterm(std::function<void()> on_drained) {
     return;
   }
 
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record(obs::Cat::kPilot, obs::Phase::kBegin, "drain",
+                              obs::Track::kInvoker, id_, id_, sim_.now(),
+                              static_cast<double>(running_.size()),
+                              static_cast<double>(buffer_.size()));
+  }
+
   // 1. Controller stops routing to us and rescues our unpulled backlog.
   controller_.begin_drain(id_);
 
@@ -214,6 +279,19 @@ void Invoker::sigterm(std::function<void()> on_drained) {
     if (e.phase == ExecPhase::kRunning) {
       controller_.activation_interrupted(act);
       ++counters_.interrupted;
+      HW_OBS_IF(config_.obs) {
+        config_.obs->metrics.counter("whisk.invoker.interrupted").add();
+      }
+    }
+    HW_OBS_IF(config_.obs) {
+      // Close the exec span as aborted (arg0=0) before the reroute event
+      // so the causal chain reads exec -> interrupt -> fast_lane_reroute.
+      config_.obs->trace.record_chained(
+          obs::Cat::kActivation, obs::Phase::kAsyncEnd, "exec",
+          obs::Track::kInvoker, id_, act, sim_.now(), /*arg0=*/0.0);
+      config_.obs->trace.record_chained(
+          obs::Cat::kActivation, obs::Phase::kInstant, "interrupt",
+          obs::Track::kInvoker, id_, act, sim_.now());
     }
     controller_.requeue_to_fast_lane(std::move(e.msg));
     pool_.remove(e.container);
@@ -227,6 +305,12 @@ void Invoker::finish_drain_if_idle() {
   if (!draining_ || dead_) return;
   if (!running_.empty()) return;  // non-interruptible work still going
   dead_ = true;
+  HW_OBS_IF(config_.obs) {
+    if (started_) {
+      config_.obs->trace.record(obs::Cat::kPilot, obs::Phase::kEnd, "drain",
+                                obs::Track::kInvoker, id_, id_, sim_.now());
+    }
+  }
   stop_loops();
   pool_.clear();
   controller_.deregister(id_);
@@ -240,6 +324,19 @@ void Invoker::finish_drain_if_idle() {
 void Invoker::hard_kill() {
   if (dead_) return;
   dead_ = true;
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record(
+        obs::Cat::kPilot, obs::Phase::kInstant, "hard_kill",
+        obs::Track::kInvoker, id_, id_, sim_.now(),
+        static_cast<double>(running_.size()),
+        static_cast<double>(buffer_.size()));
+    // A SIGKILL mid-drain leaves the drain span open; close it so the
+    // timeline shows where the hand-off was cut short.
+    if (draining_ && started_) {
+      config_.obs->trace.record(obs::Cat::kPilot, obs::Phase::kEnd, "drain",
+                                obs::Track::kInvoker, id_, id_, sim_.now());
+    }
+  }
   stop_loops();
   sim_.cancel(resume_event_);
   for (auto& [act, exec] : running_) sim_.cancel(exec.event);

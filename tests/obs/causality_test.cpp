@@ -1,0 +1,226 @@
+// End-to-end trace causality: a small traced system under FaaS load
+// (optionally with chaos faults) must produce activation chains that
+// walk monotonically back to their submission root, fault windows that
+// overlap the disturbances they caused, metrics that mirror the
+// components' own ledgers — and tracing must not change a single
+// decision relative to the untraced run.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "hpcwhisk/analysis/conservation.hpp"
+#include "hpcwhisk/core/system.hpp"
+#include "hpcwhisk/fault/chaos_engine.hpp"
+#include "hpcwhisk/obs/observability.hpp"
+#include "hpcwhisk/trace/faas_workload.hpp"
+
+namespace hpcwhisk {
+namespace {
+
+using sim::SimTime;
+using sim::Simulation;
+
+core::HpcWhiskSystem::Config small_system(std::uint32_t nodes,
+                                          std::uint64_t seed) {
+  core::HpcWhiskSystem::Config cfg;
+  cfg.seed = seed;
+  cfg.slurm.node_count = nodes;
+  cfg.slurm.min_pass_gap = SimTime::zero();
+  cfg.manager.fib_lengths = core::job_length_set("C1");
+  cfg.manager.fib_per_length = 3;
+  return cfg;
+}
+
+/// Light sleep-function load over [2min, 20min), drained past every
+/// client timeout — the scaffold tests/fault/chaos_engine_test.cpp uses.
+void run_with_load(Simulation& simulation, core::HpcWhiskSystem& system,
+                   std::uint64_t load_seed,
+                   SimTime duration = SimTime::seconds(2)) {
+  const auto functions =
+      trace::register_sleep_functions(system.functions(), 8, duration);
+  system.start();
+  simulation.run_until(SimTime::minutes(2));
+  trace::FaasLoadGenerator faas{
+      simulation,
+      {.rate_qps = 4.0, .functions = functions},
+      [&system](const std::string& fn) {
+        (void)system.controller().submit(fn);
+      },
+      sim::Rng{load_seed}};
+  faas.start(SimTime::minutes(20));
+  simulation.run_until(SimTime::minutes(30));
+}
+
+/// Traced system bundle; declaration order makes the sink outlive the
+/// system (pilot teardown records drain events from destructors).
+struct TracedRun {
+  std::unique_ptr<obs::Observability> obs =
+      std::make_unique<obs::Observability>();
+  std::unique_ptr<Simulation> simulation = std::make_unique<Simulation>();
+  std::unique_ptr<core::HpcWhiskSystem> system;
+
+  explicit TracedRun(core::HpcWhiskSystem::Config cfg) {
+    cfg.obs = obs.get();
+    system = std::make_unique<core::HpcWhiskSystem>(*simulation, cfg);
+  }
+};
+
+/// Walks the causal chain for (cat, corr) tail-first via parent links.
+std::vector<const obs::TraceEvent*> chain_of(const obs::TraceCollector& trace,
+                                             obs::Cat cat,
+                                             std::uint64_t corr) {
+  std::vector<const obs::TraceEvent*> out;
+  for (std::uint32_t seq = trace.chain_tail(cat, corr);
+       seq != obs::kNoParent; seq = trace.events()[seq].parent) {
+    out.push_back(&trace.events()[seq]);
+  }
+  return out;
+}
+
+TEST(Causality, TerminalActivationsChainBackToSubmission) {
+  TracedRun run{small_system(4, 7)};
+  run_with_load(*run.simulation, *run.system, 9);
+
+  const obs::TraceCollector& trace = run.obs->trace;
+  EXPECT_EQ(trace.dropped(), 0u);
+  ASSERT_GT(trace.size(), 0u);
+
+  std::size_t checked = 0;
+  for (const whisk::ActivationRecord& rec :
+       run.system->controller().activations()) {
+    if (rec.state != whisk::ActivationState::kCompleted) continue;
+    ++checked;
+    // Satellite 1: a completed activation has both start stamps, in order.
+    ASSERT_NE(rec.first_start_time, SimTime::zero());
+    EXPECT_LE(rec.first_start_time, rec.start_time);
+    EXPECT_LE(rec.submit_time, rec.first_start_time);
+
+    const auto chain = chain_of(trace, obs::Cat::kActivation, rec.id);
+    ASSERT_GE(chain.size(), 2u) << "activation " << rec.id;
+    // Tail-first walk: the newest event is the terminal async end...
+    EXPECT_EQ(std::string_view{chain.front()->name}, "activation");
+    EXPECT_EQ(chain.front()->phase, obs::Phase::kAsyncEnd);
+    // ...and the root is the submission-time async begin.
+    EXPECT_EQ(std::string_view{chain.back()->name}, "activation");
+    EXPECT_EQ(chain.back()->phase, obs::Phase::kAsyncBegin);
+    EXPECT_EQ(chain.back()->at, rec.submit_time);
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      EXPECT_EQ(chain[i]->corr, rec.id);
+      // Monotonic: every event is at or after its causal parent.
+      EXPECT_GE(chain[i]->at, chain[i + 1]->at) << "activation " << rec.id;
+    }
+  }
+  EXPECT_GT(checked, 100u) << "load must complete activations";
+}
+
+TEST(Causality, FaultWindowOverlapsDisturbedActivations) {
+  auto cfg = small_system(4, 11);
+  fault::FaultEvent ev;
+  ev.at = SimTime::minutes(5);
+  ev.kind = fault::FaultKind::kInvokerStall;
+  ev.stall = SimTime::seconds(30);  // > 3 missed heartbeats at 2 s
+  cfg.faults.add(ev);
+  TracedRun run{cfg};
+  run_with_load(*run.simulation, *run.system, 13);
+  ASSERT_EQ(run.system->chaos()->counters().applied, 1u);
+  ASSERT_GE(run.system->controller().counters().unresponsive_detected, 1u);
+
+  const obs::TraceCollector& trace = run.obs->trace;
+  // The injection instant carries the disturbance window in arg0
+  // (seconds): [at, at + stall] is when the invoker is unresponsive.
+  const obs::TraceEvent* injection = nullptr;
+  for (const obs::TraceEvent& e : trace.events()) {
+    if (e.cat == obs::Cat::kFault &&
+        std::string_view{e.name} != "recovered" &&
+        std::string_view{e.name} != "fault_skipped" &&
+        e.track_kind == obs::Track::kChaos) {
+      injection = &e;
+      break;
+    }
+  }
+  ASSERT_NE(injection, nullptr) << "chaos must trace its injection";
+  EXPECT_EQ(injection->at, ev.at);
+  const SimTime window_end =
+      injection->at + SimTime::seconds(injection->arg0);
+  EXPECT_EQ(window_end, ev.at + ev.stall);
+
+  // The watchdog detection the stall provoked must fall inside the
+  // fault's window (detection lags by at most the heartbeat deadline).
+  const SimTime slack = SimTime::seconds(10);
+  bool overlapped = false;
+  for (const obs::TraceEvent& e : trace.events()) {
+    if (std::string_view{e.name} != "invoker_unresponsive") continue;
+    if (e.at >= injection->at && e.at <= window_end + slack) {
+      overlapped = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(overlapped)
+      << "no unresponsive detection inside the stall window";
+}
+
+TEST(Causality, TracingChangesNoDecision) {
+  // Same seeded scenario twice: with and without the sink. Every
+  // behavioral ledger must match exactly.
+  auto traced_cfg = small_system(4, 17);
+  fault::FaultEvent ev;
+  ev.at = SimTime::minutes(6);
+  ev.kind = fault::FaultKind::kInvokerCrash;
+  traced_cfg.faults.add(ev);
+
+  TracedRun traced{traced_cfg};
+  run_with_load(*traced.simulation, *traced.system, 19);
+
+  Simulation plain_sim;
+  auto plain_cfg = small_system(4, 17);
+  plain_cfg.faults.add(ev);
+  core::HpcWhiskSystem plain{plain_sim, plain_cfg};
+  run_with_load(plain_sim, plain, 19);
+
+  EXPECT_EQ(traced.simulation->executed_events(),
+            plain_sim.executed_events());
+  const auto& tc = traced.system->controller().counters();
+  const auto& pc = plain.controller().counters();
+  EXPECT_EQ(tc.submitted, pc.submitted);
+  EXPECT_EQ(tc.completed, pc.completed);
+  EXPECT_EQ(tc.failed, pc.failed);
+  EXPECT_EQ(tc.timed_out, pc.timed_out);
+  EXPECT_EQ(tc.requeued, pc.requeued);
+  EXPECT_EQ(traced.system->slurm().counters().sched_passes,
+            plain.slurm().counters().sched_passes);
+  EXPECT_EQ(traced.system->manager().counters().started,
+            plain.manager().counters().started);
+}
+
+TEST(Causality, MetricsMirrorComponentLedgers) {
+  TracedRun run{small_system(4, 23)};
+  analysis::ConservationAudit audit{run.system->controller(), run.obs.get()};
+  run_with_load(*run.simulation, *run.system, 29);
+
+  run.obs->metrics.collect();
+  obs::MetricsRegistry& m = run.obs->metrics;
+  const auto& cc = run.system->controller().counters();
+  EXPECT_EQ(m.counter("whisk.controller.submitted").value(), cc.submitted);
+  EXPECT_EQ(m.counter("whisk.controller.completed").value(), cc.completed);
+  EXPECT_EQ(m.counter("slurm.sched_passes").value(),
+            run.system->slurm().counters().sched_passes);
+  EXPECT_EQ(m.counter("pilot.started").value(),
+            run.system->manager().counters().started);
+  // Every non-503 terminal transition observed a response time.
+  EXPECT_EQ(m.histogram("whisk.activation.response_us").count(),
+            cc.completed + cc.failed + cc.timed_out);
+  EXPECT_GT(m.histogram("whisk.activation.queue_wait_us").count(), 0u);
+
+  // A clean run: the audit holds and traces no violation instants.
+  const auto result = audit.finalize();
+  EXPECT_TRUE(result.ok()) << result.report();
+  for (const obs::TraceEvent& e : run.obs->trace.events())
+    EXPECT_NE(e.cat, obs::Cat::kAudit);
+  EXPECT_EQ(m.counter("audit.violations").value(), 0u);
+}
+
+}  // namespace
+}  // namespace hpcwhisk

@@ -1,0 +1,132 @@
+// MetricsRegistry unit contract: instrument identity, collector
+// snapshots, log-bucketed quantile error bounds, and the deterministic
+// JSONL export.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hpcwhisk/obs/export.hpp"
+#include "hpcwhisk/obs/metrics.hpp"
+
+namespace hpcwhisk::obs {
+namespace {
+
+TEST(MetricsRegistry, InstrumentsAreStableByName) {
+  MetricsRegistry m;
+  Counter& c = m.counter("x");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(m.counter("x").value(), 5u);
+  m.gauge("g").set(2.5);
+  EXPECT_EQ(m.gauge("g").value(), 2.5);
+  EXPECT_EQ(m.instrument_count(), 2u);
+}
+
+TEST(MetricsRegistry, TypeConflictThrows) {
+  MetricsRegistry m;
+  m.counter("x");
+  EXPECT_THROW(m.gauge("x"), std::logic_error);
+  EXPECT_THROW(m.histogram("x"), std::logic_error);
+}
+
+TEST(MetricsRegistry, CollectorsSnapshotExternalCounters) {
+  MetricsRegistry m;
+  std::uint64_t external = 3;
+  m.add_collector([&external](MetricsRegistry& reg) {
+    reg.counter("ext").set(external);
+  });
+  m.collect();
+  EXPECT_EQ(m.counter("ext").value(), 3u);
+  external = 10;
+  m.collect();
+  // set() semantics: collect() is idempotent, never additive.
+  EXPECT_EQ(m.counter("ext").value(), 10u);
+}
+
+TEST(Histogram, QuantilesWithinLogBucketError) {
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.observe(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.avg(), 500.5, 1e-9);
+  // 8 sub-buckets per octave => <= 12.5 % relative error.
+  EXPECT_NEAR(h.quantile(0.50), 500.0, 500.0 * 0.13);
+  EXPECT_NEAR(h.quantile(0.95), 950.0, 950.0 * 0.13);
+  EXPECT_NEAR(h.quantile(0.99), 990.0, 990.0 * 0.13);
+  // Extreme quantiles stay inside the exact observed range and within
+  // bucket resolution of the true extremes.
+  EXPECT_GE(h.quantile(0.0), 1.0);
+  EXPECT_LE(h.quantile(0.0), 1.0 * 1.13);
+  EXPECT_LE(h.quantile(1.0), 1000.0);
+  EXPECT_GE(h.quantile(1.0), 1000.0 * 0.87);
+}
+
+TEST(Histogram, SubUnitValuesLandInFirstBucket) {
+  Histogram h;
+  h.observe(0.25);
+  h.observe(0.5);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0.25);
+  // Bucket resolution is lost below 1, but clamping keeps the estimate
+  // inside the observed range.
+  EXPECT_GE(h.quantile(0.5), 0.25);
+  EXPECT_LE(h.quantile(0.5), 0.5);
+}
+
+TEST(MetricsRegistry, JsonlIsNameOrderedAndTyped) {
+  MetricsRegistry m;
+  m.counter("z.count").add(2);
+  m.gauge("a.gauge").set(1.5);
+  m.histogram("m.hist").observe(8.0);
+  std::ostringstream os;
+  m.write_jsonl(os);
+  const std::string out = os.str();
+
+  const auto a = out.find("\"a.gauge\"");
+  const auto mh = out.find("\"m.hist\"");
+  const auto z = out.find("\"z.count\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(mh, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, mh);
+  EXPECT_LT(mh, z);
+  EXPECT_NE(out.find("{\"name\":\"z.count\",\"type\":\"counter\",\"value\":2}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"type\":\"histogram\",\"count\":1"), std::string::npos);
+
+  // Each line is a balanced JSON object.
+  std::istringstream lines{out};
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(MetricsRegistry, ExportPrependsRunInfoLine) {
+  MetricsRegistry m;
+  m.counter("c").add();
+  ExportInfo info;
+  info.run = "unit";
+  info.seed = 4;
+  std::ostringstream os;
+  write_metrics_jsonl(os, m, info);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("{\"name\":\"_run\",\"type\":\"info\",\"run\":\"unit\","
+                      "\"seed\":4,\"instruments\":1}\n",
+                      0),
+            0u);
+  EXPECT_NE(out.find("{\"name\":\"c\",\"type\":\"counter\",\"value\":1}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::obs

@@ -1,0 +1,155 @@
+// TraceCollector unit contract: sequence numbers, causal chaining,
+// bounded capacity with counted drops, the canonical FNV-1a digest, and
+// the Perfetto trace_event export.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "hpcwhisk/obs/export.hpp"
+#include "hpcwhisk/obs/trace.hpp"
+
+namespace hpcwhisk::obs {
+namespace {
+
+using sim::SimTime;
+
+TEST(TraceCollector, RecordsInOrderWithSequenceNumbers) {
+  TraceCollector trace;
+  const auto s0 =
+      trace.record(Cat::kActivation, Phase::kAsyncBegin, "activation",
+                   Track::kController, 0, 42, SimTime::seconds(1), 5.0, 6.0);
+  const auto s1 = trace.record(Cat::kSched, Phase::kInstant, "sched_pass",
+                               Track::kSlurmctld, 0, 1, SimTime::seconds(2));
+  EXPECT_EQ(s0, 0u);
+  EXPECT_EQ(s1, 1u);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.events()[0].corr, 42u);
+  EXPECT_EQ(trace.events()[0].arg0, 5.0);
+  EXPECT_EQ(trace.events()[0].arg1, 6.0);
+  EXPECT_EQ(trace.events()[0].parent, kNoParent);
+  EXPECT_STREQ(trace.events()[1].name, "sched_pass");
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TraceCollector, ChainsEventsPerCategoryAndCorrelation) {
+  TraceCollector trace;
+  const auto a0 =
+      trace.record_chained(Cat::kActivation, Phase::kAsyncBegin, "activation",
+                           Track::kController, 0, 7, SimTime::seconds(1));
+  const auto a1 = trace.record_chained(Cat::kActivation, Phase::kInstant,
+                                       "pull", Track::kInvoker, 3, 7,
+                                       SimTime::seconds(2));
+  // Same corr, different category: an independent chain.
+  const auto p0 =
+      trace.record_chained(Cat::kPilot, Phase::kAsyncBegin, "pilot",
+                           Track::kPilot, 7, 7, SimTime::seconds(3));
+  const auto a2 =
+      trace.record_chained(Cat::kActivation, Phase::kAsyncEnd, "activation",
+                           Track::kController, 0, 7, SimTime::seconds(4));
+
+  EXPECT_EQ(trace.events()[a0].parent, kNoParent);
+  EXPECT_EQ(trace.events()[a1].parent, a0);
+  EXPECT_EQ(trace.events()[p0].parent, kNoParent);
+  EXPECT_EQ(trace.events()[a2].parent, a1);
+  EXPECT_EQ(trace.chain_tail(Cat::kActivation, 7), a2);
+  EXPECT_EQ(trace.chain_tail(Cat::kPilot, 7), p0);
+  EXPECT_EQ(trace.chain_tail(Cat::kActivation, 8), kNoParent);
+}
+
+TEST(TraceCollector, DropsPastCapacityAndCounts) {
+  TraceCollector trace{2};
+  trace.record(Cat::kMark, Phase::kInstant, "a", Track::kController, 0, 0,
+               SimTime::zero());
+  trace.record(Cat::kMark, Phase::kInstant, "b", Track::kController, 0, 0,
+               SimTime::zero());
+  const auto dropped =
+      trace.record_chained(Cat::kMark, Phase::kInstant, "c", Track::kController,
+                           0, 0, SimTime::zero());
+  EXPECT_EQ(dropped, kNoParent);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.dropped(), 1u);
+  // A dropped chained event must not corrupt the chain tail.
+  EXPECT_EQ(trace.chain_tail(Cat::kMark, 0), kNoParent);
+}
+
+TEST(TraceCollector, ClearResetsEventsAndChains) {
+  TraceCollector trace;
+  trace.record_chained(Cat::kActivation, Phase::kInstant, "x",
+                       Track::kController, 0, 1, SimTime::seconds(1));
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_EQ(trace.chain_tail(Cat::kActivation, 1), kNoParent);
+  const auto seq =
+      trace.record_chained(Cat::kActivation, Phase::kInstant, "y",
+                           Track::kController, 0, 1, SimTime::seconds(2));
+  EXPECT_EQ(trace.events()[seq].parent, kNoParent);
+}
+
+TEST(Fnv1a, MatchesOffsetBasisAndDiscriminates) {
+  static_assert(fnv1a("") == 1469598103934665603ULL);
+  EXPECT_EQ(fnv1a(""), 1469598103934665603ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_EQ(fnv1a("decision log"), fnv1a("decision log"));
+}
+
+TEST(PerfettoExport, TidMappingIsStable) {
+  EXPECT_EQ(perfetto_tid(Track::kController, 0), 1u);
+  EXPECT_EQ(perfetto_tid(Track::kSlurmctld, 0), 2u);
+  EXPECT_EQ(perfetto_tid(Track::kChaos, 0), 3u);
+  EXPECT_EQ(perfetto_tid(Track::kInvoker, 5), 105u);
+  EXPECT_EQ(perfetto_tid(Track::kPilot, 7), 100007u);
+}
+
+TEST(PerfettoExport, EmitsStructurallyValidJson) {
+  TraceCollector trace;
+  trace.record_chained(Cat::kActivation, Phase::kAsyncBegin, "activation",
+                       Track::kController, 0, 7, SimTime::seconds(1), 2.0);
+  trace.record_chained(Cat::kActivation, Phase::kInstant, "pull",
+                       Track::kInvoker, 3, 7, SimTime::seconds(2));
+  trace.record_chained(Cat::kActivation, Phase::kAsyncEnd, "activation",
+                       Track::kController, 0, 7, SimTime::seconds(3));
+  trace.record(Cat::kSched, Phase::kBegin, "drain", Track::kInvoker, 3, kNoCorr,
+               SimTime::seconds(4));
+
+  ExportInfo info;
+  info.run = "unit";
+  info.seed = 9;
+  std::ostringstream os;
+  write_perfetto_json(os, trace, info);
+  const std::string doc = os.str();
+
+  EXPECT_TRUE(looks_like_perfetto_json(doc));
+  // Async phases carry the correlation id; instants carry thread scope.
+  EXPECT_NE(doc.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(doc.find("\"id\":7"), std::string::npos);
+  EXPECT_NE(doc.find("\"s\":\"t\""), std::string::npos);
+  // Thread metadata for every row that appeared.
+  EXPECT_NE(doc.find("\"name\":\"controller\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"invoker-3\""), std::string::npos);
+  // Causal parent links survive the export.
+  EXPECT_NE(doc.find("\"parent\":0"), std::string::npos);
+  // Run info lands in otherData.
+  EXPECT_NE(doc.find("\"run\": \"unit\""), std::string::npos);
+  EXPECT_NE(doc.find("\"seed\": 9"), std::string::npos);
+  // kNoCorr suppresses the corr arg entirely.
+  EXPECT_EQ(doc.find("\"corr\":18446744073709551615"), std::string::npos);
+}
+
+TEST(PerfettoExport, ValidatorRejectsTruncatedDocuments) {
+  TraceCollector trace;
+  trace.record(Cat::kMark, Phase::kInstant, "m", Track::kController, 0, 0,
+               SimTime::zero());
+  std::ostringstream os;
+  write_perfetto_json(os, trace);
+  const std::string doc = os.str();
+  EXPECT_TRUE(looks_like_perfetto_json(doc));
+  EXPECT_FALSE(looks_like_perfetto_json(doc.substr(0, doc.size() / 2)));
+  EXPECT_FALSE(looks_like_perfetto_json("{\"traceEvents\": []}"));
+}
+
+}  // namespace
+}  // namespace hpcwhisk::obs

@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 
+#include "hpcwhisk/obs/trace.hpp"
 #include "hpcwhisk/sim/rng.hpp"
 #include "hpcwhisk/slurm/slurmctld.hpp"
 
@@ -23,14 +24,9 @@ using sim::Rng;
 using sim::SimTime;
 using sim::Simulation;
 
-std::uint64_t fnv1a(std::string_view s) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
+// The repo's canonical decision-log digest; bench/obs_report folds its
+// traced-vs-untraced determinism log through the same function.
+using obs::fnv1a;
 
 std::vector<Partition> partitions() {
   Partition hpc;

@@ -42,6 +42,33 @@ HW_BENCH_JOBS=4 "$BUILD_DIR"/bench/chaos_recovery > "$BUILD_DIR/chaos_par.txt"
 cmp "$BUILD_DIR/chaos_serial.txt" "$BUILD_DIR/chaos_par.txt"
 HW_BENCH_JOBS=4 HW_BENCH_TRIALS=2 "$BUILD_DIR"/bench/table2_fib > /dev/null
 
+# Observability leg: a traced quick scenario must leave scheduling
+# decisions untouched (obs_report hashes the traced and untraced decision
+# logs with the same FNV-1a the sched golden test pins), produce a
+# structurally valid Perfetto trace, and archive BENCH_obs.json.
+echo "== observability smoke =="
+HW_OBS_OUT="$BUILD_DIR/BENCH_obs.json" \
+  HW_OBS_TRACE_OUT="$BUILD_DIR/obs_trace.json" \
+  HW_OBS_METRICS_OUT="$BUILD_DIR/obs_metrics.jsonl" \
+  "$BUILD_DIR"/bench/obs_report
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$BUILD_DIR/obs_trace.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert doc["otherData"]["dropped_events"] == 0, "trace dropped events"
+assert events, "empty traceEvents"
+assert {e["ph"] for e in events} <= {"B", "E", "b", "e", "i", "M"}
+assert any(e["name"] == "fast_lane_reroute" for e in events)
+print(f"perfetto schema OK ({len(events)} events)")
+PYEOF
+fi
+grep -q '"decision_logs_identical": true' "$BUILD_DIR/BENCH_obs.json"
+grep -q '"perfetto_valid": true' "$BUILD_DIR/BENCH_obs.json"
+if [[ "${SANITIZE:-0}" != "1" ]]; then
+  cp "$BUILD_DIR/BENCH_obs.json" BENCH_obs.json
+fi
+
 # Machine-readable perf baseline, archived in the build dir (and at the
 # repo root for the non-sanitizer run, where timings are meaningful).
 echo "== perf baseline =="
