@@ -15,6 +15,10 @@ ExperimentConfig apply_env(ExperimentConfig cfg) {
   if (const char* seed = std::getenv("HW_SEED")) {
     cfg.seed = static_cast<std::uint64_t>(std::strtoull(seed, nullptr, 10));
   }
+  if (const char* fed = std::getenv("HW_FED_CLUSTERS")) {
+    const unsigned long n = std::strtoul(fed, nullptr, 10);
+    if (n > 0) cfg.fed_clusters = static_cast<std::size_t>(n);
+  }
   return cfg;
 }
 

@@ -59,6 +59,11 @@ struct ExperimentConfig {
   bool observe{false};
   std::size_t trace_capacity{obs::TraceCollector::kDefaultCapacity};
 
+  /// Federation width for the federation bench: number of HPC-Whisk
+  /// clusters behind one fed::FederatedGateway (HW_FED_CLUSTERS
+  /// overrides). 0 means the bench's own default sweep.
+  std::size_t fed_clusters{0};
+
   /// Share of the FaaS functions re-registered as long-running
   /// (interruptible) actions of `faas_long_duration`: long executions
   /// are what drains actually interrupt, so this exercises the

@@ -19,6 +19,10 @@
 #include "hpcwhisk/sim/simulation.hpp"
 #include "hpcwhisk/whisk/function.hpp"
 
+namespace hpcwhisk::obs {
+struct Observability;
+}
+
 namespace hpcwhisk::cloud {
 
 class LambdaService {
@@ -37,6 +41,8 @@ class LambdaService {
     /// Single-thread compute slowdown relative to a Prometheus node
     /// (Fig. 7: HPC node ≈15 % faster => Lambda factor ≈1.15).
     double compute_slowdown{1.15};
+    /// Optional trace/metrics sink; null disables all instrumentation.
+    obs::Observability* obs{nullptr};
   };
 
   struct InvocationRecord {

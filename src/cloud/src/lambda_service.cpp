@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "hpcwhisk/obs/observability.hpp"
+
 namespace hpcwhisk::cloud {
 
 LambdaService::LambdaService(sim::Simulation& simulation,
@@ -13,7 +15,17 @@ LambdaService::LambdaService(sim::Simulation& simulation,
       config_{config},
       rng_{rng},
       cold_start_{config.cold_start_median_s, config.cold_start_p95_s, 0.95},
-      overhead_{config.overhead_median_s, config.overhead_p95_s, 0.95} {}
+      overhead_{config.overhead_median_s, config.overhead_p95_s, 0.95} {
+  HW_OBS_IF(config_.obs) {
+    config_.obs->metrics.add_collector([this](obs::MetricsRegistry& m) {
+      m.counter("cloud.invocations").set(records_.size());
+      m.counter("cloud.completed").set(completed_);
+      std::uint64_t cold = 0;
+      for (const InvocationRecord& rec : records_) cold += rec.cold_start;
+      m.counter("cloud.cold_starts").set(cold);
+    });
+  }
+}
 
 double LambdaService::cpu_share(std::int64_t memory_mb) const {
   const double share = static_cast<double>(memory_mb) /
@@ -46,12 +58,31 @@ std::uint64_t LambdaService::invoke(const std::string& function,
   latency += rec.internal_duration;
 
   const std::uint64_t id = rec.id;
+  const bool cold = rec.cold_start;
   records_.push_back(std::move(rec));
   warm_until_[function] = now + latency + config_.keep_warm;
 
+  HW_OBS_IF(config_.obs) {
+    // One async span per invocation on the cloud track, chained so the
+    // completion links back to the submission (corr = invocation id).
+    config_.obs->trace.record_chained(
+        obs::Cat::kClient, obs::Phase::kAsyncBegin, "cloud_invoke",
+        obs::Track::kCloud, 0, id, now, cold ? 1.0 : 0.0,
+        latency.to_seconds());
+  }
   sim_.after(latency, [this, id] {
     records_[id].end_time = sim_.now();
     ++completed_;
+    HW_OBS_IF(config_.obs) {
+      const InvocationRecord& done = records_[id];
+      config_.obs->trace.record_chained(
+          obs::Cat::kClient, obs::Phase::kAsyncEnd, "cloud_invoke",
+          obs::Track::kCloud, 0, id, done.end_time,
+          done.cold_start ? 1.0 : 0.0,
+          (done.end_time - done.submit_time).to_seconds());
+      config_.obs->metrics.histogram("cloud.latency_ms")
+          .observe((done.end_time - done.submit_time).to_seconds() * 1000.0);
+    }
   });
   return id;
 }

@@ -3,8 +3,13 @@
 // the cluster's non-availability periods (Sec. III-E). Whenever HPC-Whisk
 // answers 503 (no invoker), calls are offloaded to a commercial cloud for
 // a cool-down window (60 s by default), then HPC-Whisk is retried.
+//
+// Window semantics (pinned by tests/core/client_wrapper_test.cpp): a call
+// at exactly last_503 + fallback_window is still offloaded; the first
+// retry against the cluster happens strictly after the window closes.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "hpcwhisk/cloud/lambda_service.hpp"
@@ -20,6 +25,8 @@ class ClientWrapper {
     sim::SimTime fallback_window{sim::SimTime::seconds(60)};
     /// Memory configuration used for commercial invocations.
     std::int64_t commercial_memory_mb{2048};
+    /// Optional trace/metrics sink; null disables all instrumentation.
+    obs::Observability* obs{nullptr};
   };
 
   ClientWrapper(sim::Simulation& simulation, whisk::Controller& controller,
@@ -42,16 +49,35 @@ class ClientWrapper {
     std::uint64_t hpcwhisk_calls{0};
     std::uint64_t commercial_calls{0};
     std::uint64_t rejections_seen{0};
+    /// Distinct fallback windows opened (a 503 outside any open window).
+    std::uint64_t windows_opened{0};
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  /// Time of the most recent 503 seen by this client; nullopt = never
+  /// (Alg. 1 initializes Last_503 to "1970-01-01").
+  [[nodiscard]] std::optional<sim::SimTime> last_503() const {
+    return last_503_;
+  }
+
+  /// Whether a call issued at `at` (>= now) would be offloaded without
+  /// probing the cluster — i.e. at <= last_503 + fallback_window.
+  [[nodiscard]] bool in_fallback_window(sim::SimTime at) const {
+    return last_503_.has_value() && at - *last_503_ <= config_.fallback_window;
+  }
+
  private:
+  void close_window_span(sim::SimTime expiry);
+
   sim::Simulation& sim_;
   whisk::Controller& controller_;
   cloud::LambdaService& commercial_;
   Config config_;
-  /// Alg. 1's Last_503 variable ("1970-01-01" => never).
-  sim::SimTime last_503_{sim::SimTime::micros(-1)};
+  /// Alg. 1's Last_503 variable; nullopt = never rejected.
+  std::optional<sim::SimTime> last_503_;
+  /// Open fallback-window span awaiting its closing trace event (the
+  /// window ordinal doubles as the span correlation id).
+  bool window_span_open_{false};
   Counters counters_;
 };
 

@@ -27,6 +27,8 @@ HpcWhiskSystem::HpcWhiskSystem(sim::Simulation& simulation, Config config) {
     config.manager.obs = config.obs;
     config.manager.invoker.obs = config.obs;
     config.chaos.obs = config.obs;
+    config.commercial.obs = config.obs;
+    config.wrapper.obs = config.obs;
     broker_.set_observability(config.obs);
   }
   sim::Rng rng{config.seed};

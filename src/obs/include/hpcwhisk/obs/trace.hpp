@@ -41,6 +41,9 @@ enum class Cat : std::uint8_t {
   kMq,          ///< broker-level fault actions
   kAudit,       ///< conservation-audit findings
   kMark,        ///< harness markers (measure window, export points)
+  kClient,      ///< client-side Alg. 1 path: fallback windows, offloads,
+                ///< commercial (cloud) invocations
+  kFed,         ///< federation gateway: routing, spillover, cool-downs
 };
 
 [[nodiscard]] const char* to_string(Cat c);
@@ -62,6 +65,8 @@ enum class Track : std::uint8_t {
   kChaos,
   kInvoker,
   kPilot,
+  kCloud,    ///< the commercial (Lambda-like) backend
+  kGateway,  ///< the federation routing gateway
 };
 
 inline constexpr std::uint32_t kNoParent = 0xFFFFFFFFu;

@@ -37,6 +37,8 @@ std::string track_name(Track kind, std::uint64_t track) {
     case Track::kChaos: return "chaos";
     case Track::kInvoker: return "invoker-" + std::to_string(track);
     case Track::kPilot: return "pilot-job-" + std::to_string(track);
+    case Track::kCloud: return "cloud";
+    case Track::kGateway: return "gateway";
   }
   return "?";
 }
@@ -50,6 +52,8 @@ std::uint64_t perfetto_tid(Track kind, std::uint64_t track) {
     case Track::kChaos: return 3;
     case Track::kInvoker: return 100 + track;
     case Track::kPilot: return 100000 + track;
+    case Track::kCloud: return 4;
+    case Track::kGateway: return 5;
   }
   return 99;
 }

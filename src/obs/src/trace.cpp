@@ -13,6 +13,8 @@ const char* to_string(Cat c) {
     case Cat::kMq: return "mq";
     case Cat::kAudit: return "audit";
     case Cat::kMark: return "mark";
+    case Cat::kClient: return "client";
+    case Cat::kFed: return "fed";
   }
   return "?";
 }

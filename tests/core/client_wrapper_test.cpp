@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
+
+#include "hpcwhisk/obs/observability.hpp"
+
 namespace hpcwhisk::core {
 namespace {
 
@@ -74,6 +78,85 @@ TEST(ClientWrapper, RepeatedOutagesKeepExtendingWindow) {
   // Inside the renewed window.
   const auto result = f.wrapper.invoke("fn");
   EXPECT_EQ(result.backend, ClientWrapper::Backend::kCommercial);
+}
+
+TEST(ClientWrapper, Last503StartsUnset) {
+  Fixture f;
+  EXPECT_FALSE(f.wrapper.last_503().has_value());
+  f.controller.register_invoker();
+  (void)f.wrapper.invoke("fn");
+  // A successful HPC-Whisk call never opens a window.
+  EXPECT_FALSE(f.wrapper.last_503().has_value());
+  EXPECT_EQ(f.wrapper.counters().windows_opened, 0u);
+}
+
+// Pins the boundary semantics: a call at exactly last_503 +
+// fallback_window is still offloaded (Alg. 1's check is `<=`); the
+// cluster is retried strictly after the window, from the first tick on.
+TEST(ClientWrapper, RetryBoundaryIsExactWindowEdge) {
+  Fixture f;
+  (void)f.wrapper.invoke("fn");  // 503 at t=0: window = [0, 60 s]
+  ASSERT_TRUE(f.wrapper.last_503().has_value());
+  EXPECT_EQ(*f.wrapper.last_503(), SimTime::zero());
+  EXPECT_EQ(f.wrapper.counters().windows_opened, 1u);
+
+  f.sim.run_until(SimTime::seconds(60));  // exactly last_503 + window
+  EXPECT_TRUE(f.wrapper.in_fallback_window(f.sim.now()));
+  const auto at_edge = f.wrapper.invoke("fn");
+  EXPECT_EQ(at_edge.backend, ClientWrapper::Backend::kCommercial);
+  EXPECT_EQ(f.wrapper.counters().rejections_seen, 1u);  // no probe
+
+  // One tick past the edge the wrapper probes the cluster again.
+  f.controller.register_invoker();
+  f.sim.run_until(SimTime::seconds(60) + SimTime::micros(1));
+  EXPECT_FALSE(f.wrapper.in_fallback_window(f.sim.now()));
+  const auto past_edge = f.wrapper.invoke("fn");
+  EXPECT_EQ(past_edge.backend, ClientWrapper::Backend::kHpcWhisk);
+  // A successful retry closes the window without opening a new one.
+  EXPECT_EQ(f.wrapper.counters().windows_opened, 1u);
+}
+
+TEST(ClientWrapper, EmitsWindowSpansAndOffloadInstants) {
+  obs::Observability obs;
+  Simulation sim;
+  mq::Broker broker;
+  whisk::FunctionRegistry registry;
+  whisk::Controller controller{sim, broker, registry};
+  cloud::LambdaService commercial{sim, registry, {.obs = &obs}, Rng{2}};
+  ClientWrapper wrapper{sim, controller, commercial, {.obs = &obs}};
+  registry.put(whisk::fixed_duration_function("fn", SimTime::millis(10)));
+
+  (void)wrapper.invoke("fn");  // 503 -> window opens, offload #1
+  sim.run_until(SimTime::seconds(30));
+  (void)wrapper.invoke("fn");  // inside window, offload #2
+  sim.run_until(SimTime::seconds(61));
+  controller.register_invoker();  // fresh heartbeat clock: healthy now
+  (void)wrapper.invoke("fn");  // window expired -> span closes, HPC call
+
+  std::size_t window_begin = 0, window_end = 0, offloads = 0, cloud_spans = 0;
+  SimTime end_at;
+  for (const obs::TraceEvent& ev : obs.trace.events()) {
+    const std::string_view name{ev.name};
+    if (name == "fallback_window" && ev.phase == obs::Phase::kAsyncBegin)
+      ++window_begin;
+    if (name == "fallback_window" && ev.phase == obs::Phase::kAsyncEnd) {
+      ++window_end;
+      end_at = ev.at;
+    }
+    if (name == "offload" && ev.phase == obs::Phase::kInstant) ++offloads;
+    if (name == "cloud_invoke" && ev.phase == obs::Phase::kAsyncBegin)
+      ++cloud_spans;
+  }
+  EXPECT_EQ(window_begin, 1u);
+  EXPECT_EQ(window_end, 1u);
+  // The span closes at the semantic expiry, not at discovery time.
+  EXPECT_EQ(end_at, SimTime::seconds(60));
+  EXPECT_EQ(offloads, 2u);
+  EXPECT_EQ(cloud_spans, 2u);
+
+  obs.metrics.collect();
+  EXPECT_EQ(obs.metrics.counter("client.windows_opened").value(), 1u);
+  EXPECT_EQ(obs.metrics.counter("cloud.invocations").value(), 2u);
 }
 
 TEST(ClientWrapper, NeverDropsACall) {

@@ -69,6 +69,29 @@ if [[ "${SANITIZE:-0}" != "1" ]]; then
   cp "$BUILD_DIR/BENCH_obs.json" BENCH_obs.json
 fi
 
+# Federation leg: a two-cluster federated sweep across all three routing
+# policies must emit a structurally valid BENCH_federation.json and
+# conserve calls — every invocation is either placed on a cluster or
+# offloaded to the cloud model. (The committed repo-root artifact is the
+# full {1,2,4}-cluster sweep: HW_BENCH_QUICK=1 HW_BENCH_TRIALS=3.)
+echo "== federation smoke =="
+HW_FED_CLUSTERS=2 HW_FED_OUT="$BUILD_DIR/BENCH_federation.json" \
+  "$BUILD_DIR"/bench/federation > /dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$BUILD_DIR/BENCH_federation.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+legs = doc["legs"]
+assert legs, "no federation legs"
+for leg in legs:
+    assert leg["invocations"] > 0, leg
+    assert leg["cluster_calls"] + leg["cloud_calls"] == leg["invocations"], leg
+    assert 0.0 <= leg["cloud_offload_fraction"] <= 1.0, leg
+    assert leg["cluster_calls"] == 0 or abs(sum(leg["load_share"]) - 1.0) < 1e-6, leg
+print(f"federation schema OK ({len(legs)} legs)")
+PYEOF
+fi
+
 # Machine-readable perf baseline, archived in the build dir (and at the
 # repo root for the non-sanitizer run, where timings are meaningful).
 echo "== perf baseline =="
