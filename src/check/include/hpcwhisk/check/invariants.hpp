@@ -1,0 +1,60 @@
+#pragma once
+// The pluggable invariant suite: predicates over a RunObservation that
+// must hold for every scenario, no matter what the sampler threw at the
+// system. Each invariant returns human-readable violations; an empty
+// list means the run passed. The standard catalogue (DESIGN.md §12):
+//
+//   activation-conservation  every accepted activation reaches exactly
+//                            one terminal state (audit reconciliation)
+//   terminal-balance         controller counters balance and nothing is
+//                            non-terminal after the settle window
+//   pilot-accounting         every started pilot is accounted for
+//   node-timeline            per-node state intervals tile [0, end]
+//   no-double-allocation     no node is held by two jobs at once
+//   grace-respected          preempt/timeout SIGTERMs grant exactly the
+//                            partition grace, and SIGKILL honors the
+//                            deadline announced at SIGTERM
+//   backfill-priority        EASY backfill never delays an older,
+//                            higher-priority fixed job it could have run
+//   federation-conservation  every gateway call is placed exactly once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hpcwhisk/check/observation.hpp"
+#include "hpcwhisk/check/scenario.hpp"
+
+namespace hpcwhisk::check {
+
+struct Violation {
+  std::string invariant;
+  std::string message;
+};
+
+class InvariantSuite {
+ public:
+  /// An invariant appends violations for one run.
+  using Fn = std::function<void(const ScenarioSpec&, const RunObservation&,
+                                std::vector<Violation>&)>;
+
+  InvariantSuite& add(std::string name, Fn fn);
+
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return names_;
+  }
+
+  /// Runs every invariant; violations come back grouped in registration
+  /// order (deterministic).
+  [[nodiscard]] std::vector<Violation> run(const ScenarioSpec& spec,
+                                           const RunObservation& obs) const;
+
+  /// The standard catalogue above.
+  [[nodiscard]] static InvariantSuite standard();
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Fn> fns_;
+};
+
+}  // namespace hpcwhisk::check

@@ -1,0 +1,75 @@
+#pragma once
+// What one scenario run leaves behind for the invariant suite: per-job
+// lifecycle snapshots rebuilt from the Slurmctld JobEvent stream, the
+// finalized node-state timeline, the activation-conservation audit, all
+// component counters, and a canonical decision log whose FNV-1a hash is
+// the replay-determinism fingerprint.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hpcwhisk/analysis/conservation.hpp"
+#include "hpcwhisk/analysis/node_state_log.hpp"
+#include "hpcwhisk/core/job_manager.hpp"
+#include "hpcwhisk/fed/federated_gateway.hpp"
+#include "hpcwhisk/slurm/slurmctld.hpp"
+#include "hpcwhisk/whisk/controller.hpp"
+
+namespace hpcwhisk::check {
+
+/// Final snapshot of one Slurm job, rebuilt from the JobEvent stream.
+struct JobInfo {
+  slurm::JobId id{0};
+  std::string partition;
+  std::int32_t tier{0};
+  bool fixed{true};  ///< time_min == 0 (scheduler cannot resize)
+  std::int64_t priority{0};
+  std::uint32_t num_nodes{1};
+  sim::SimTime time_limit;
+  sim::SimTime time_min;
+  sim::SimTime submit{sim::SimTime::max()};
+  /// First scheduling decision: claimed (waiting on preempted victims)
+  /// or launched, whichever came first. max() if never decided.
+  sim::SimTime decision{sim::SimTime::max()};
+  sim::SimTime start{sim::SimTime::max()};  ///< launched; max() if never
+  sim::SimTime end{sim::SimTime::max()};    ///< ended; max() if still live
+  sim::SimTime granted_limit;
+  std::vector<slurm::NodeId> nodes;  ///< allocation, copied at launch
+  bool got_sigterm{false};
+  sim::SimTime sigterm_at;
+  sim::SimTime sigterm_deadline;  ///< SIGKILL time promised at SIGTERM
+  sim::SimTime sigterm_grace;     ///< grace actually granted
+  slurm::EndReason sigterm_reason{slurm::EndReason::kCompleted};
+  bool ended{false};
+  slurm::EndReason end_reason{slurm::EndReason::kCompleted};
+};
+
+/// Everything observed on one cluster.
+struct ClusterObservation {
+  std::uint32_t node_count{0};
+  std::vector<JobInfo> jobs;  ///< job-id order
+  analysis::ConservationAudit::Result audit;
+  whisk::Controller::Counters controller;
+  slurm::Slurmctld::Counters slurm;
+  core::JobManager::Counters manager;
+  std::size_t active_pilots{0};
+  std::size_t nonterminal_activations{0};
+  std::vector<analysis::NodeInterval> node_intervals;  ///< finalized
+};
+
+struct RunObservation {
+  std::vector<ClusterObservation> clusters;
+  sim::SimTime end_time;
+  std::uint64_t faas_issued{0};
+  bool federated{false};
+  fed::FederatedGateway::Counters gateway;  ///< zeros when !federated
+  std::vector<std::uint64_t> per_cluster_calls;
+  /// Canonical decision log: per-cluster job events and activation
+  /// outcomes, then the gateway routing log. A pure function of the
+  /// spec; decision_hash is its FNV-1a.
+  std::string decision_log;
+  std::uint64_t decision_hash{0};
+};
+
+}  // namespace hpcwhisk::check

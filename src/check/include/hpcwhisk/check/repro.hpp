@@ -1,0 +1,30 @@
+#pragma once
+// Replayable repro files. A failing (shrunk) scenario serializes to a
+// small JSON document; `simcheck --replay file.json` parses it back and
+// re-runs the exact same experiment — all times in integer microsecond
+// ticks, doubles printed with round-trip precision, so the replay is
+// bit-identical on every platform. Format: DESIGN.md §12.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hpcwhisk/check/scenario.hpp"
+
+namespace hpcwhisk::check {
+
+inline constexpr std::string_view kReproFormat = "hpcwhisk-simcheck-repro-v1";
+
+struct Repro {
+  std::string invariant;       ///< violated invariant name
+  std::string message;         ///< first violation message
+  std::uint64_t decision_hash{0};  ///< FNV-1a of the spec's decision log
+  ScenarioSpec spec;
+};
+
+[[nodiscard]] std::string write_repro(const Repro& repro);
+
+/// Throws std::invalid_argument on malformed input or a format mismatch.
+[[nodiscard]] Repro parse_repro(std::string_view json);
+
+}  // namespace hpcwhisk::check

@@ -1,0 +1,13 @@
+#pragma once
+// Executes one ScenarioSpec inside a fresh sim::Simulation and returns
+// the RunObservation the invariant suite consumes. Deterministic: two
+// calls with the same spec produce byte-identical decision logs.
+
+#include "hpcwhisk/check/observation.hpp"
+#include "hpcwhisk/check/scenario.hpp"
+
+namespace hpcwhisk::check {
+
+[[nodiscard]] RunObservation run_scenario(const ScenarioSpec& spec);
+
+}  // namespace hpcwhisk::check

@@ -1,0 +1,100 @@
+#pragma once
+// ScenarioSpec: a whole experiment sampled from one seed.
+//
+// SimCheck explores the system's behavior space the way QuickCheck
+// explores an input space: a seed deterministically expands into a full
+// experiment — cluster size, pilot supply model, FaaS load mix, HPC
+// churn, an optional fault plan, and optionally an N-cluster federation
+// topology. The spec is plain data: it serializes to the JSON repro
+// format (repro.hpp), compares for equality (shrinker bookkeeping), and
+// two runs of the same spec replay byte-identically.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hpcwhisk/core/job_manager.hpp"
+#include "hpcwhisk/fault/fault_plan.hpp"
+#include "hpcwhisk/sim/time.hpp"
+
+namespace hpcwhisk::check {
+
+/// Deliberately planted defects for the checker's self-tests: the runner
+/// mis-configures the system in a known way and SimCheck must catch it.
+enum class BugPlant : std::uint8_t {
+  kNone,
+  /// Build the pilot partition with a 5-second grace while the spec
+  /// promises `grace` — preempted pilots get SIGKILL far too early,
+  /// violating the grace-respected invariant.
+  kTruncateGrace,
+};
+
+[[nodiscard]] const char* to_string(BugPlant p);
+[[nodiscard]] BugPlant bug_plant_from_string(std::string_view name);
+
+/// One fault event pinned to a cluster of the scenario.
+struct ScenarioFault {
+  std::uint32_t cluster{0};
+  fault::FaultEvent event;
+
+  friend bool operator==(const ScenarioFault&, const ScenarioFault&) = default;
+};
+
+/// Knobs for ScenarioSpec::sample.
+struct SampleOptions {
+  bool chaos{false};          ///< sample a fault plan into the scenario
+  std::uint32_t max_clusters{1};  ///< >1 enables federated scenarios
+  double fed_probability{0.4};    ///< chance of clusters > 1 when allowed
+  std::uint32_t min_nodes{6};
+  std::uint32_t max_nodes{20};
+  double min_horizon_minutes{18.0};
+  double max_horizon_minutes{30.0};
+  /// Deliberate defect stamped on every sampled spec (self-tests and the
+  /// `simcheck --plant` pipeline check).
+  BugPlant plant{BugPlant::kNone};
+};
+
+struct ScenarioSpec {
+  std::uint64_t seed{1};
+  std::uint32_t nodes{12};     ///< per cluster
+  std::uint32_t clusters{1};   ///< 1 = plain system, >1 = federation
+  core::SupplyModel supply{core::SupplyModel::kFib};
+  std::string length_set{"C1"};
+  std::size_t fib_per_length{3};
+  sim::SimTime horizon{sim::SimTime::minutes(24)};
+  /// Drain window past the horizon; must exceed the activation timeout
+  /// (5 min default) so every accepted activation can reach a terminal
+  /// state before the invariants run.
+  sim::SimTime settle{sim::SimTime::minutes(7)};
+  double faas_qps{4.0};
+  std::uint32_t faas_functions{10};
+  sim::SimTime faas_duration{sim::SimTime::seconds(2)};
+  bool faas_poisson{false};
+  std::size_t hpc_backlog{20};
+  double lull_probability{0.005};
+  /// Pilot-partition preemption grace the scenario promises (the
+  /// invariant suite checks the system honors exactly this).
+  sim::SimTime grace{sim::SimTime::minutes(3)};
+  std::vector<ScenarioFault> faults;
+  BugPlant plant{BugPlant::kNone};
+
+  /// Expands `seed` into a full scenario. Same seed + options => same
+  /// spec, on every platform (all draws go through sim::Rng).
+  [[nodiscard]] static ScenarioSpec sample(std::uint64_t seed,
+                                           const SampleOptions& options = {});
+
+  /// Scenario size for the shrinker's "≤ N elements" target: one element
+  /// per fault, per registered FaaS function, and per cluster.
+  [[nodiscard]] std::size_t elements() const {
+    return faults.size() + faas_functions + clusters;
+  }
+
+  /// One-line human description for progress output.
+  [[nodiscard]] std::string summary() const;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+}  // namespace hpcwhisk::check

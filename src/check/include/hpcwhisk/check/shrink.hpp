@@ -1,0 +1,37 @@
+#pragma once
+// Greedy delta-debugging shrinker: starting from a failing ScenarioSpec,
+// repeatedly tries cheaper/smaller candidates (drop faults ddmin-style,
+// collapse the federation, fewer functions, lower QPS, fewer nodes,
+// shorter horizon) and keeps a candidate iff a fresh run still violates
+// the *same* invariant. Terminates at a fixpoint or when the attempt
+// budget is spent; the result is the smallest spec found, which the
+// repro file records for `simcheck --replay`.
+
+#include <cstddef>
+#include <string>
+
+#include "hpcwhisk/check/invariants.hpp"
+#include "hpcwhisk/check/scenario.hpp"
+
+namespace hpcwhisk::check {
+
+struct ShrinkOptions {
+  /// Max candidate runs (each candidate costs one full scenario run).
+  std::size_t max_attempts{96};
+};
+
+struct ShrinkResult {
+  ScenarioSpec spec;          ///< smallest still-failing spec found
+  std::string invariant;      ///< the invariant being preserved
+  std::size_t attempts{0};    ///< candidate runs spent
+  std::size_t reductions{0};  ///< accepted shrink steps
+};
+
+/// `invariant` is the name of the violation to preserve (typically the
+/// first violation of the original failure).
+[[nodiscard]] ShrinkResult shrink(const ScenarioSpec& failing,
+                                  const std::string& invariant,
+                                  const InvariantSuite& suite,
+                                  const ShrinkOptions& options = {});
+
+}  // namespace hpcwhisk::check

@@ -1,0 +1,75 @@
+#pragma once
+// check_scenario: run one spec and judge it; run_campaign: fan seeds out
+// over the exec::ThreadPool (via parallel_trials, so progress output is
+// byte-identical to a serial sweep) with shrinking and repro emission
+// for every failure.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hpcwhisk/check/invariants.hpp"
+#include "hpcwhisk/check/scenario.hpp"
+
+namespace hpcwhisk::check {
+
+struct CheckOptions {
+  /// Run the scenario twice and require identical decision-log hashes
+  /// (the replay-determinism invariant). Doubles the cost.
+  bool replay_check{true};
+};
+
+struct CheckResult {
+  std::vector<Violation> violations;
+  std::uint64_t decision_hash{0};
+  bool replayed{false};
+  std::uint64_t replay_hash{0};
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Runs `spec` (twice when opts.replay_check) and evaluates the suite. A
+/// hash mismatch between the two runs is reported as a
+/// "replay-determinism" violation.
+[[nodiscard]] CheckResult check_scenario(const ScenarioSpec& spec,
+                                         const InvariantSuite& suite,
+                                         const CheckOptions& opts = {});
+
+struct CampaignOptions {
+  std::uint64_t seed_base{1};
+  std::size_t seeds{20};
+  /// Worker threads; 0 = exec::job_count() (HW_BENCH_JOBS or hardware).
+  std::size_t jobs{0};
+  SampleOptions sample;
+  bool shrink{true};
+  std::size_t shrink_budget{96};  ///< max candidate runs per failure
+  bool replay_check{true};
+};
+
+struct SeedOutcome {
+  std::uint64_t seed{0};
+  ScenarioSpec spec;
+  CheckResult check;
+  /// Valid when the seed failed and shrinking ran.
+  bool shrunk_valid{false};
+  ScenarioSpec shrunk;
+  std::size_t shrink_attempts{0};
+  std::uint64_t shrunk_hash{0};
+  /// Repro JSON for the (shrunk) failing spec; empty when the seed passed.
+  std::string repro_json;
+};
+
+struct CampaignResult {
+  std::vector<SeedOutcome> outcomes;  ///< seed order
+  std::size_t failures{0};
+
+  [[nodiscard]] bool ok() const { return failures == 0; }
+};
+
+/// One line of progress per seed goes to `progress`, in seed order.
+[[nodiscard]] CampaignResult run_campaign(const CampaignOptions& options,
+                                          const InvariantSuite& suite,
+                                          std::ostream& progress = std::cout);
+
+}  // namespace hpcwhisk::check

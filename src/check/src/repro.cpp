@@ -1,0 +1,426 @@
+#include "hpcwhisk/check/repro.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace hpcwhisk::check {
+namespace {
+
+// --- Writer ----------------------------------------------------------------
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_time(std::string& out, sim::SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, t.ticks());
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_fault(std::string& out, const ScenarioFault& f) {
+  const fault::FaultEvent& e = f.event;
+  out += "{\"cluster\": ";
+  append_u64(out, f.cluster);
+  out += ", \"kind\": ";
+  append_escaped(out, fault::to_string(e.kind));
+  out += ", \"at_us\": ";
+  append_time(out, e.at);
+  out += ", \"grace_us\": ";
+  append_time(out, e.grace);
+  out += ", \"outage_us\": ";
+  append_time(out, e.outage);
+  out += ", \"stall_us\": ";
+  append_time(out, e.stall);
+  out += ", \"window_us\": ";
+  append_time(out, e.window);
+  out += ", \"probability\": ";
+  append_double(out, e.probability);
+  out += ", \"delay_us\": ";
+  append_time(out, e.delay);
+  out += ", \"copies\": ";
+  append_u64(out, e.copies);
+  out += ", \"target\": ";
+  append_u64(out, e.target);
+  out += "}";
+}
+
+// --- Minimal JSON parser ---------------------------------------------------
+// Just enough for the repro grammar: objects, arrays, strings (with the
+// escapes the writer emits), numbers, true/false.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind{Kind::kNull};
+  bool boolean{false};
+  std::string text;  ///< kString: decoded; kNumber: raw literal
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("repro JSON: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+      case 'f': return bool_value();
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.fields.emplace_back(std::move(key.text), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': v.text += '"'; break;
+          case '\\': v.text += '\\'; break;
+          case 'n': v.text += '\n'; break;
+          case 't': v.text += '\t'; break;
+          case '/': v.text += '/'; break;
+          default: fail("unsupported escape");
+        }
+      } else {
+        v.text += c;
+      }
+    }
+  }
+
+  JsonValue bool_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.substr(pos_, 5) == "false") {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("expected boolean");
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    v.text = std::string{text_.substr(start, pos_ - start)};
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+// --- Typed field access ----------------------------------------------------
+
+const JsonValue& require(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    throw std::invalid_argument("repro JSON: missing field '" +
+                                std::string{key} + "'");
+  }
+  return *v;
+}
+
+std::uint64_t as_u64(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::kNumber) {
+    throw std::invalid_argument("repro JSON: expected a number");
+  }
+  return std::strtoull(v.text.c_str(), nullptr, 10);
+}
+
+std::int64_t as_i64(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::kNumber) {
+    throw std::invalid_argument("repro JSON: expected a number");
+  }
+  return std::strtoll(v.text.c_str(), nullptr, 10);
+}
+
+double as_double(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::kNumber) {
+    throw std::invalid_argument("repro JSON: expected a number");
+  }
+  return std::strtod(v.text.c_str(), nullptr);
+}
+
+bool as_bool(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::kBool) {
+    throw std::invalid_argument("repro JSON: expected a boolean");
+  }
+  return v.boolean;
+}
+
+const std::string& as_string(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::kString) {
+    throw std::invalid_argument("repro JSON: expected a string");
+  }
+  return v.text;
+}
+
+sim::SimTime as_time(const JsonValue& v) {
+  return sim::SimTime::micros(as_i64(v));
+}
+
+ScenarioFault parse_fault(const JsonValue& v) {
+  ScenarioFault f;
+  f.cluster = static_cast<std::uint32_t>(as_u64(require(v, "cluster")));
+  f.event.kind = fault::fault_kind_from_string(as_string(require(v, "kind")));
+  f.event.at = as_time(require(v, "at_us"));
+  f.event.grace = as_time(require(v, "grace_us"));
+  f.event.outage = as_time(require(v, "outage_us"));
+  f.event.stall = as_time(require(v, "stall_us"));
+  f.event.window = as_time(require(v, "window_us"));
+  f.event.probability = as_double(require(v, "probability"));
+  f.event.delay = as_time(require(v, "delay_us"));
+  f.event.copies = static_cast<std::uint32_t>(as_u64(require(v, "copies")));
+  f.event.target = static_cast<std::uint32_t>(as_u64(require(v, "target")));
+  return f;
+}
+
+}  // namespace
+
+std::string write_repro(const Repro& repro) {
+  const ScenarioSpec& s = repro.spec;
+  std::string out;
+  out.reserve(1024);
+  out += "{\n  \"format\": ";
+  append_escaped(out, kReproFormat);
+  out += ",\n  \"invariant\": ";
+  append_escaped(out, repro.invariant);
+  out += ",\n  \"message\": ";
+  append_escaped(out, repro.message);
+  out += ",\n  \"decision_hash\": ";
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "\"0x%016" PRIx64 "\"",
+                  repro.decision_hash);
+    out += buf;
+  }
+  out += ",\n  \"spec\": {\n    \"seed\": ";
+  append_u64(out, s.seed);
+  out += ",\n    \"nodes\": ";
+  append_u64(out, s.nodes);
+  out += ",\n    \"clusters\": ";
+  append_u64(out, s.clusters);
+  out += ",\n    \"supply\": ";
+  append_escaped(out, core::to_string(s.supply));
+  out += ",\n    \"length_set\": ";
+  append_escaped(out, s.length_set);
+  out += ",\n    \"fib_per_length\": ";
+  append_u64(out, s.fib_per_length);
+  out += ",\n    \"horizon_us\": ";
+  append_time(out, s.horizon);
+  out += ",\n    \"settle_us\": ";
+  append_time(out, s.settle);
+  out += ",\n    \"faas_qps\": ";
+  append_double(out, s.faas_qps);
+  out += ",\n    \"faas_functions\": ";
+  append_u64(out, s.faas_functions);
+  out += ",\n    \"faas_duration_us\": ";
+  append_time(out, s.faas_duration);
+  out += ",\n    \"faas_poisson\": ";
+  out += s.faas_poisson ? "true" : "false";
+  out += ",\n    \"hpc_backlog\": ";
+  append_u64(out, s.hpc_backlog);
+  out += ",\n    \"lull_probability\": ";
+  append_double(out, s.lull_probability);
+  out += ",\n    \"grace_us\": ";
+  append_time(out, s.grace);
+  out += ",\n    \"plant\": ";
+  append_escaped(out, to_string(s.plant));
+  out += ",\n    \"faults\": [";
+  for (std::size_t i = 0; i < s.faults.size(); ++i) {
+    out += i == 0 ? "\n      " : ",\n      ";
+    append_fault(out, s.faults[i]);
+  }
+  out += s.faults.empty() ? "]" : "\n    ]";
+  out += "\n  }\n}\n";
+  return out;
+}
+
+Repro parse_repro(std::string_view json) {
+  const JsonValue doc = Parser{json}.parse();
+  if (doc.kind != JsonValue::Kind::kObject) {
+    throw std::invalid_argument("repro JSON: top level must be an object");
+  }
+  if (as_string(require(doc, "format")) != kReproFormat) {
+    throw std::invalid_argument("repro JSON: unknown format '" +
+                                as_string(require(doc, "format")) + "'");
+  }
+  Repro repro;
+  repro.invariant = as_string(require(doc, "invariant"));
+  repro.message = as_string(require(doc, "message"));
+  repro.decision_hash = std::strtoull(
+      as_string(require(doc, "decision_hash")).c_str(), nullptr, 16);
+
+  const JsonValue& spec = require(doc, "spec");
+  ScenarioSpec& s = repro.spec;
+  s.seed = as_u64(require(spec, "seed"));
+  s.nodes = static_cast<std::uint32_t>(as_u64(require(spec, "nodes")));
+  s.clusters = static_cast<std::uint32_t>(as_u64(require(spec, "clusters")));
+  const std::string& supply = as_string(require(spec, "supply"));
+  if (supply == core::to_string(core::SupplyModel::kFib)) {
+    s.supply = core::SupplyModel::kFib;
+  } else if (supply == core::to_string(core::SupplyModel::kVar)) {
+    s.supply = core::SupplyModel::kVar;
+  } else {
+    throw std::invalid_argument("repro JSON: unknown supply model '" +
+                                supply + "'");
+  }
+  s.length_set = as_string(require(spec, "length_set"));
+  s.fib_per_length =
+      static_cast<std::size_t>(as_u64(require(spec, "fib_per_length")));
+  s.horizon = as_time(require(spec, "horizon_us"));
+  s.settle = as_time(require(spec, "settle_us"));
+  s.faas_qps = as_double(require(spec, "faas_qps"));
+  s.faas_functions =
+      static_cast<std::uint32_t>(as_u64(require(spec, "faas_functions")));
+  s.faas_duration = as_time(require(spec, "faas_duration_us"));
+  s.faas_poisson = as_bool(require(spec, "faas_poisson"));
+  s.hpc_backlog =
+      static_cast<std::size_t>(as_u64(require(spec, "hpc_backlog")));
+  s.lull_probability = as_double(require(spec, "lull_probability"));
+  s.grace = as_time(require(spec, "grace_us"));
+  s.plant = bug_plant_from_string(as_string(require(spec, "plant")));
+  const JsonValue& faults = require(spec, "faults");
+  if (faults.kind != JsonValue::Kind::kArray) {
+    throw std::invalid_argument("repro JSON: 'faults' must be an array");
+  }
+  s.faults.reserve(faults.items.size());
+  for (const JsonValue& f : faults.items) s.faults.push_back(parse_fault(f));
+  return repro;
+}
+
+}  // namespace hpcwhisk::check

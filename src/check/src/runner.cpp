@@ -1,0 +1,290 @@
+#include "hpcwhisk/check/runner.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "hpcwhisk/obs/trace.hpp"
+#include "hpcwhisk/sim/simulation.hpp"
+#include "hpcwhisk/trace/faas_workload.hpp"
+#include "hpcwhisk/trace/hpc_workload.hpp"
+#include "hpcwhisk/whisk/function.hpp"
+
+namespace hpcwhisk::check {
+namespace {
+
+// Per-cluster probes. The vector holding these is reserved up front:
+// observer lambdas capture stable pointers into it.
+struct ClusterProbe {
+  std::map<slurm::JobId, JobInfo> jobs;
+  std::string log;
+  std::unique_ptr<analysis::NodeStateLog> node_log;
+  std::unique_ptr<analysis::ConservationAudit> audit;
+};
+
+void append_job_event(std::string& log, std::size_t cluster,
+                      const slurm::JobEvent& ev) {
+  char buf[160];
+  switch (ev.kind) {
+    case slurm::JobEventKind::kSubmitted:
+      std::snprintf(buf, sizeof buf, "c%zu Q %llu %lld\n", cluster,
+                    static_cast<unsigned long long>(ev.id),
+                    static_cast<long long>(ev.when.ticks()));
+      break;
+    case slurm::JobEventKind::kClaimed:
+      std::snprintf(buf, sizeof buf, "c%zu C %llu %lld\n", cluster,
+                    static_cast<unsigned long long>(ev.id),
+                    static_cast<long long>(ev.when.ticks()));
+      break;
+    case slurm::JobEventKind::kLaunched:
+      std::snprintf(buf, sizeof buf, "c%zu S %llu %lld %lld\n", cluster,
+                    static_cast<unsigned long long>(ev.id),
+                    static_cast<long long>(ev.when.ticks()),
+                    static_cast<long long>(ev.job->granted_limit.ticks()));
+      break;
+    case slurm::JobEventKind::kSigterm:
+      std::snprintf(buf, sizeof buf, "c%zu G %llu %lld %lld %s\n", cluster,
+                    static_cast<unsigned long long>(ev.id),
+                    static_cast<long long>(ev.when.ticks()),
+                    static_cast<long long>(ev.deadline.ticks()),
+                    slurm::to_string(ev.reason));
+      break;
+    case slurm::JobEventKind::kEnded:
+      std::snprintf(buf, sizeof buf, "c%zu E %llu %lld %s\n", cluster,
+                    static_cast<unsigned long long>(ev.id),
+                    static_cast<long long>(ev.when.ticks()),
+                    slurm::to_string(ev.reason));
+      break;
+  }
+  log += buf;
+  if (ev.kind == slurm::JobEventKind::kLaunched) {
+    // Allocation is part of the decision; id order within the record.
+    std::string& line = log;
+    line.pop_back();  // rejoin the node list to the S line
+    for (const slurm::NodeId n : ev.job->nodes) {
+      std::snprintf(buf, sizeof buf, " %u", n);
+      line += buf;
+    }
+    line += '\n';
+  }
+}
+
+void record_job_event(std::map<slurm::JobId, JobInfo>& jobs,
+                      const slurm::JobEvent& ev) {
+  JobInfo& info = jobs[ev.id];
+  const slurm::JobRecord& rec = *ev.job;
+  switch (ev.kind) {
+    case slurm::JobEventKind::kSubmitted:
+      info.id = ev.id;
+      info.partition = rec.spec.partition;
+      info.tier = rec.priority_tier;
+      info.fixed = rec.spec.time_min == sim::SimTime::zero();
+      info.priority = rec.spec.priority;
+      info.num_nodes = rec.spec.num_nodes;
+      info.time_limit = rec.spec.time_limit;
+      info.time_min = rec.spec.time_min;
+      info.submit = ev.when;
+      break;
+    case slurm::JobEventKind::kClaimed:
+      if (ev.when < info.decision) info.decision = ev.when;
+      break;
+    case slurm::JobEventKind::kLaunched:
+      if (ev.when < info.decision) info.decision = ev.when;
+      info.start = ev.when;
+      info.granted_limit = rec.granted_limit;
+      info.nodes = rec.nodes;
+      break;
+    case slurm::JobEventKind::kSigterm:
+      info.got_sigterm = true;
+      info.sigterm_at = ev.when;
+      info.sigterm_deadline = ev.deadline;
+      info.sigterm_grace = ev.grace;
+      info.sigterm_reason = ev.reason;
+      break;
+    case slurm::JobEventKind::kEnded:
+      info.ended = true;
+      info.end = ev.when;
+      info.end_reason = ev.reason;
+      break;
+  }
+}
+
+void attach_probe(ClusterProbe& probe, std::size_t cluster_index,
+                  core::HpcWhiskSystem& system, sim::SimTime start) {
+  probe.node_log = std::make_unique<analysis::NodeStateLog>(
+      system.slurm().node_count(), start);
+  system.slurm().set_node_observer(
+      [&probe](const slurm::NodeTransition& t) { probe.node_log->record(t); });
+  system.slurm().set_job_observer(
+      [&probe, cluster_index](const slurm::JobEvent& ev) {
+        record_job_event(probe.jobs, ev);
+        append_job_event(probe.log, cluster_index, ev);
+      });
+  // The audit takes the controller's single terminal-observer slot; the
+  // runner must not set another (it would displace the audit silently).
+  probe.audit = std::make_unique<analysis::ConservationAudit>(
+      system.controller());
+}
+
+core::HpcWhiskSystem::Config system_config(const ScenarioSpec& spec,
+                                           std::uint32_t cluster) {
+  core::HpcWhiskSystem::Config cfg;
+  cfg.seed = spec.seed + 1000003ULL * cluster;
+  cfg.slurm.node_count = spec.nodes;
+  cfg.partitions = core::default_partitions(
+      spec.plant == BugPlant::kTruncateGrace ? sim::SimTime::seconds(5)
+                                             : spec.grace);
+  cfg.manager.model = spec.supply;
+  cfg.manager.fib_lengths = core::job_length_set(spec.length_set);
+  cfg.manager.fib_per_length = spec.fib_per_length;
+  for (const ScenarioFault& f : spec.faults) {
+    if (f.cluster == cluster) cfg.faults.add(f.event);
+  }
+  return cfg;
+}
+
+trace::HpcWorkloadGenerator::Config hpc_config(const ScenarioSpec& spec) {
+  trace::HpcWorkloadGenerator::Config cfg;
+  cfg.backlog_target = spec.hpc_backlog;
+  cfg.lull_probability_per_tick = spec.lull_probability;
+  return cfg;
+}
+
+std::vector<std::string> function_names(std::uint32_t count) {
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "sleep-%03u", i);
+    names.emplace_back(buf);
+  }
+  return names;
+}
+
+ClusterObservation collect_cluster(ClusterProbe& probe,
+                                   core::HpcWhiskSystem& system,
+                                   sim::SimTime end) {
+  probe.node_log->finalize(end);
+  ClusterObservation co;
+  co.node_count = system.slurm().node_count();
+  co.jobs.reserve(probe.jobs.size());
+  for (auto& [id, info] : probe.jobs) co.jobs.push_back(std::move(info));
+  co.audit = probe.audit->finalize();
+  co.controller = system.controller().counters();
+  co.slurm = system.slurm().counters();
+  co.manager = system.manager().counters();
+  co.active_pilots = system.manager().active_pilots();
+  co.node_intervals = probe.node_log->intervals();
+  // Activation outcomes join the decision log post-hoc (the audit holds
+  // the controller's only terminal-observer slot), in id order — which
+  // is deterministic because the store is append-only.
+  for (const whisk::ActivationRecord& rec :
+       system.controller().activations()) {
+    if (!whisk::is_terminal(rec.state)) ++co.nonterminal_activations;
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "A %llu %s %lld %lld\n",
+                  static_cast<unsigned long long>(rec.id),
+                  whisk::to_string(rec.state),
+                  static_cast<long long>(rec.submit_time.ticks()),
+                  static_cast<long long>(rec.end_time.ticks()));
+    probe.log += buf;
+  }
+  return co;
+}
+
+RunObservation run_single(const ScenarioSpec& spec) {
+  sim::Simulation sim;
+  core::HpcWhiskSystem system{sim, system_config(spec, 0)};
+  std::vector<ClusterProbe> probes(1);
+  attach_probe(probes[0], 0, system, sim.now());
+
+  const std::vector<std::string> functions = trace::register_sleep_functions(
+      system.functions(), spec.faas_functions, spec.faas_duration);
+  trace::HpcWorkloadGenerator hpc{sim, system.slurm(), hpc_config(spec),
+                                  sim::Rng{spec.seed * 77 + 1}};
+  trace::FaasLoadGenerator faas{
+      sim,
+      {.rate_qps = spec.faas_qps,
+       .poisson = spec.faas_poisson,
+       .functions = functions},
+      [&system](const std::string& fn) {
+        (void)system.controller().submit(fn);
+      },
+      sim::Rng{spec.seed * 77 + 2}};
+
+  hpc.start();
+  system.start();
+  faas.start(spec.horizon);
+  sim.run_until(spec.horizon + spec.settle);
+
+  RunObservation obs;
+  obs.end_time = sim.now();
+  obs.faas_issued = faas.issued();
+  obs.clusters.push_back(collect_cluster(probes[0], system, sim.now()));
+  obs.decision_log = std::move(probes[0].log);
+  obs.decision_hash = obs::fnv1a(obs.decision_log);
+  return obs;
+}
+
+RunObservation run_federated(const ScenarioSpec& spec) {
+  sim::Simulation sim;
+  fed::FederatedGateway::Config gcfg;
+  gcfg.policy = fed::FedPolicy::kPowerOfTwo;
+  gcfg.seed = spec.seed * 77 + 5;
+  gcfg.log_decisions = true;
+  for (std::uint32_t i = 0; i < spec.clusters; ++i) {
+    fed::FederatedGateway::ClusterSpec cs;
+    cs.system = system_config(spec, i);
+    cs.hpc_load = hpc_config(spec);
+    cs.hpc_seed = spec.seed * 77 + 1 + i;
+    gcfg.clusters.push_back(std::move(cs));
+  }
+  fed::FederatedGateway gateway{sim, gcfg};
+
+  std::vector<ClusterProbe> probes(spec.clusters);
+  for (std::uint32_t i = 0; i < spec.clusters; ++i) {
+    attach_probe(probes[i], i, gateway.cluster(i), sim.now());
+  }
+
+  const std::vector<std::string> functions =
+      function_names(spec.faas_functions);
+  for (const std::string& name : functions) {
+    gateway.register_function(
+        whisk::fixed_duration_function(name, spec.faas_duration,
+                                       /*memory_mb=*/128));
+  }
+  trace::FaasLoadGenerator faas{
+      sim,
+      {.rate_qps = spec.faas_qps,
+       .poisson = spec.faas_poisson,
+       .functions = functions},
+      [&gateway](const std::string& fn) { (void)gateway.invoke(fn); },
+      sim::Rng{spec.seed * 77 + 2}};
+
+  gateway.start();
+  faas.start(spec.horizon);
+  sim.run_until(spec.horizon + spec.settle);
+
+  RunObservation obs;
+  obs.federated = true;
+  obs.end_time = sim.now();
+  obs.faas_issued = faas.issued();
+  obs.gateway = gateway.counters();
+  obs.per_cluster_calls = gateway.per_cluster_calls();
+  for (std::uint32_t i = 0; i < spec.clusters; ++i) {
+    obs.clusters.push_back(
+        collect_cluster(probes[i], gateway.cluster(i), sim.now()));
+    obs.decision_log += probes[i].log;
+  }
+  obs.decision_log += gateway.decision_log();
+  obs.decision_hash = obs::fnv1a(obs.decision_log);
+  return obs;
+}
+
+}  // namespace
+
+RunObservation run_scenario(const ScenarioSpec& spec) {
+  return spec.clusters > 1 ? run_federated(spec) : run_single(spec);
+}
+
+}  // namespace hpcwhisk::check

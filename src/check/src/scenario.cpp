@@ -1,0 +1,90 @@
+#include "hpcwhisk/check/scenario.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "hpcwhisk/sim/rng.hpp"
+
+namespace hpcwhisk::check {
+
+const char* to_string(BugPlant p) {
+  switch (p) {
+    case BugPlant::kNone: return "none";
+    case BugPlant::kTruncateGrace: return "truncate-grace";
+  }
+  return "?";
+}
+
+BugPlant bug_plant_from_string(std::string_view name) {
+  if (name == "none") return BugPlant::kNone;
+  if (name == "truncate-grace") return BugPlant::kTruncateGrace;
+  throw std::invalid_argument("unknown bug plant: " + std::string{name});
+}
+
+ScenarioSpec ScenarioSpec::sample(std::uint64_t seed,
+                                  const SampleOptions& options) {
+  // Draw order is part of the repro contract: new fields must append
+  // draws, never reorder them, or existing seeds change meaning.
+  sim::Rng rng{seed * 0x9E3779B97F4A7C15ULL + 0x5D1CC3ULL};
+  ScenarioSpec s;
+  s.seed = seed;
+  s.plant = options.plant;
+  s.nodes = static_cast<std::uint32_t>(
+      rng.uniform_int(options.min_nodes, options.max_nodes));
+  s.clusters = 1;
+  if (options.max_clusters > 1 && rng.bernoulli(options.fed_probability)) {
+    s.clusters =
+        static_cast<std::uint32_t>(rng.uniform_int(2, options.max_clusters));
+  }
+  s.supply = rng.bernoulli(0.5) ? core::SupplyModel::kFib
+                                : core::SupplyModel::kVar;
+  s.length_set = rng.bernoulli(0.5) ? "A1" : "C1";
+  s.fib_per_length = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  s.horizon = sim::SimTime::minutes(
+      static_cast<double>(rng.uniform_int(
+          static_cast<std::int64_t>(options.min_horizon_minutes),
+          static_cast<std::int64_t>(options.max_horizon_minutes))));
+  s.faas_qps = 0.5 * static_cast<double>(rng.uniform_int(2, 12));
+  s.faas_functions = static_cast<std::uint32_t>(rng.uniform_int(4, 16));
+  s.faas_duration =
+      sim::SimTime::seconds(static_cast<double>(rng.uniform_int(1, 4)));
+  s.faas_poisson = rng.bernoulli(0.5);
+  s.hpc_backlog = static_cast<std::size_t>(rng.uniform_int(8, 30));
+
+  if (options.chaos) {
+    fault::FaultProfile profile;
+    profile.start = sim::SimTime::minutes(3);
+    profile.horizon = s.horizon - sim::SimTime::minutes(5);
+    profile.node_crash_rate_per_hour = 6.0;
+    profile.invoker_stall_rate_per_hour = 9.0;
+    profile.invoker_crash_rate_per_hour = 6.0;
+    profile.mq_fault_rate_per_hour = 9.0;
+    profile.mean_outage = sim::SimTime::minutes(2);
+    profile.mean_stall = sim::SimTime::seconds(30);
+    const fault::FaultPlan plan =
+        fault::FaultPlan::sample(profile, rng.next_u64());
+    s.faults.reserve(plan.size());
+    for (const fault::FaultEvent& ev : plan.events()) {
+      ScenarioFault f;
+      f.cluster = s.clusters > 1 ? static_cast<std::uint32_t>(rng.uniform_int(
+                                       0, s.clusters - 1))
+                                 : 0;
+      f.event = ev;
+      s.faults.push_back(f);
+    }
+  }
+  return s;
+}
+
+std::string ScenarioSpec::summary() const {
+  std::ostringstream out;
+  out << "seed=" << seed << " nodes=" << nodes;
+  if (clusters > 1) out << "x" << clusters;
+  out << " " << core::to_string(supply) << "/" << length_set << " horizon="
+      << horizon.to_string() << " qps=" << faas_qps << " fns="
+      << faas_functions << " faults=" << faults.size();
+  if (plant != BugPlant::kNone) out << " plant=" << to_string(plant);
+  return out.str();
+}
+
+}  // namespace hpcwhisk::check

@@ -1,0 +1,110 @@
+#include "hpcwhisk/check/simcheck.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <numeric>
+#include <utility>
+
+#include "hpcwhisk/check/repro.hpp"
+#include "hpcwhisk/check/runner.hpp"
+#include "hpcwhisk/check/shrink.hpp"
+#include "hpcwhisk/exec/parallel_trials.hpp"
+
+namespace hpcwhisk::check {
+namespace {
+
+std::string hash_string(std::uint64_t hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016" PRIx64, hash);
+  return buf;
+}
+
+}  // namespace
+
+CheckResult check_scenario(const ScenarioSpec& spec,
+                           const InvariantSuite& suite,
+                           const CheckOptions& opts) {
+  const RunObservation obs = run_scenario(spec);
+  CheckResult result;
+  result.violations = suite.run(spec, obs);
+  result.decision_hash = obs.decision_hash;
+  if (opts.replay_check) {
+    const RunObservation replay = run_scenario(spec);
+    result.replayed = true;
+    result.replay_hash = replay.decision_hash;
+    if (replay.decision_hash != obs.decision_hash) {
+      result.violations.push_back(
+          {"replay-determinism",
+           "decision-log hash diverged across two runs of the same spec: " +
+               hash_string(obs.decision_hash) + " vs " +
+               hash_string(replay.decision_hash)});
+    }
+  }
+  return result;
+}
+
+CampaignResult run_campaign(const CampaignOptions& options,
+                            const InvariantSuite& suite,
+                            std::ostream& progress) {
+  std::vector<std::uint64_t> seeds(options.seeds);
+  std::iota(seeds.begin(), seeds.end(), options.seed_base);
+
+  CampaignResult campaign;
+  campaign.outcomes = exec::parallel_trials(
+      seeds,
+      [&](const std::uint64_t seed, std::ostream& out) {
+        SeedOutcome outcome;
+        outcome.seed = seed;
+        outcome.spec = ScenarioSpec::sample(seed, options.sample);
+        CheckOptions copts;
+        copts.replay_check = options.replay_check;
+        outcome.check = check_scenario(outcome.spec, suite, copts);
+        if (outcome.check.ok()) {
+          out << "seed " << seed << ": ok "
+              << hash_string(outcome.check.decision_hash) << " ("
+              << outcome.spec.summary() << ")\n";
+          return outcome;
+        }
+        const Violation& first = outcome.check.violations.front();
+        out << "seed " << seed << ": FAIL [" << first.invariant << "] "
+            << first.message << " (" << outcome.spec.summary() << ")\n";
+
+        ScenarioSpec repro_spec = outcome.spec;
+        if (options.shrink) {
+          ShrinkOptions sopts;
+          sopts.max_attempts = options.shrink_budget;
+          ShrinkResult shrunk =
+              shrink(outcome.spec, first.invariant, suite, sopts);
+          outcome.shrunk_valid = true;
+          outcome.shrunk = shrunk.spec;
+          outcome.shrink_attempts = shrunk.attempts;
+          repro_spec = shrunk.spec;
+          out << "seed " << seed << ": shrunk to " << repro_spec.elements()
+              << " elements in " << shrunk.attempts << " runs ("
+              << repro_spec.summary() << ")\n";
+        }
+        // One more run of the repro spec pins its decision hash (the
+        // shrinker verified it still violates `first.invariant`).
+        const RunObservation final_obs = run_scenario(repro_spec);
+        outcome.shrunk_hash = final_obs.decision_hash;
+        const std::vector<Violation> final_violations =
+            suite.run(repro_spec, final_obs);
+        Repro repro;
+        repro.invariant = first.invariant;
+        repro.message = final_violations.empty()
+                            ? first.message
+                            : final_violations.front().message;
+        repro.decision_hash = final_obs.decision_hash;
+        repro.spec = repro_spec;
+        outcome.repro_json = write_repro(repro);
+        return outcome;
+      },
+      options.jobs, progress);
+
+  for (const SeedOutcome& o : campaign.outcomes) {
+    if (!o.check.ok()) ++campaign.failures;
+  }
+  return campaign;
+}
+
+}  // namespace hpcwhisk::check

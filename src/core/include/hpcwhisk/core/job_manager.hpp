@@ -120,6 +120,13 @@ class JobManager {
     std::uint64_t preempted{0};
     std::uint64_t timed_out{0};
     std::uint64_t completed{0};
+    /// Lost to node failure (fault injection); any phase.
+    std::uint64_t node_failed{0};
+    /// Cancelled after starting (operator action); disjoint from the above.
+    std::uint64_t cancelled{0};
+    /// Ends that arrived while still serving, i.e. without any SIGTERM
+    /// warning (hard node loss). A subset of node_failed, kept separate
+    /// because it is the "local state lost" signal.
     std::uint64_t hard_killed{0};
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }

@@ -276,7 +276,8 @@ void JobManager::on_pilot_end(const slurm::JobRecord& rec,
     case slurm::EndReason::kPreempted: ++counters_.preempted; break;
     case slurm::EndReason::kTimeLimit: ++counters_.timed_out; break;
     case slurm::EndReason::kCompleted: ++counters_.completed; break;
-    default: break;
+    case slurm::EndReason::kNodeFailed: ++counters_.node_failed; break;
+    case slurm::EndReason::kCancelled: ++counters_.cancelled; break;
   }
 
   // This callback may be running inside the pilot's own drain-completion

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hpcwhisk/sim/time.hpp"
@@ -26,6 +27,9 @@ enum class FaultKind : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(FaultKind k);
+/// Inverse of to_string; throws std::invalid_argument on unknown names
+/// (repro-file deserialization).
+[[nodiscard]] FaultKind fault_kind_from_string(std::string_view name);
 
 /// Sentinel target: the engine picks deterministically from the live
 /// population (pilot-held nodes / serving invokers) at fire time.
@@ -52,6 +56,8 @@ struct FaultEvent {
   /// Node id (kNodeCrash) or serving-invoker index (kInvoker*);
   /// kAutoTarget defers the pick to the engine.
   std::uint32_t target{kAutoTarget};
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
 
 /// Intensity knobs for sampled plans. Rates are per hour of the

@@ -1,6 +1,7 @@
 #include "hpcwhisk/fault/fault_plan.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "hpcwhisk/sim/rng.hpp"
 
@@ -16,6 +17,16 @@ const char* to_string(FaultKind k) {
     case FaultKind::kMqDuplicate: return "mq-duplicate";
   }
   return "?";
+}
+
+FaultKind fault_kind_from_string(std::string_view name) {
+  if (name == "node-crash") return FaultKind::kNodeCrash;
+  if (name == "invoker-stall") return FaultKind::kInvokerStall;
+  if (name == "invoker-crash") return FaultKind::kInvokerCrash;
+  if (name == "mq-drop") return FaultKind::kMqDrop;
+  if (name == "mq-delay") return FaultKind::kMqDelay;
+  if (name == "mq-duplicate") return FaultKind::kMqDuplicate;
+  throw std::invalid_argument("unknown fault kind: " + std::string{name});
 }
 
 FaultPlan& FaultPlan::add(FaultEvent ev) {

@@ -47,6 +47,34 @@ struct NodeTransition {
   ObservedNodeState state;
 };
 
+/// Job-lifecycle event stream, the scheduler-side ground truth consumed
+/// by the SimCheck invariant suite (src/check). One event per decision:
+/// a job is submitted, claims preempted nodes (kClaimed), launches on its
+/// allocation, receives SIGTERM with a SIGKILL deadline, and ends.
+enum class JobEventKind : std::uint8_t {
+  kSubmitted,  ///< entered the pending queue
+  kClaimed,    ///< scheduling decision made; waiting on preempted victims
+  kLaunched,   ///< allocation started (record carries nodes + granted limit)
+  kSigterm,    ///< grace window opened; `deadline`/`grace`/`reason` valid
+  kEnded,      ///< left the system; `reason` valid
+};
+
+[[nodiscard]] const char* to_string(JobEventKind k);
+
+struct JobEvent {
+  sim::SimTime when;
+  JobEventKind kind{JobEventKind::kSubmitted};
+  JobId id{0};
+  /// kSigterm: when SIGKILL fires and the grace actually granted (the
+  /// partition grace, possibly truncated by fault injection).
+  sim::SimTime deadline;
+  sim::SimTime grace;
+  /// kSigterm: why the grace window opened; kEnded: terminal reason.
+  EndReason reason{EndReason::kCompleted};
+  /// The full record at event time; valid only during the callback.
+  const JobRecord* job{nullptr};
+};
+
 enum class PilotPlacement {
   kPreemptAware,  ///< faithful: start pilots on idle nodes regardless of
                   ///< future reservations; preemption resolves conflicts
@@ -162,6 +190,13 @@ class Slurmctld {
     node_observer_ = std::move(cb);
   }
 
+  /// Job-lifecycle observer: invoked on every JobEvent, after the
+  /// scheduler's own bookkeeping and before the job's user callbacks.
+  /// One observer at a time; unset costs nothing.
+  void set_job_observer(std::function<void(const JobEvent&)> cb) {
+    job_observer_ = std::move(cb);
+  }
+
   struct Counters {
     std::uint64_t submitted{0};
     std::uint64_t started{0};
@@ -240,6 +275,10 @@ class Slurmctld {
   void finish_job(JobRecord& rec, EndReason reason);
   void free_nodes(const JobRecord& rec);
   void announce(NodeId node);
+  void notify_job(JobEventKind kind, const JobRecord& rec,
+                  sim::SimTime deadline = sim::SimTime::zero(),
+                  sim::SimTime grace = sim::SimTime::zero(),
+                  EndReason reason = EndReason::kCompleted);
   [[nodiscard]] const Partition& partition_of(const JobRecord& rec) const;
 
   /// Jobs whose allocation is decided but whose nodes are still draining
@@ -272,6 +311,7 @@ class Slurmctld {
   std::vector<bool> draining_;
   std::unordered_map<NodeId, JobId> node_claims_;  // node -> waiting job
   std::function<void(const NodeTransition&)> node_observer_;
+  std::function<void(const JobEvent&)> job_observer_;
   JobId next_job_id_{1};
   bool pass_requested_{false};
   sim::SimTime last_pass_{sim::SimTime::zero() - sim::SimTime::hours(1)};

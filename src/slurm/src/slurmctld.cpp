@@ -33,6 +33,17 @@ const char* to_string(EndReason r) {
   return "?";
 }
 
+const char* to_string(JobEventKind k) {
+  switch (k) {
+    case JobEventKind::kSubmitted: return "submitted";
+    case JobEventKind::kClaimed: return "claimed";
+    case JobEventKind::kLaunched: return "launched";
+    case JobEventKind::kSigterm: return "sigterm";
+    case JobEventKind::kEnded: return "ended";
+  }
+  return "?";
+}
+
 const char* to_string(ObservedNodeState s) {
   switch (s) {
     case ObservedNodeState::kIdle: return "idle";
@@ -122,6 +133,7 @@ JobId Slurmctld::submit(JobSpec spec) {
   const auto [it, inserted] = jobs_.emplace(id, std::move(rec));
   enqueue_pending(tier, it->second);
   ++counters_.submitted;
+  notify_job(JobEventKind::kSubmitted, it->second);
   // Variable-length pilots wait for the periodic pass when configured so.
   if (!(is_var && config_.var_jobs_periodic_only && tier == 0)) {
     request_schedule();
@@ -585,6 +597,7 @@ bool Slurmctld::try_start_hpc(JobRecord& rec, PassCache& cache,
   pl.nodes_missing = victim_nodes.size();
   for (const NodeId n : chosen) node_claims_[n] = rec.id;
   pending_launches_.push_back(std::move(pl));
+  notify_job(JobEventKind::kClaimed, rec);
 
   for (const NodeId n : victim_nodes) {
     JobRecord& victim = jobs_.at(nodes_.at(n).running_job);
@@ -686,6 +699,7 @@ void Slurmctld::launch(JobRecord& rec, std::vector<NodeId> nodes,
     announce(n);
   }
   ++counters_.started;
+  notify_job(JobEventKind::kLaunched, rec);
   HW_OBS_IF(config_.obs) {
     config_.obs->trace.record_chained(
         obs::Cat::kSched, obs::Phase::kInstant, "job_launch",
@@ -769,6 +783,7 @@ void Slurmctld::begin_grace(JobRecord& rec, EndReason reason,
         obs::Track::kSlurmctld, 0, rec.id, now, grace.to_seconds(),
         static_cast<double>(static_cast<int>(reason)));
   }
+  notify_job(JobEventKind::kSigterm, rec, rec.end_time, grace, reason);
 
   if (rec.spec.on_sigterm) rec.spec.on_sigterm(rec);
 }
@@ -813,6 +828,8 @@ void Slurmctld::finish_job(JobRecord& rec, EndReason reason) {
         obs::Track::kSlurmctld, 0, rec.id, rec.end_time,
         static_cast<double>(static_cast<int>(reason)));
   }
+  notify_job(JobEventKind::kEnded, rec, sim::SimTime::zero(),
+             sim::SimTime::zero(), reason);
   if (was_active) free_nodes(rec);
   if (rec.spec.on_end) rec.spec.on_end(rec, reason);
   if (was_active) request_schedule();
@@ -861,6 +878,21 @@ void Slurmctld::node_freed(NodeId id) {
 void Slurmctld::announce(NodeId node) {
   if (node_observer_)
     node_observer_(NodeTransition{sim_.now(), node, observed_state(node)});
+}
+
+void Slurmctld::notify_job(JobEventKind kind, const JobRecord& rec,
+                           sim::SimTime deadline, sim::SimTime grace,
+                           EndReason reason) {
+  if (!job_observer_) return;
+  JobEvent ev;
+  ev.when = sim_.now();
+  ev.kind = kind;
+  ev.id = rec.id;
+  ev.deadline = deadline;
+  ev.grace = grace;
+  ev.reason = reason;
+  ev.job = &rec;
+  job_observer_(ev);
 }
 
 }  // namespace hpcwhisk::slurm

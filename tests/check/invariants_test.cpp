@@ -1,0 +1,253 @@
+// Negative tests: hand-built RunObservations with one defect each, so we
+// know every invariant in the standard suite actually fires (a fuzzer
+// whose oracles are silently vacuous finds nothing).
+
+#include "hpcwhisk/check/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hpcwhisk {
+namespace {
+
+using check::InvariantSuite;
+using check::RunObservation;
+using check::ScenarioSpec;
+using check::Violation;
+
+/// A minimal observation that violates nothing: one cluster, one node
+/// with a timeline tiling [0, end], balanced counters, no jobs.
+RunObservation clean_observation() {
+  RunObservation obs;
+  obs.end_time = sim::SimTime::minutes(10);
+  check::ClusterObservation co;
+  co.node_count = 1;
+  co.node_intervals.push_back({0, slurm::ObservedNodeState::kIdle,
+                               sim::SimTime::zero(), obs.end_time});
+  obs.clusters.push_back(std::move(co));
+  return obs;
+}
+
+std::vector<Violation> run_standard(const RunObservation& obs) {
+  return InvariantSuite::standard().run(ScenarioSpec{}, obs);
+}
+
+bool has(const std::vector<Violation>& vs, const std::string& invariant) {
+  return std::any_of(vs.begin(), vs.end(), [&](const Violation& v) {
+    return v.invariant == invariant;
+  });
+}
+
+check::JobInfo started_job(slurm::JobId id, std::string partition,
+                           sim::SimTime start, sim::SimTime end,
+                           std::vector<slurm::NodeId> nodes) {
+  check::JobInfo j;
+  j.id = id;
+  j.partition = std::move(partition);
+  j.submit = sim::SimTime::zero();
+  j.decision = start;
+  j.start = start;
+  j.end = end;
+  j.ended = true;
+  j.nodes = std::move(nodes);
+  j.num_nodes = static_cast<std::uint32_t>(j.nodes.size());
+  return j;
+}
+
+TEST(InvariantSuite, CleanObservationPasses) {
+  EXPECT_TRUE(run_standard(clean_observation()).empty());
+}
+
+TEST(InvariantSuite, StandardCatalogueNames) {
+  const auto suite = InvariantSuite::standard();
+  const auto& names = suite.names();
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.front(), "activation-conservation");
+  EXPECT_EQ(names.back(), "federation-conservation");
+}
+
+TEST(InvariantSuite, FlagsAuditViolations) {
+  auto obs = clean_observation();
+  obs.clusters[0].audit.violations.push_back("activation 3 double-terminal");
+  EXPECT_TRUE(has(run_standard(obs), "activation-conservation"));
+}
+
+TEST(InvariantSuite, FlagsUnbalancedControllerCounters) {
+  auto obs = clean_observation();
+  obs.clusters[0].controller.submitted = 5;
+  obs.clusters[0].controller.accepted = 4;  // 1 lost, never rejected
+  obs.faas_issued = 5;
+  EXPECT_TRUE(has(run_standard(obs), "terminal-balance"));
+}
+
+TEST(InvariantSuite, FlagsNonterminalActivations) {
+  auto obs = clean_observation();
+  obs.clusters[0].nonterminal_activations = 2;
+  EXPECT_TRUE(has(run_standard(obs), "terminal-balance"));
+}
+
+TEST(InvariantSuite, FlagsIssuedVsSubmittedMismatch) {
+  auto obs = clean_observation();
+  obs.faas_issued = 7;  // controller saw 0
+  EXPECT_TRUE(has(run_standard(obs), "terminal-balance"));
+}
+
+TEST(InvariantSuite, FlagsLostPilots) {
+  auto obs = clean_observation();
+  obs.clusters[0].manager.started = 3;
+  obs.clusters[0].manager.completed = 2;
+  // One pilot vanished: neither terminal nor active.
+  EXPECT_TRUE(has(run_standard(obs), "pilot-accounting"));
+}
+
+TEST(InvariantSuite, FlagsNodeTimelineGap) {
+  auto obs = clean_observation();
+  auto& ivs = obs.clusters[0].node_intervals;
+  ivs.clear();
+  ivs.push_back({0, slurm::ObservedNodeState::kIdle, sim::SimTime::zero(),
+                 sim::SimTime::minutes(4)});
+  ivs.push_back({0, slurm::ObservedNodeState::kHpc, sim::SimTime::minutes(5),
+                 obs.end_time});  // minute 4..5 unaccounted
+  EXPECT_TRUE(has(run_standard(obs), "node-timeline"));
+}
+
+TEST(InvariantSuite, FlagsMissingNodeTimeline) {
+  auto obs = clean_observation();
+  obs.clusters[0].node_count = 2;  // node 1 never reported
+  EXPECT_TRUE(has(run_standard(obs), "node-timeline"));
+}
+
+TEST(InvariantSuite, FlagsDoubleAllocation) {
+  auto obs = clean_observation();
+  obs.clusters[0].jobs.push_back(started_job(
+      1, "hpc", sim::SimTime::minutes(1), sim::SimTime::minutes(5), {0}));
+  obs.clusters[0].jobs.push_back(started_job(
+      2, "hpc", sim::SimTime::minutes(4), sim::SimTime::minutes(6), {0}));
+  EXPECT_TRUE(has(run_standard(obs), "no-double-allocation"));
+}
+
+TEST(InvariantSuite, AllowsBackToBackAllocation) {
+  auto obs = clean_observation();
+  // Job 2 starts exactly when job 1 releases: legal.
+  obs.clusters[0].jobs.push_back(started_job(
+      1, "hpc", sim::SimTime::minutes(1), sim::SimTime::minutes(4), {0}));
+  obs.clusters[0].jobs.push_back(started_job(
+      2, "hpc", sim::SimTime::minutes(4), sim::SimTime::minutes(6), {0}));
+  EXPECT_FALSE(has(run_standard(obs), "no-double-allocation"));
+}
+
+TEST(InvariantSuite, FlagsTruncatedGrace) {
+  auto obs = clean_observation();
+  ScenarioSpec spec;  // promises 3 minutes of pilot grace
+  auto j = started_job(1, "pilot", sim::SimTime::minutes(1),
+                       sim::SimTime::minutes(5), {0});
+  j.got_sigterm = true;
+  j.sigterm_reason = slurm::EndReason::kPreempted;
+  j.sigterm_at = sim::SimTime::minutes(4);
+  j.sigterm_grace = sim::SimTime::seconds(5);  // truncated!
+  j.sigterm_deadline = j.sigterm_at + j.sigterm_grace;
+  obs.clusters[0].jobs.push_back(j);
+  const auto violations = InvariantSuite::standard().run(spec, obs);
+  EXPECT_TRUE(has(violations, "grace-respected"));
+}
+
+TEST(InvariantSuite, FlagsSigkillOverstay) {
+  auto obs = clean_observation();
+  auto j = started_job(1, "pilot", sim::SimTime::minutes(1),
+                       sim::SimTime::minutes(9), {0});
+  j.got_sigterm = true;
+  j.sigterm_reason = slurm::EndReason::kPreempted;
+  j.sigterm_at = sim::SimTime::minutes(4);
+  j.sigterm_grace = sim::SimTime::minutes(3);
+  j.sigterm_deadline = j.sigterm_at + j.sigterm_grace;  // minute 7; ends at 9
+  obs.clusters[0].jobs.push_back(j);
+  EXPECT_TRUE(has(run_standard(obs), "grace-respected"));
+}
+
+TEST(InvariantSuite, FaultKillsAreExemptFromExactGrace) {
+  auto obs = clean_observation();
+  auto j = started_job(1, "pilot", sim::SimTime::minutes(1),
+                       sim::SimTime::minutes(4), {0});
+  j.got_sigterm = true;
+  j.sigterm_reason = slurm::EndReason::kNodeFailed;  // injected fault
+  j.sigterm_at = sim::SimTime::minutes(4);
+  j.sigterm_grace = sim::SimTime::zero();
+  j.sigterm_deadline = j.sigterm_at;
+  obs.clusters[0].jobs.push_back(j);
+  EXPECT_FALSE(has(run_standard(obs), "grace-respected"));
+}
+
+TEST(InvariantSuite, FlagsBackfillOverHigherPriority) {
+  auto obs = clean_observation();
+  // P: higher priority, submitted first, fits in 1 node / 10 min — but
+  // K (lower priority) got that allocation while P was still queued.
+  check::JobInfo p;
+  p.id = 1;
+  p.partition = "hpc";
+  p.priority = 100;
+  p.num_nodes = 1;
+  p.time_limit = sim::SimTime::minutes(10);
+  p.submit = sim::SimTime::zero();
+  p.decision = sim::SimTime::minutes(8);
+  auto k = started_job(2, "hpc", sim::SimTime::minutes(2),
+                       sim::SimTime::minutes(6), {0});
+  k.priority = 10;
+  k.time_limit = sim::SimTime::minutes(10);
+  k.granted_limit = sim::SimTime::minutes(10);
+  obs.clusters[0].jobs.push_back(p);
+  obs.clusters[0].jobs.push_back(k);
+  EXPECT_TRUE(has(run_standard(obs), "backfill-priority"));
+}
+
+TEST(InvariantSuite, AllowsBackfillThatCouldNotFitTheReservation) {
+  auto obs = clean_observation();
+  check::JobInfo p;
+  p.id = 1;
+  p.partition = "hpc";
+  p.priority = 100;
+  p.num_nodes = 2;  // needs more nodes than K's allocation — legal skip
+  p.time_limit = sim::SimTime::minutes(10);
+  p.submit = sim::SimTime::zero();
+  p.decision = sim::SimTime::minutes(8);
+  auto k = started_job(2, "hpc", sim::SimTime::minutes(2),
+                       sim::SimTime::minutes(6), {0});
+  k.priority = 10;
+  k.granted_limit = sim::SimTime::minutes(10);
+  obs.clusters[0].jobs.push_back(p);
+  obs.clusters[0].jobs.push_back(k);
+  EXPECT_FALSE(has(run_standard(obs), "backfill-priority"));
+}
+
+TEST(InvariantSuite, FlagsGatewayImbalance) {
+  auto obs = clean_observation();
+  obs.federated = true;
+  obs.faas_issued = 10;
+  obs.gateway.invocations = 10;
+  obs.gateway.cluster_calls = 9;  // 1 call neither placed nor clouded
+  obs.gateway.cloud_calls = 0;
+  obs.per_cluster_calls = {9};
+  obs.clusters[0].controller.accepted = 9;
+  obs.clusters[0].controller.submitted = 9;
+  obs.clusters[0].controller.completed = 9;
+  EXPECT_TRUE(has(run_standard(obs), "federation-conservation"));
+}
+
+TEST(InvariantSuite, CustomSuiteRunsInRegistrationOrder) {
+  InvariantSuite suite;
+  suite.add("a", [](const ScenarioSpec&, const RunObservation&,
+                    std::vector<Violation>& out) {
+    out.push_back({"a", "first"});
+  });
+  suite.add("b", [](const ScenarioSpec&, const RunObservation&,
+                    std::vector<Violation>& out) {
+    out.push_back({"b", "second"});
+  });
+  const auto vs = suite.run(ScenarioSpec{}, clean_observation());
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].invariant, "a");
+  EXPECT_EQ(vs[1].invariant, "b");
+}
+
+}  // namespace
+}  // namespace hpcwhisk

@@ -1,0 +1,74 @@
+#include "hpcwhisk/check/repro.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hpcwhisk {
+namespace {
+
+check::Repro make_repro() {
+  check::Repro repro;
+  repro.invariant = "grace-respected";
+  repro.message = "pilot 42 sigterm deadline mismatch";
+  repro.decision_hash = 0xDEADBEEFCAFEF00DULL;
+  repro.spec = check::ScenarioSpec::sample(
+      99, {.chaos = true, .max_clusters = 3, .fed_probability = 1.0});
+  repro.spec.plant = check::BugPlant::kTruncateGrace;
+  return repro;
+}
+
+TEST(Repro, RoundTripPreservesEverything) {
+  const check::Repro original = make_repro();
+  ASSERT_FALSE(original.spec.faults.empty());
+  ASSERT_GT(original.spec.clusters, 1u);
+
+  const std::string json = check::write_repro(original);
+  const check::Repro parsed = check::parse_repro(json);
+
+  EXPECT_EQ(parsed.invariant, original.invariant);
+  EXPECT_EQ(parsed.message, original.message);
+  EXPECT_EQ(parsed.decision_hash, original.decision_hash);
+  EXPECT_EQ(parsed.spec, original.spec);
+}
+
+TEST(Repro, RoundTripPreservesNonRepresentableDoubles) {
+  check::Repro repro = make_repro();
+  repro.spec.faas_qps = 0.1 + 0.2;  // 0.30000000000000004
+  repro.spec.lull_probability = 1.0 / 3.0;
+  const check::Repro parsed = check::parse_repro(check::write_repro(repro));
+  EXPECT_EQ(parsed.spec.faas_qps, repro.spec.faas_qps);
+  EXPECT_EQ(parsed.spec.lull_probability, repro.spec.lull_probability);
+}
+
+TEST(Repro, WriteIsDeterministic) {
+  const check::Repro repro = make_repro();
+  EXPECT_EQ(check::write_repro(repro), check::write_repro(repro));
+}
+
+TEST(Repro, EscapesStringsInMessages) {
+  check::Repro repro = make_repro();
+  repro.message = "got \"quote\"\nand\ttabs \\ backslash";
+  const check::Repro parsed = check::parse_repro(check::write_repro(repro));
+  EXPECT_EQ(parsed.message, repro.message);
+}
+
+TEST(Repro, RejectsMalformedInput) {
+  EXPECT_THROW((void)check::parse_repro(""), std::invalid_argument);
+  EXPECT_THROW((void)check::parse_repro("{"), std::invalid_argument);
+  EXPECT_THROW((void)check::parse_repro("not json at all"),
+               std::invalid_argument);
+  EXPECT_THROW((void)check::parse_repro("{\"format\": \"something-else\"}"),
+               std::invalid_argument);
+}
+
+TEST(Repro, RejectsMissingFields) {
+  const std::string json = check::write_repro(make_repro());
+  // Chop the closing brace and the last field off: still syntactically
+  // truncated, must not parse.
+  EXPECT_THROW((void)check::parse_repro(json.substr(0, json.size() / 2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcwhisk

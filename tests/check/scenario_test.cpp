@@ -1,0 +1,91 @@
+#include "hpcwhisk/check/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcwhisk {
+namespace {
+
+TEST(ScenarioSpec, SamplingIsDeterministic) {
+  const auto a = check::ScenarioSpec::sample(1234);
+  const auto b = check::ScenarioSpec::sample(1234);
+  EXPECT_EQ(a, b);
+  const auto c = check::ScenarioSpec::sample(1235);
+  EXPECT_NE(a, c);
+}
+
+TEST(ScenarioSpec, SamplingRespectsRanges) {
+  check::SampleOptions opts;
+  opts.min_nodes = 6;
+  opts.max_nodes = 20;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const auto s = check::ScenarioSpec::sample(seed, opts);
+    EXPECT_EQ(s.seed, seed);
+    EXPECT_GE(s.nodes, 6u);
+    EXPECT_LE(s.nodes, 20u);
+    EXPECT_EQ(s.clusters, 1u);  // max_clusters defaults to 1
+    EXPECT_TRUE(s.faults.empty());
+    EXPECT_GE(s.faas_functions, 1u);
+    EXPECT_GE(s.horizon, sim::SimTime::minutes(18));
+    EXPECT_LE(s.horizon, sim::SimTime::minutes(30));
+    // The settle window must outlast the 5-minute activation timeout.
+    EXPECT_GT(s.settle, sim::SimTime::minutes(5));
+  }
+}
+
+TEST(ScenarioSpec, ChaosSamplesFaults) {
+  check::SampleOptions opts;
+  opts.chaos = true;
+  std::size_t total = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto s = check::ScenarioSpec::sample(seed, opts);
+    total += s.faults.size();
+    for (const auto& f : s.faults) {
+      EXPECT_EQ(f.cluster, 0u);
+      EXPECT_GE(f.event.at, sim::SimTime::minutes(3));
+      EXPECT_LE(f.event.at, s.horizon);
+    }
+  }
+  EXPECT_GT(total, 20u);  // ~27/hour over ~15 min windows, 20 seeds
+}
+
+TEST(ScenarioSpec, FederationSamplesMultipleClusters) {
+  check::SampleOptions opts;
+  opts.chaos = true;
+  opts.max_clusters = 3;
+  opts.fed_probability = 1.0;
+  bool saw_multi = false;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto s = check::ScenarioSpec::sample(seed, opts);
+    EXPECT_GE(s.clusters, 2u);
+    EXPECT_LE(s.clusters, 3u);
+    if (s.clusters > 1) saw_multi = true;
+    for (const auto& f : s.faults) EXPECT_LT(f.cluster, s.clusters);
+  }
+  EXPECT_TRUE(saw_multi);
+}
+
+TEST(ScenarioSpec, ElementsCountsFaultsFunctionsAndClusters) {
+  check::ScenarioSpec s;
+  s.faas_functions = 3;
+  s.clusters = 2;
+  s.faults.resize(4);
+  EXPECT_EQ(s.elements(), 9u);
+}
+
+TEST(ScenarioSpec, BugPlantStringsRoundTrip) {
+  for (const auto plant :
+       {check::BugPlant::kNone, check::BugPlant::kTruncateGrace}) {
+    EXPECT_EQ(check::bug_plant_from_string(check::to_string(plant)), plant);
+  }
+  EXPECT_THROW(check::bug_plant_from_string("nope"), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, SummaryMentionsKeyKnobs) {
+  const auto s = check::ScenarioSpec::sample(7);
+  const std::string summary = s.summary();
+  EXPECT_NE(summary.find("seed=7"), std::string::npos);
+  EXPECT_NE(summary.find("nodes="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcwhisk

@@ -1,0 +1,35 @@
+// Soak sweep: a 20-seed chaos + federation campaign over the unmodified
+// system must report zero violations. Labeled `soak` in CMake so the
+// tier-1 suite (`ctest -L tier1`) skips it; run explicitly with
+// `ctest -L soak` or via tools/ci_smoke.sh.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hpcwhisk/check/simcheck.hpp"
+
+namespace hpcwhisk {
+namespace {
+
+TEST(SweepSoak, TwentyChaosFederatedSeedsAreClean) {
+  check::CampaignOptions options;
+  options.seed_base = 1;
+  options.seeds = 20;
+  options.sample.chaos = true;
+  options.sample.max_clusters = 3;
+
+  std::ostringstream progress;
+  const auto campaign =
+      check::run_campaign(options, check::InvariantSuite::standard(), progress);
+  EXPECT_EQ(campaign.failures, 0u) << progress.str();
+  for (const auto& outcome : campaign.outcomes) {
+    for (const auto& v : outcome.check.violations) {
+      ADD_FAILURE() << "seed " << outcome.seed << " [" << v.invariant << "] "
+                    << v.message;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpcwhisk

@@ -1,14 +1,18 @@
-// Parameterized property tests: system invariants that must hold for
-// every seed and both supply models, plus accounting identities of the
-// analysis layer over randomized inputs.
+// Parameterized property tests. The whole-system invariants moved into
+// check::InvariantSuite (src/check) so the SimCheck fuzzer, the soak
+// sweep, and this test all share one oracle; SystemInvariants is now a
+// thin driver that samples a scenario per (seed, model, chaos, clusters)
+// and runs the standard suite — including chaos-enabled and 2-cluster
+// federated sweeps the old in-line version never covered. The analysis
+// accounting identities and raw-Slurm schedule legality checks remain
+// local: they exercise layers below what a ScenarioSpec drives.
 
 #include <gtest/gtest.h>
 
 #include "hpcwhisk/analysis/clairvoyant.hpp"
 #include "hpcwhisk/analysis/node_state_log.hpp"
+#include "hpcwhisk/check/simcheck.hpp"
 #include "hpcwhisk/core/system.hpp"
-#include "hpcwhisk/trace/faas_workload.hpp"
-#include "hpcwhisk/trace/hpc_workload.hpp"
 
 namespace hpcwhisk {
 namespace {
@@ -17,94 +21,63 @@ using sim::SimTime;
 using sim::Simulation;
 
 // ---------------------------------------------------------------------
-// Whole-system invariants, swept over (seed, supply model).
+// Whole-system invariants, swept over (seed, supply model, chaos,
+// federation). Each case expands its seed into a full scenario, runs it
+// twice (replay determinism), and judges the run with the standard
+// invariant suite: activation conservation, terminal balance, pilot
+// accounting, node-timeline tiling, no double allocation, grace
+// windows, backfill legality, federation conservation.
 // ---------------------------------------------------------------------
 
 struct SystemParam {
   std::uint64_t seed;
   core::SupplyModel model;
+  bool chaos{false};
+  std::uint32_t clusters{1};
 };
 
 class SystemInvariants : public ::testing::TestWithParam<SystemParam> {};
 
-TEST_P(SystemInvariants, HoldOverChurnyHour) {
+TEST_P(SystemInvariants, HoldOverSampledScenario) {
   const auto param = GetParam();
-  Simulation simulation;
-  core::HpcWhiskSystem::Config cfg;
-  cfg.seed = param.seed;
-  cfg.slurm.node_count = 48;
-  cfg.manager.model = param.model;
-  core::HpcWhiskSystem system{simulation, cfg};
-  const auto functions =
-      trace::register_sleep_functions(system.functions(), 25);
+  check::SampleOptions opts;
+  opts.chaos = param.chaos;
+  opts.max_clusters = param.clusters;
+  opts.fed_probability = 1.0;  // clusters > 1 always federates
+  auto spec = check::ScenarioSpec::sample(param.seed, opts);
+  spec.supply = param.model;
 
-  trace::HpcWorkloadGenerator workload{simulation, system.slurm(), {},
-                                       sim::Rng{param.seed * 77 + 1}};
-  analysis::NodeStateLog log{48, SimTime::zero()};
-  system.slurm().set_node_observer(
-      [&log](const slurm::NodeTransition& t) { log.record(t); });
-
-  trace::FaasLoadGenerator faas{
-      simulation,
-      {.rate_qps = 8.0, .functions = functions},
-      [&system](const std::string& fn) {
-        (void)system.controller().submit(fn);
-      },
-      sim::Rng{param.seed * 77 + 2}};
-
-  workload.start();
-  system.start();
-  faas.start(SimTime::hours(2));
-  // Run past the load end so in-flight activations settle (their 5-min
-  // timeouts are the worst case).
-  simulation.run_until(SimTime::hours(2) + SimTime::minutes(10));
-  log.finalize(simulation.now());
-
-  // Invariant 1: every accepted activation reaches a terminal state and
-  // the terminal counters balance exactly.
-  const auto& c = system.controller().counters();
-  std::size_t nonterminal = 0;
-  for (const auto& rec : system.controller().activations())
-    if (!whisk::is_terminal(rec.state)) ++nonterminal;
-  EXPECT_EQ(nonterminal, 0u);
-  EXPECT_EQ(c.accepted, c.completed + c.failed + c.timed_out);
-  EXPECT_EQ(c.submitted, c.accepted + c.rejected_503);
-
-  // Invariant 2: HPC jobs are never delayed beyond the grace period.
-  const auto& sc = system.slurm().counters();
-  EXPECT_GT(sc.started, 0u);
-  // (Checked structurally: claims wait at most grace; verified per-job
-  // in the integration suite. Here: no HPC job may still be pending
-  // while nodes sit idle for long — spot-check the final state.)
-
-  // Invariant 3: node-state intervals tile the timeline exactly.
-  std::vector<double> node_time(48, 0.0);
-  for (const auto& iv : log.intervals()) {
-    EXPECT_GT(iv.end, iv.start);
-    node_time[iv.node] += iv.length().to_seconds();
+  const auto result = check::check_scenario(
+      spec, check::InvariantSuite::standard(), {.replay_check = true});
+  EXPECT_TRUE(result.replayed);
+  for (const auto& v : result.violations) {
+    ADD_FAILURE() << "[" << v.invariant << "] " << v.message << "\n  spec: "
+                  << spec.summary();
   }
-  for (const double t : node_time)
-    EXPECT_NEAR(t, simulation.now().to_seconds(), 1e-6);
-
-  // Invariant 4: pilots only ever appear on otherwise-idle capacity;
-  // the manager's accounting matches Slurm's.
-  const auto& mc = system.manager().counters();
-  EXPECT_EQ(mc.started,
-            mc.preempted + mc.timed_out + mc.completed + mc.hard_killed +
-                system.manager().active_pilots());
 }
 
 INSTANTIATE_TEST_SUITE_P(
     SeedsAndModels, SystemInvariants,
-    ::testing::Values(SystemParam{1, core::SupplyModel::kFib},
-                      SystemParam{2, core::SupplyModel::kFib},
-                      SystemParam{3, core::SupplyModel::kFib},
-                      SystemParam{4, core::SupplyModel::kVar},
-                      SystemParam{5, core::SupplyModel::kVar},
-                      SystemParam{6, core::SupplyModel::kVar}),
-    [](const ::testing::TestParamInfo<SystemParam>& info) {
-      return std::string(core::to_string(info.param.model)) + "_seed" +
-             std::to_string(info.param.seed);
+    ::testing::Values(
+        SystemParam{1, core::SupplyModel::kFib},
+        SystemParam{2, core::SupplyModel::kFib},
+        SystemParam{3, core::SupplyModel::kFib},
+        SystemParam{4, core::SupplyModel::kVar},
+        SystemParam{5, core::SupplyModel::kVar},
+        SystemParam{6, core::SupplyModel::kVar},
+        SystemParam{7, core::SupplyModel::kFib, /*chaos=*/true},
+        SystemParam{8, core::SupplyModel::kVar, /*chaos=*/true},
+        SystemParam{9, core::SupplyModel::kFib, /*chaos=*/false,
+                    /*clusters=*/2},
+        SystemParam{10, core::SupplyModel::kVar, /*chaos=*/true,
+                    /*clusters=*/2}),
+    [](const ::testing::TestParamInfo<SystemParam>& pi) {
+      std::string name = std::string(core::to_string(pi.param.model)) +
+                         "_seed" + std::to_string(pi.param.seed);
+      if (pi.param.chaos) name += "_chaos";
+      if (pi.param.clusters > 1)
+        name += "_fed" + std::to_string(pi.param.clusters);
+      return name;
     });
 
 // ---------------------------------------------------------------------

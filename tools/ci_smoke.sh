@@ -8,6 +8,8 @@
 #   SANITIZE=1    build with -DHPCWHISK_SANITIZE=ON (ASan+UBSan) in build-asan/
 #   BUILD_DIR=d   override the build directory
 #   FULL_BENCH=1  smoke every bench binary instead of just chaos_recovery
+#   COVERAGE=1    add an instrumented build (build-cov/) and print a gcov
+#                 line-coverage summary for src/
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -89,6 +91,62 @@ for leg in legs:
     assert 0.0 <= leg["cloud_offload_fraction"] <= 1.0, leg
     assert leg["cluster_calls"] == 0 or abs(sum(leg["load_share"]) - 1.0) < 1e-6, leg
 print(f"federation schema OK ({len(legs)} legs)")
+PYEOF
+fi
+
+# SimCheck leg: fuzz ~20 random chaos + federation seeds against the
+# invariant suite. A clean tree must sweep clean; any failure leaves a
+# shrunk, replayable repro JSON under $BUILD_DIR/simcheck-repros/ (the
+# CI failure artifact — replay locally with `simcheck --replay FILE`).
+echo "== simcheck sweep =="
+if ! "$BUILD_DIR"/tools/simcheck --seeds 20 --chaos --clusters 3 \
+    --out "$BUILD_DIR/simcheck-repros"; then
+  echo "simcheck: FAILED — repros archived in $BUILD_DIR/simcheck-repros/" >&2
+  exit 1
+fi
+
+# Coverage leg (COVERAGE=1): separate instrumented build, tier-1 suite +
+# a simcheck sweep to exercise src/check, then a gcov line-coverage
+# summary for src/. Uses plain gcov (ships with GCC) so no extra tools
+# are needed.
+if [[ "${COVERAGE:-0}" == "1" ]]; then
+  echo "== coverage (tier1 + simcheck over instrumented build) =="
+  COV_DIR=${COV_DIR:-build-cov}
+  cmake -B "$COV_DIR" -S . -DHPCWHISK_COVERAGE=ON -DHPCWHISK_BUILD_BENCH=OFF \
+    -DHPCWHISK_BUILD_EXAMPLES=OFF
+  cmake --build "$COV_DIR" -j"$(nproc)"
+  ctest --test-dir "$COV_DIR" -L tier1 --output-on-failure
+  "$COV_DIR"/tools/simcheck --seeds 5 --chaos --clusters 2 > /dev/null
+  python3 - "$COV_DIR" <<'PYEOF'
+import os, subprocess, sys
+cov_dir = sys.argv[1]
+gcda = [os.path.abspath(os.path.join(r, f)) for r, _, fs in os.walk(cov_dir)
+        for f in fs if f.endswith(".gcda")]
+per_file = {}  # source path -> (covered, total)
+for chunk in (gcda[i:i + 64] for i in range(0, len(gcda), 64)):
+    out = subprocess.run(["gcov", "-n"] + chunk,
+                         capture_output=True, text=True).stdout
+    src = None
+    for line in out.splitlines():
+        if line.startswith("File "):
+            src = line.split("'")[1]
+        elif line.startswith("No executable lines"):
+            src = None  # keeps the trailing summary line unattributed
+        elif line.startswith("Lines executed:") and src:
+            pct, total = line.split(":")[1].split(" of ")
+            total = int(total)
+            covered = round(float(pct.rstrip("% ")) / 100 * total)
+            # Object files share headers; the same source shows up once
+            # per including TU, so keep the best-covered sighting.
+            if "/src/" in src:
+                old = per_file.get(src, (0, 0))
+                per_file[src] = (max(old[0], covered), max(old[1], total))
+            src = None
+covered = sum(c for c, _ in per_file.values())
+total = sum(t for _, t in per_file.values())
+assert total > 0, "no coverage data for src/ — did the tests run?"
+print(f"line coverage (src/): {100.0 * covered / total:.1f}% "
+      f"({covered}/{total} lines over {len(per_file)} files)")
 PYEOF
 fi
 

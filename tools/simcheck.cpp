@@ -1,0 +1,161 @@
+// simcheck: property-based scenario fuzzing for the HPC-Whisk simulator.
+//
+// Campaign mode samples whole experiments from sequential seeds, fans
+// them out over the thread pool, checks the invariant suite on each, and
+// — on failure — shrinks the scenario and writes a replayable JSON repro.
+// Replay mode re-runs a repro file deterministically and verifies the
+// recorded decision-log hash.
+//
+//   simcheck --seeds 20 --chaos --jobs 4 --out repros/
+//   simcheck --replay repros/seed-7.json
+//
+// Exit codes: 0 = clean, 2 = invariant violations found, 1 = usage or
+// I/O error.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "hpcwhisk/check/repro.hpp"
+#include "hpcwhisk/check/runner.hpp"
+#include "hpcwhisk/check/simcheck.hpp"
+
+namespace {
+
+using namespace hpcwhisk;
+
+void usage() {
+  std::cerr
+      << "usage: simcheck [--seeds N] [--seed-base B] [--jobs J] [--chaos]\n"
+      << "                [--clusters K] [--out DIR] [--no-shrink]\n"
+      << "                [--no-replay-check] [--shrink-budget N]\n"
+      << "                [--plant none|truncate-grace]\n"
+      << "       simcheck --replay FILE.json\n";
+}
+
+std::string hash_string(std::uint64_t hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016" PRIx64, hash);
+  return buf;
+}
+
+int replay(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::cerr << "simcheck: cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const check::Repro repro = check::parse_repro(buffer.str());
+  std::cout << "replaying " << path << "\n  spec: " << repro.spec.summary()
+            << "\n  expecting [" << repro.invariant << "] hash "
+            << hash_string(repro.decision_hash) << "\n";
+
+  const check::InvariantSuite suite = check::InvariantSuite::standard();
+  check::CheckOptions opts;
+  opts.replay_check = true;  // two runs; both must match the recorded hash
+  const check::CheckResult result =
+      check::check_scenario(repro.spec, suite, opts);
+  std::cout << "  run hash: " << hash_string(result.decision_hash)
+            << " (replay " << hash_string(result.replay_hash) << ")\n";
+  if (result.decision_hash != repro.decision_hash) {
+    std::cout << "  WARNING: decision log differs from the recorded repro "
+                 "(code drifted since capture?)\n";
+  }
+  if (result.ok()) {
+    std::cout << "  no violations — the repro no longer fails\n";
+    return 0;
+  }
+  for (const check::Violation& v : result.violations) {
+    std::cout << "  [" << v.invariant << "] " << v.message << "\n";
+  }
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  check::CampaignOptions options;
+  options.seeds = 20;
+  std::string out_dir;
+  std::string replay_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      options.seeds = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--seed-base") {
+      options.seed_base = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      options.jobs = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--chaos") {
+      options.sample.chaos = true;
+    } else if (arg == "--plant") {
+      options.sample.plant = check::bug_plant_from_string(next());
+    } else if (arg == "--clusters") {
+      options.sample.max_clusters =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--no-replay-check") {
+      options.replay_check = false;
+    } else if (arg == "--shrink-budget") {
+      options.shrink_budget =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      usage();
+      return 1;
+    }
+  }
+
+  try {
+    if (!replay_path.empty()) return replay(replay_path);
+
+    const check::InvariantSuite suite = check::InvariantSuite::standard();
+    std::cout << "simcheck: " << options.seeds << " seeds from "
+              << options.seed_base << (options.sample.chaos ? ", chaos on" : "")
+              << (options.sample.max_clusters > 1 ? ", federation on" : "")
+              << "\n";
+    const check::CampaignResult campaign =
+        check::run_campaign(options, suite, std::cout);
+
+    if (!out_dir.empty()) {
+      std::filesystem::create_directories(out_dir);
+      for (const check::SeedOutcome& o : campaign.outcomes) {
+        if (o.repro_json.empty()) continue;
+        const std::string path =
+            out_dir + "/seed-" + std::to_string(o.seed) + ".json";
+        std::ofstream out{path};
+        out << o.repro_json;
+        std::cout << "repro written: " << path << "\n";
+      }
+    }
+    std::cout << "simcheck: " << campaign.outcomes.size() << " seeds, "
+              << campaign.failures << " failing\n";
+    return campaign.ok() ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "simcheck: " << e.what() << "\n";
+    return 1;
+  }
+}
