@@ -19,6 +19,10 @@ ExperimentConfig apply_env(ExperimentConfig cfg) {
     const unsigned long n = std::strtoul(fed, nullptr, 10);
     if (n > 0) cfg.fed_clusters = static_cast<std::size_t>(n);
   }
+  if (const char* mode = std::getenv("HW_ROUTE_MODE")) {
+    if (const auto parsed = whisk::route_mode_from_string(mode))
+      cfg.route_mode = *parsed;
+  }
   return cfg;
 }
 
@@ -65,6 +69,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   sys_cfg.slurm.node_count = cfg.nodes;
   sys_cfg.partitions = core::default_partitions(cfg.grace);
   sys_cfg.slurm.pilot_placement = cfg.placement;
+  sys_cfg.controller.route_mode = cfg.route_mode;
+  sys_cfg.controller.sched = cfg.sched;
+  if (cfg.invoker_concurrency > 0)
+    sys_cfg.manager.invoker.max_concurrent = cfg.invoker_concurrency;
+  if (cfg.invoker_slots > 0)
+    sys_cfg.controller.invoker_slots = cfg.invoker_slots;
   sys_cfg.manager.model = cfg.pilots.value_or(core::SupplyModel::kFib);
   sys_cfg.manager.fib_per_length = cfg.fib_per_length;
   sys_cfg.manager.replenish_interval = cfg.replenish_interval;

@@ -10,6 +10,9 @@
 //   HW_BENCH_TRIALS=<n> seed-sweep width for the table benches (default 1)
 //   HW_BENCH_JOBS=<n>   worker threads for independent trials (default
 //                       hardware concurrency; 1 = serial)
+//   HW_ROUTE_MODE=<m>   controller routing policy by to_string name
+//                       (hash-probing, hash-only, round-robin,
+//                       least-loaded, least-expected-work, sjf-affinity)
 
 #include <cstdint>
 #include <memory>
@@ -63,6 +66,19 @@ struct ExperimentConfig {
   /// clusters behind one fed::FederatedGateway (HW_FED_CLUSTERS
   /// overrides). 0 means the bench's own default sweep.
   std::size_t fed_clusters{0};
+
+  /// Controller routing policy (the routing-ablation axis). The
+  /// data-driven modes also honor `sched`. HW_ROUTE_MODE overrides.
+  whisk::RouteMode route_mode{whisk::RouteMode::kHashProbing};
+  /// Estimator / policy knobs for the data-driven route modes.
+  sched::SchedConfig sched{};
+  /// Invoker dispatch gate (whisk::Invoker::Config::max_concurrent);
+  /// 0 keeps the component default. The routing ablation shrinks it so
+  /// queueing — the thing the policies differ on — actually occurs.
+  std::size_t invoker_concurrency{0};
+  /// kHashProbing saturation threshold (Controller::Config::
+  /// invoker_slots); 0 keeps the component default.
+  std::uint32_t invoker_slots{0};
 
   /// Share of the FaaS functions re-registered as long-running
   /// (interruptible) actions of `faas_long_duration`: long executions

@@ -55,6 +55,11 @@ struct SweepPerf {
   double wall_serial_s{0};
   double wall_parallel_s{0};
   bool outputs_identical{false};
+  /// On a single-hardware-thread host a "parallel" leg is timeslicing,
+  /// not parallelism: the sweep still runs (the byte-identity check is
+  /// scheduling-order-sensitive and stays meaningful) but the speedup is
+  /// reported as skipped so nobody trends a meaningless 0.9x.
+  bool speedup_meaningful{true};
 };
 
 /// Times the same 8-trial seed sweep serial (jobs=1) and parallel
@@ -87,6 +92,7 @@ SweepPerf measure_sweep(const bench::ExperimentConfig& base) {
   sweep.wall_parallel_s = seconds_since(start);
 
   sweep.outputs_identical = serial_out.str() == parallel_out.str();
+  sweep.speedup_meaningful = std::thread::hardware_concurrency() > 1;
   return sweep;
 }
 
@@ -137,6 +143,7 @@ int main() {
   json << "{\n"
        << "  \"bench\": \"perf_report\",\n"
        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"hw_threads\": " << std::thread::hardware_concurrency() << ",\n"
        << "  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << ",\n"
        << "  \"jobs\": " << exec::job_count() << ",\n"
@@ -159,9 +166,15 @@ int main() {
        << "  \"sweep\": {\"trials\": " << sweep.trials
        << ", \"jobs_serial\": 1, \"jobs_parallel\": " << sweep.jobs_parallel
        << ", \"wall_serial_s\": " << fmt_num(sweep.wall_serial_s)
-       << ", \"wall_parallel_s\": " << fmt_num(sweep.wall_parallel_s)
-       << ", \"speedup\": " << fmt_num(speedup)
-       << ", \"outputs_identical\": "
+       << ", \"wall_parallel_s\": " << fmt_num(sweep.wall_parallel_s);
+  if (sweep.speedup_meaningful) {
+    json << ", \"speedup\": " << fmt_num(speedup)
+         << ", \"speedup_skipped\": false";
+  } else {
+    json << ", \"speedup\": null, \"speedup_skipped\": true"
+         << ", \"speedup_skipped_reason\": \"single hardware thread\"";
+  }
+  json << ", \"outputs_identical\": "
        << (sweep.outputs_identical ? "true" : "false") << "}\n"
        << "}\n";
   json.close();
@@ -182,8 +195,13 @@ int main() {
   std::cout << "sweep: " << sweep.trials << " trials, serial "
             << analysis::fmt(sweep.wall_serial_s, 2) << " s, parallel (x"
             << sweep.jobs_parallel << ") "
-            << analysis::fmt(sweep.wall_parallel_s, 2) << " s, speedup "
-            << analysis::fmt(speedup, 2) << ", outputs "
+            << analysis::fmt(sweep.wall_parallel_s, 2) << " s, speedup ";
+  if (sweep.speedup_meaningful) {
+    std::cout << analysis::fmt(speedup, 2);
+  } else {
+    std::cout << "skipped (1 hw thread)";
+  }
+  std::cout << ", outputs "
             << (sweep.outputs_identical ? "byte-identical" : "DIVERGED")
             << "\nwrote " << out_path << "\n";
   return sweep.outputs_identical ? 0 : 1;

@@ -18,6 +18,7 @@
 #include "hpcwhisk/core/job_manager.hpp"
 #include "hpcwhisk/fault/fault_plan.hpp"
 #include "hpcwhisk/sim/time.hpp"
+#include "hpcwhisk/whisk/controller.hpp"
 
 namespace hpcwhisk::check {
 
@@ -77,6 +78,14 @@ struct ScenarioSpec {
   /// Pilot-partition preemption grace the scenario promises (the
   /// invariant suite checks the system honors exactly this).
   sim::SimTime grace{sim::SimTime::minutes(3)};
+  /// Controller routing policy under test; the data-driven modes
+  /// (least-expected-work, sjf-affinity) exercise the sched layer —
+  /// estimators, backlog ledger, and (when enabled) deadline classes.
+  whisk::RouteMode route_mode{whisk::RouteMode::kHashProbing};
+  /// Short-class front-of-queue publish. Only data-driven modes act on
+  /// it (legacy modes have no scheduler), but it is sampled and
+  /// round-tripped unconditionally so the knob is always explicit.
+  bool deadline_classes{false};
   std::vector<ScenarioFault> faults;
   BugPlant plant{BugPlant::kNone};
 

@@ -358,6 +358,10 @@ std::string write_repro(const Repro& repro) {
   append_double(out, s.lull_probability);
   out += ",\n    \"grace_us\": ";
   append_time(out, s.grace);
+  out += ",\n    \"route_mode\": ";
+  append_escaped(out, whisk::to_string(s.route_mode));
+  out += ",\n    \"deadline_classes\": ";
+  out += s.deadline_classes ? "true" : "false";
   out += ",\n    \"plant\": ";
   append_escaped(out, to_string(s.plant));
   out += ",\n    \"faults\": [";
@@ -413,6 +417,20 @@ Repro parse_repro(std::string_view json) {
       static_cast<std::size_t>(as_u64(require(spec, "hpc_backlog")));
   s.lull_probability = as_double(require(spec, "lull_probability"));
   s.grace = as_time(require(spec, "grace_us"));
+  // Route-mode fields postdate the v1 format: optional-with-default so
+  // repros written before data-driven scheduling still parse (and still
+  // mean what they meant — the defaults match the old hard-wired modes).
+  if (const JsonValue* rm = spec.find("route_mode")) {
+    const auto mode = whisk::route_mode_from_string(as_string(*rm));
+    if (!mode.has_value()) {
+      throw std::invalid_argument("repro JSON: unknown route mode '" +
+                                  as_string(*rm) + "'");
+    }
+    s.route_mode = *mode;
+  }
+  if (const JsonValue* dl = spec.find("deadline_classes")) {
+    s.deadline_classes = as_bool(*dl);
+  }
   s.plant = bug_plant_from_string(as_string(require(spec, "plant")));
   const JsonValue& faults = require(spec, "faults");
   if (faults.kind != JsonValue::Kind::kArray) {

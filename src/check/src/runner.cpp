@@ -137,6 +137,8 @@ core::HpcWhiskSystem::Config system_config(const ScenarioSpec& spec,
   cfg.manager.model = spec.supply;
   cfg.manager.fib_lengths = core::job_length_set(spec.length_set);
   cfg.manager.fib_per_length = spec.fib_per_length;
+  cfg.controller.route_mode = spec.route_mode;
+  cfg.controller.sched.deadline_classes = spec.deadline_classes;
   for (const ScenarioFault& f : spec.faults) {
     if (f.cluster == cluster) cfg.faults.add(f.event);
   }

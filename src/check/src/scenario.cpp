@@ -73,6 +73,20 @@ ScenarioSpec ScenarioSpec::sample(std::uint64_t seed,
       s.faults.push_back(f);
     }
   }
+
+  // Appended draws (route-mode coverage arrived after the first repro
+  // format): per the draw-order contract above, new fields draw LAST so
+  // every earlier field keeps its pre-existing value for old seeds.
+  static constexpr whisk::RouteMode kRouteModes[] = {
+      whisk::RouteMode::kHashProbing,
+      whisk::RouteMode::kHashOnly,
+      whisk::RouteMode::kRoundRobin,
+      whisk::RouteMode::kLeastLoaded,
+      whisk::RouteMode::kLeastExpectedWork,
+      whisk::RouteMode::kSjfAffinity,
+  };
+  s.route_mode = kRouteModes[rng.uniform_int(0, 5)];
+  s.deadline_classes = rng.bernoulli(0.5);
   return s;
 }
 
@@ -82,7 +96,9 @@ std::string ScenarioSpec::summary() const {
   if (clusters > 1) out << "x" << clusters;
   out << " " << core::to_string(supply) << "/" << length_set << " horizon="
       << horizon.to_string() << " qps=" << faas_qps << " fns="
-      << faas_functions << " faults=" << faults.size();
+      << faas_functions << " route=" << whisk::to_string(route_mode);
+  if (deadline_classes) out << "+dl";
+  out << " faults=" << faults.size();
   if (plant != BugPlant::kNone) out << " plant=" << to_string(plant);
   return out.str();
 }

@@ -48,6 +48,12 @@ enum class FedPolicy : std::uint8_t {
   kRoundRobin,
   kLeastOutstanding,
   kPowerOfTwo,
+  /// Snapshot-fed twin of the controller's least-expected-work route
+  /// mode: lowest predicted outstanding *work* (sched ledger ticks) per
+  /// healthy invoker wins. Clusters whose controller runs a legacy route
+  /// mode export no backlog signal; they are scored by outstanding calls
+  /// at a nominal per-call duration instead (see load_score_ticks).
+  kLeastExpectedWork,
 };
 
 [[nodiscard]] const char* to_string(FedPolicy p);
@@ -126,6 +132,9 @@ class FederatedGateway {
   struct ClusterHealth {
     std::size_t healthy{0};        ///< healthy invokers at sample time
     std::uint64_t outstanding{0};  ///< accepted, not yet terminal
+    /// Predicted outstanding work (sched ledger, ticks) at sample time;
+    /// -1 when the cluster's controller has no data-driven scheduler.
+    std::int64_t expected_backlog_ticks{-1};
     sim::SimTime sampled_at;
   };
 
@@ -195,6 +204,10 @@ class FederatedGateway {
   /// Load score from the current snapshot: outstanding work per healthy
   /// invoker; clusters with zero healthy invokers score worst.
   [[nodiscard]] double load_score(std::size_t i) const;
+  /// kLeastExpectedWork score: predicted backlog ticks per healthy
+  /// invoker (outstanding calls at a nominal duration when the cluster
+  /// exports no backlog signal).
+  [[nodiscard]] double load_score_ticks(std::size_t i) const;
   /// Policy pick among `candidates` (indices into clusters_, ascending).
   [[nodiscard]] std::optional<std::size_t> pick(
       const std::vector<std::size_t>& candidates);

@@ -13,6 +13,7 @@ const char* to_string(FedPolicy p) {
     case FedPolicy::kRoundRobin: return "round_robin";
     case FedPolicy::kLeastOutstanding: return "least_outstanding";
     case FedPolicy::kPowerOfTwo: return "power_of_two";
+    case FedPolicy::kLeastExpectedWork: return "least_expected_work";
   }
   return "?";
 }
@@ -95,6 +96,8 @@ void FederatedGateway::refresh_health() {
     ClusterHealth& h = health_[i];
     h.healthy = ctrl.healthy_count();
     h.outstanding = c.accepted - c.completed - c.failed - c.timed_out;
+    h.expected_backlog_ticks =
+        ctrl.scheduler() != nullptr ? ctrl.expected_backlog_ticks() : -1;
     h.sampled_at = now;
     if (h.healthy > 0) {
       any_healthy = true;
@@ -115,6 +118,18 @@ double FederatedGateway::load_score(std::size_t i) const {
   if (h.healthy == 0) return std::numeric_limits<double>::infinity();
   return static_cast<double>(h.outstanding + 1) /
          static_cast<double>(h.healthy);
+}
+
+double FederatedGateway::load_score_ticks(std::size_t i) const {
+  const ClusterHealth& h = health_[i];
+  if (h.healthy == 0) return std::numeric_limits<double>::infinity();
+  // No backlog signal (legacy route mode): price each outstanding call
+  // at a nominal second so mixed fleets still rank sensibly.
+  const double backlog =
+      h.expected_backlog_ticks >= 0
+          ? static_cast<double>(h.expected_backlog_ticks)
+          : static_cast<double>(h.outstanding) * 1e6;
+  return backlog / static_cast<double>(h.healthy);
 }
 
 std::optional<std::size_t> FederatedGateway::pick_least(
@@ -157,6 +172,18 @@ std::optional<std::size_t> FederatedGateway::pick(
                 std::make_pair(health_[*best].healthy == 0,
                                health_[*best].outstanding)) {
           best = i;
+        }
+      }
+      return best;
+    }
+    case FedPolicy::kLeastExpectedWork: {
+      std::optional<std::size_t> best;
+      double best_score = 0.0;
+      for (const std::size_t i : candidates) {  // ascending: ties → lowest
+        const double score = load_score_ticks(i);
+        if (!best.has_value() || score < best_score) {
+          best = i;
+          best_score = score;
         }
       }
       return best;

@@ -41,6 +41,12 @@ class Topic {
   /// publish and bumps delivery_count. Subject to the fault filter.
   void publish(Message msg, sim::SimTime now);
 
+  /// Like publish(), but enqueues at the *head*: the message preempts
+  /// queue position (deadline-class dispatch), never a consumer that has
+  /// already pulled. Subject to the fault filter; a fault-delayed copy
+  /// loses its front position (it re-enters whenever the delay fires).
+  void publish_front(Message msg, sim::SimTime now);
+
   /// Pops up to `max_count` messages from the head (FIFO).
   [[nodiscard]] std::vector<Message> poll(std::size_t max_count);
 
@@ -77,6 +83,7 @@ class Topic {
   /// Lifetime counters (monotonic).
   struct Counters {
     std::uint64_t published{0};
+    std::uint64_t front_published{0};  ///< subset of published
     std::uint64_t consumed{0};
     std::uint64_t drained{0};
     std::uint64_t fault_dropped{0};
@@ -88,6 +95,7 @@ class Topic {
  private:
   /// Enqueues one copy, bypassing the fault filter.
   void deliver(Message msg, sim::SimTime now);
+  void deliver_front(Message msg, sim::SimTime now);
 
   const std::string name_;
   mutable std::mutex mu_;

@@ -42,12 +42,61 @@ void Topic::publish(Message msg, sim::SimTime now) {
   for (std::uint32_t i = 0; i < copies; ++i) deliver(msg, now);
 }
 
+void Topic::publish_front(Message msg, sim::SimTime now) {
+  FaultAction action;
+  bool filtered = false;
+  {
+    std::lock_guard lock{mu_};
+    if (fault_filter_) {
+      action = fault_filter_(msg);
+      filtered = true;
+    }
+  }
+  if (!filtered) {
+    deliver_front(std::move(msg), now);
+    return;
+  }
+  if (action.drop) {
+    std::lock_guard lock{mu_};
+    ++counters_.fault_dropped;
+    return;
+  }
+  const std::uint32_t copies = 1 + action.extra_copies;
+  {
+    std::lock_guard lock{mu_};
+    counters_.fault_duplicated += action.extra_copies;
+    if (action.delay > sim::SimTime::zero() && sim_ != nullptr)
+      ++counters_.fault_delayed;
+  }
+  if (action.delay > sim::SimTime::zero() && sim_ != nullptr) {
+    // A delayed short-class message forfeits its head position: it joins
+    // the tail when the delay fires, like any late arrival.
+    sim::Simulation* simulation = sim_;
+    for (std::uint32_t i = 0; i < copies; ++i) {
+      simulation->after(action.delay, [this, simulation, msg] {
+        deliver(msg, simulation->now());
+      });
+    }
+    return;
+  }
+  for (std::uint32_t i = 0; i < copies; ++i) deliver_front(msg, now);
+}
+
 void Topic::deliver(Message msg, sim::SimTime now) {
   std::lock_guard lock{mu_};
   if (msg.delivery_count == 0) msg.first_published = now;
   ++msg.delivery_count;
   queue_.push_back(std::move(msg));
   ++counters_.published;
+}
+
+void Topic::deliver_front(Message msg, sim::SimTime now) {
+  std::lock_guard lock{mu_};
+  if (msg.delivery_count == 0) msg.first_published = now;
+  ++msg.delivery_count;
+  queue_.push_front(std::move(msg));
+  ++counters_.published;
+  ++counters_.front_published;
 }
 
 void Topic::set_fault_filter(FaultFilter filter, sim::Simulation* simulation) {

@@ -1,0 +1,138 @@
+#pragma once
+// Online per-function execution-duration models — the "observation" half
+// of the data-driven call scheduler (Żuk & Rzadca: *Call Scheduling to
+// Reduce Response Time of a FaaS System* / *Data-driven scheduling in
+// serverless computing*, PAPERS.md).
+//
+// Two complementary models per function, both O(1) per observation and
+// fully deterministic (no RNG, state is a pure fold over the observation
+// sequence — which is what lets SimCheck replay-hash runs that route on
+// these estimates):
+//
+//  * an EWMA mean + mean-absolute-deviation pair, kept separately for
+//    cold-start and warm-start executions (cold executions dilate and
+//    should not pollute the steady-state estimate, and vice versa);
+//  * a log-bucketed quantile sketch using the same bucketing scheme as
+//    obs::MetricsRegistry histograms (8 sub-buckets per octave,
+//    <= 12.5 % relative quantile error) so routing policies can ask for
+//    a tail estimate (e.g. p95) without storing raw samples.
+//
+// Functions never seen before fall back to a configurable prior — the
+// papers' "no history" case. The estimator tells callers when it did
+// (prior_hits), so benches can report how long the cold-history window
+// lasted.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "hpcwhisk/sim/time.hpp"
+
+namespace hpcwhisk::sched {
+
+/// Log-bucketed quantile sketch over non-negative tick counts. Mirrors
+/// the bucketing of obs::Histogram (kSubBuckets linear slices per
+/// octave) but stays dependency-free: sched sits *below* whisk and obs
+/// in the layer order, so it cannot link against them.
+class QuantileSketch {
+ public:
+  static constexpr int kSubBuckets = 8;
+  static constexpr int kOctaves = 60;
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  /// Quantile estimate from bucket boundaries, clamped to the observed
+  /// [min, max]. q in [0, 1]; 0 with no samples.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  static std::size_t bucket_index(double v);
+  static double bucket_mid(std::size_t idx);
+
+  // 480 buckets x 2 bytes would be enough at sim scale, but keep u32 for
+  // soak runs; ~2 KB per tracked function.
+  std::uint32_t buckets_[static_cast<std::size_t>(kOctaves) * kSubBuckets]{};
+  std::uint64_t count_{0};
+  double min_{0};
+  double max_{0};
+};
+
+struct EstimatorConfig {
+  /// EWMA smoothing factor for mean and mean-absolute-deviation.
+  double alpha{0.25};
+  /// Duration assumed for a function with no history (the papers use the
+  /// fleet median; we make it a knob so benches can mis-set it on
+  /// purpose and measure how fast the model recovers).
+  sim::SimTime prior{sim::SimTime::millis(100)};
+  /// Extra cost charged when routing a function to an invoker that has
+  /// never run it (expected container cold-start overhead). Only a
+  /// routing-cost prior: the cold/warm duration models below measure
+  /// execution time, which in this simulator excludes container setup.
+  sim::SimTime cold_overhead{sim::SimTime::millis(500)};
+};
+
+/// Per-function online duration model fed from activation completions.
+class DurationEstimator {
+ public:
+  explicit DurationEstimator(EstimatorConfig config = {})
+      : config_{config} {}
+
+  /// Folds one completed execution into the function's model.
+  void observe(const std::string& function, sim::SimTime duration,
+               bool cold_start);
+
+  /// Best single-point prediction for one execution of `function`:
+  /// warm EWMA if warm history exists, else cold EWMA, else the prior.
+  /// Reads never mutate state (prior_hits is the only, explicit, tally).
+  [[nodiscard]] sim::SimTime predict(const std::string& function) const;
+  /// Prediction for a cold execution (cold EWMA, falling back like
+  /// predict()). The cold-start *overhead* is config().cold_overhead.
+  [[nodiscard]] sim::SimTime predict_cold(const std::string& function) const;
+  /// Tail estimate from the quantile sketch; predict() with no samples.
+  [[nodiscard]] sim::SimTime predict_quantile(const std::string& function,
+                                              double q) const;
+  /// EWMA of |sample - mean| for the warm model (0 with no history):
+  /// a dispersion signal for deadline classification.
+  [[nodiscard]] sim::SimTime deviation(const std::string& function) const;
+
+  [[nodiscard]] bool seen(const std::string& function) const {
+    return models_.find(function) != models_.end();
+  }
+  [[nodiscard]] std::uint64_t observations(const std::string& function) const;
+  [[nodiscard]] std::size_t tracked_functions() const {
+    return models_.size();
+  }
+  [[nodiscard]] const EstimatorConfig& config() const { return config_; }
+
+  struct Stats {
+    std::uint64_t observations{0};
+    std::uint64_t cold_observations{0};
+    /// predict() calls answered by the never-seen prior.
+    mutable std::uint64_t prior_hits{0};
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Ewma {
+    double mean{0};
+    double abs_dev{0};
+    std::uint64_t count{0};
+
+    void fold(double sample, double alpha);
+  };
+
+  struct Model {
+    Ewma warm;
+    Ewma cold;
+    QuantileSketch sketch;
+  };
+
+  EstimatorConfig config_;
+  std::unordered_map<std::string, Model> models_;
+  Stats stats_;
+};
+
+}  // namespace hpcwhisk::sched

@@ -1,0 +1,156 @@
+#pragma once
+// CallScheduler: duration estimators + backlog ledger + routing policies
+// — the decision layer between observation (completed activations) and
+// dispatch (which invoker topic a call is published to).
+//
+// Policies (Żuk & Rzadca, PAPERS.md: least-expected-work / SJF-style
+// dispatch cut FaaS tail latency under heterogeneous mixes):
+//
+//  * least-expected-work: route to the worker minimizing predicted
+//    completion time  backlog(w) + E[duration | warm/cold at w],
+//    where a worker that never ran the function pays the cold-start
+//    overhead prior. Ties prefer warm workers, then the lowest id.
+//  * sjf-affinity: keep the hash-homed worker (warm-container reuse,
+//    OpenWhisk Sec. II) unless its expected completion exceeds the best
+//    worker's by more than `sjf_affinity_slack x predicted duration +
+//    cold_overhead` — an SJF-flavored escape: the shorter the predicted
+//    duration, the smaller the queueing delay the call tolerates before
+//    abandoning its warm home, with a cold-start hysteresis so nobody
+//    trades a warm container for sub-cold-start noise.
+//  * deadline classes (optional, both policies): calls whose predicted
+//    duration is under `short_class_bound` are published to the *front*
+//    of the chosen worker's queue — they preempt queue position at
+//    publish time, never a running execution.
+//
+// Everything is deterministic: decisions are pure functions of the
+// observation history and the candidate list, so seeded runs replay
+// byte-identically (SimCheck hashes decision logs over these policies).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hpcwhisk/sched/backlog.hpp"
+#include "hpcwhisk/sched/estimator.hpp"
+#include "hpcwhisk/sim/time.hpp"
+
+namespace hpcwhisk::sched {
+
+struct SchedConfig {
+  EstimatorConfig estimator;
+  /// sjf-affinity escape threshold, in units of the call's predicted
+  /// duration (see header comment).
+  double sjf_affinity_slack{2.0};
+  /// Enables the short-class fast path (front-of-queue publish).
+  bool deadline_classes{false};
+  /// Predicted-duration bound under which a call is short-class.
+  sim::SimTime short_class_bound{sim::SimTime::millis(250)};
+};
+
+class CallScheduler {
+ public:
+  explicit CallScheduler(SchedConfig config = {})
+      : config_{config}, estimator_{config.estimator} {}
+
+  CallScheduler(const CallScheduler&) = delete;
+  CallScheduler& operator=(const CallScheduler&) = delete;
+
+  // --- Routing -------------------------------------------------------------
+
+  struct Decision {
+    WorkerId worker{0};
+    std::int64_t predicted_ticks{0};  ///< bare duration prediction
+    std::int64_t cost_ticks{0};       ///< duration + cold overhead if cold
+    bool expected_cold{false};        ///< worker outside the warm set
+    bool short_class{false};          ///< publish to the queue front
+  };
+
+  /// Least-expected-work pick among `workers` (ascending, non-empty).
+  [[nodiscard]] Decision route_least_expected_work(
+      const std::string& function, const std::vector<WorkerId>& workers);
+
+  /// SJF-tiebroken hash affinity; `home_index` indexes into `workers`
+  /// (the caller owns the hash — sched does not know function hashing).
+  [[nodiscard]] Decision route_sjf_affinity(
+      const std::string& function, const std::vector<WorkerId>& workers,
+      std::size_t home_index);
+
+  // --- Lifecycle feedback (the controller drives these) --------------------
+
+  /// The call was published to decision.worker: charge the ledger.
+  void on_routed(CallId call, const Decision& decision);
+
+  /// The call started executing on `by`. Moves (or re-creates, after a
+  /// rescue) its charge and marks `by` warm for the function.
+  void on_started(CallId call, WorkerId by, const std::string& function);
+
+  /// The call left its queue for the fast lane (drain hand-off, rescue):
+  /// its predicted work no longer waits on the charged worker.
+  void on_requeued(CallId call);
+
+  struct Outcome {
+    bool had_charge{false};
+    bool observed{false};
+    std::int64_t predicted_ticks{0};
+    std::int64_t actual_ticks{0};
+    /// |actual - predicted|, valid when observed.
+    std::int64_t abs_error_ticks{0};
+  };
+
+  /// Terminal state: releases the charge and — for completed executions
+  /// (`actual` >= 0) — folds the actual duration into the estimator.
+  Outcome on_finished(CallId call, const std::string& function,
+                      std::int64_t actual_ticks, bool cold_start);
+
+  /// The worker vanished without hand-off: drop all its charges (the
+  /// watchdog's rescue re-charges survivors when they restart).
+  void forget_worker(WorkerId worker);
+
+  // --- Introspection -------------------------------------------------------
+
+  [[nodiscard]] const DurationEstimator& estimator() const {
+    return estimator_;
+  }
+  [[nodiscard]] const BacklogLedger& ledger() const { return ledger_; }
+  [[nodiscard]] bool is_warm(WorkerId worker,
+                             const std::string& function) const;
+  [[nodiscard]] const SchedConfig& config() const { return config_; }
+
+  struct Stats {
+    std::uint64_t decisions{0};
+    std::uint64_t cold_routed{0};      ///< decisions outside the warm set
+    std::uint64_t short_class{0};      ///< front-of-queue publishes
+    std::uint64_t affinity_kept{0};    ///< sjf-affinity stayed home
+    std::uint64_t affinity_escaped{0}; ///< ... or fled to the best worker
+    std::uint64_t rescue_charges{0};   ///< charges re-created at start
+    std::uint64_t forgotten{0};        ///< charges dropped by forget_worker
+    /// Prediction-error tallies over observed completions (benches read
+    /// these; the obs histogram carries the full distribution).
+    std::uint64_t error_observations{0};
+    std::int64_t sum_abs_error_ticks{0};
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Cost {
+    std::int64_t cost{0};
+    std::int64_t predicted{0};
+    bool cold{false};
+  };
+  [[nodiscard]] Cost cost_at(const std::string& function,
+                             WorkerId worker) const;
+  [[nodiscard]] Decision finalize(const std::string& function,
+                                  WorkerId worker, const Cost& cost);
+
+  SchedConfig config_;
+  DurationEstimator estimator_;
+  BacklogLedger ledger_;
+  /// Workers holding (or having held) a warm container for a function.
+  /// Small sorted vectors: worker counts are tens-to-hundreds and the
+  /// order makes iteration deterministic.
+  std::unordered_map<std::string, std::vector<WorkerId>> warm_;
+  Stats stats_;
+};
+
+}  // namespace hpcwhisk::sched

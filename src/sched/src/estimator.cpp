@@ -1,0 +1,131 @@
+#include "hpcwhisk/sched/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcwhisk::sched {
+
+// --- QuantileSketch --------------------------------------------------------
+// Same bucket geometry as obs::Histogram: octave = floor(log2 v), each
+// octave split into kSubBuckets linear slices.
+
+std::size_t QuantileSketch::bucket_index(double v) {
+  if (!(v >= 1.0)) return 0;  // negatives, zeros, NaNs: first bucket
+  int exp = 0;
+  const double mant = std::frexp(v, &exp);  // v = mant * 2^exp, mant in [0.5,1)
+  const int octave = std::min(exp - 1, kOctaves - 1);
+  const int sub = std::min(kSubBuckets - 1,
+                           static_cast<int>((mant - 0.5) * 2.0 * kSubBuckets));
+  return static_cast<std::size_t>(octave) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+double QuantileSketch::bucket_mid(std::size_t idx) {
+  const double octave = static_cast<double>(idx / kSubBuckets);
+  const double sub = static_cast<double>(idx % kSubBuckets);
+  const double lo =
+      std::ldexp(1.0 + sub / kSubBuckets, static_cast<int>(octave));
+  const double hi =
+      std::ldexp(1.0 + (sub + 1.0) / kSubBuckets, static_cast<int>(octave));
+  return (lo + hi) / 2.0;
+}
+
+void QuantileSketch::observe(double v) {
+  ++buckets_[bucket_index(v)];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1,
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kOctaves) * kSubBuckets;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return std::clamp(bucket_mid(i), min_, max_);
+  }
+  return max_;
+}
+
+// --- DurationEstimator -----------------------------------------------------
+
+void DurationEstimator::Ewma::fold(double sample, double alpha) {
+  if (count == 0) {
+    mean = sample;
+    abs_dev = 0.0;
+  } else {
+    const double err = sample - mean;
+    mean += alpha * err;
+    abs_dev += alpha * (std::abs(err) - abs_dev);
+  }
+  ++count;
+}
+
+void DurationEstimator::observe(const std::string& function,
+                                sim::SimTime duration, bool cold_start) {
+  Model& model = models_[function];
+  const auto sample = static_cast<double>(duration.ticks());
+  (cold_start ? model.cold : model.warm).fold(sample, config_.alpha);
+  model.sketch.observe(sample);
+  ++stats_.observations;
+  if (cold_start) ++stats_.cold_observations;
+}
+
+sim::SimTime DurationEstimator::predict(const std::string& function) const {
+  const auto it = models_.find(function);
+  if (it == models_.end()) {
+    ++stats_.prior_hits;
+    return config_.prior;
+  }
+  const Model& m = it->second;
+  const Ewma& e = m.warm.count > 0 ? m.warm : m.cold;
+  return sim::SimTime::micros(static_cast<std::int64_t>(e.mean));
+}
+
+sim::SimTime DurationEstimator::predict_cold(
+    const std::string& function) const {
+  const auto it = models_.find(function);
+  if (it == models_.end()) {
+    ++stats_.prior_hits;
+    return config_.prior;
+  }
+  const Model& m = it->second;
+  const Ewma& e = m.cold.count > 0 ? m.cold : m.warm;
+  return sim::SimTime::micros(static_cast<std::int64_t>(e.mean));
+}
+
+sim::SimTime DurationEstimator::predict_quantile(const std::string& function,
+                                                 double q) const {
+  const auto it = models_.find(function);
+  if (it == models_.end() || it->second.sketch.count() == 0) {
+    return predict(function);
+  }
+  return sim::SimTime::micros(
+      static_cast<std::int64_t>(it->second.sketch.quantile(q)));
+}
+
+sim::SimTime DurationEstimator::deviation(const std::string& function) const {
+  const auto it = models_.find(function);
+  if (it == models_.end()) return sim::SimTime::zero();
+  return sim::SimTime::micros(
+      static_cast<std::int64_t>(it->second.warm.abs_dev));
+}
+
+std::uint64_t DurationEstimator::observations(
+    const std::string& function) const {
+  const auto it = models_.find(function);
+  if (it == models_.end()) return 0;
+  return it->second.warm.count + it->second.cold.count;
+}
+
+}  // namespace hpcwhisk::sched

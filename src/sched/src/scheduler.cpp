@@ -1,0 +1,159 @@
+#include "hpcwhisk/sched/scheduler.hpp"
+
+#include <algorithm>
+
+namespace hpcwhisk::sched {
+
+CallScheduler::Cost CallScheduler::cost_at(const std::string& function,
+                                           WorkerId worker) const {
+  Cost c;
+  c.cold = !is_warm(worker, function);
+  if (c.cold) {
+    c.predicted = estimator_.predict_cold(function).ticks();
+    c.cost = ledger_.backlog(worker) + c.predicted +
+             config_.estimator.cold_overhead.ticks();
+  } else {
+    c.predicted = estimator_.predict(function).ticks();
+    c.cost = ledger_.backlog(worker) + c.predicted;
+  }
+  return c;
+}
+
+CallScheduler::Decision CallScheduler::finalize(const std::string& function,
+                                                WorkerId worker,
+                                                const Cost& cost) {
+  Decision d;
+  d.worker = worker;
+  d.predicted_ticks = cost.predicted;
+  d.cost_ticks = cost.predicted + (cost.cold
+                                       ? config_.estimator.cold_overhead.ticks()
+                                       : std::int64_t{0});
+  d.expected_cold = cost.cold;
+  if (config_.deadline_classes &&
+      estimator_.predict(function) <= config_.short_class_bound) {
+    d.short_class = true;
+    ++stats_.short_class;
+  }
+  ++stats_.decisions;
+  if (d.expected_cold) ++stats_.cold_routed;
+  return d;
+}
+
+CallScheduler::Decision CallScheduler::route_least_expected_work(
+    const std::string& function, const std::vector<WorkerId>& workers) {
+  WorkerId best = workers.front();
+  Cost best_cost = cost_at(function, best);
+  for (std::size_t i = 1; i < workers.size(); ++i) {
+    const Cost c = cost_at(function, workers[i]);
+    // Strict < keeps the lowest id on exact ties; on a cost tie a warm
+    // worker beats a cold one even at a higher id (same expected finish,
+    // fewer containers spawned).
+    if (c.cost < best_cost.cost ||
+        (c.cost == best_cost.cost && best_cost.cold && !c.cold)) {
+      best = workers[i];
+      best_cost = c;
+    }
+  }
+  return finalize(function, best, best_cost);
+}
+
+CallScheduler::Decision CallScheduler::route_sjf_affinity(
+    const std::string& function, const std::vector<WorkerId>& workers,
+    std::size_t home_index) {
+  home_index %= workers.size();
+  const WorkerId home = workers[home_index];
+  const Cost home_cost = cost_at(function, home);
+
+  WorkerId best = home;
+  Cost best_cost = home_cost;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    if (i == home_index) continue;
+    const Cost c = cost_at(function, workers[i]);
+    if (c.cost < best_cost.cost ||
+        (c.cost == best_cost.cost && best_cost.cold && !c.cold)) {
+      best = workers[i];
+      best_cost = c;
+    }
+  }
+
+  // SJF-flavored escape: leave the warm home only when its excess
+  // queueing exceeds a cold start (what an escape risks paying at the
+  // destination) plus a duration-proportional term — short calls flee
+  // real overload quickly, long calls tolerate proportionally more, and
+  // nobody trades a warm home for sub-cold-start noise.
+  const double slack =
+      config_.sjf_affinity_slack *
+          static_cast<double>(std::max<std::int64_t>(home_cost.predicted, 1)) +
+      static_cast<double>(config_.estimator.cold_overhead.ticks());
+  if (best != home && static_cast<double>(home_cost.cost - best_cost.cost) >
+                          slack) {
+    ++stats_.affinity_escaped;
+    return finalize(function, best, best_cost);
+  }
+  ++stats_.affinity_kept;
+  return finalize(function, home, home_cost);
+}
+
+void CallScheduler::on_routed(CallId call, const Decision& decision) {
+  ledger_.assign(call, decision.worker, decision.cost_ticks,
+                 decision.predicted_ticks);
+}
+
+void CallScheduler::on_started(CallId call, WorkerId by,
+                               const std::string& function) {
+  if (ledger_.find(call) != nullptr) {
+    ledger_.move(call, by);
+  } else {
+    // Charge was dropped (forget_worker after a hard kill) or the call
+    // predates the scheduler: re-charge against the executing worker so
+    // its in-flight work is visible again.
+    const std::int64_t predicted = estimator_.predict(function).ticks();
+    ledger_.assign(call, by, predicted, predicted);
+    ++stats_.rescue_charges;
+  }
+  auto& warm = warm_[function];
+  const auto it = std::lower_bound(warm.begin(), warm.end(), by);
+  if (it == warm.end() || *it != by) warm.insert(it, by);
+}
+
+void CallScheduler::on_requeued(CallId call) { (void)ledger_.release(call); }
+
+CallScheduler::Outcome CallScheduler::on_finished(CallId call,
+                                                  const std::string& function,
+                                                  std::int64_t actual_ticks,
+                                                  bool cold_start) {
+  Outcome out;
+  BacklogLedger::Charge charge;
+  out.had_charge = ledger_.release(call, &charge);
+  if (actual_ticks < 0) return out;  // never executed (timeout, 503, kill)
+  // Pin the prediction *before* folding the sample in, so the reported
+  // error is a genuine forecast error even on the uncharged path.
+  out.predicted_ticks = out.had_charge ? charge.predicted_ticks
+                                       : estimator_.predict(function).ticks();
+  estimator_.observe(function, sim::SimTime::micros(actual_ticks), cold_start);
+  out.observed = true;
+  out.actual_ticks = actual_ticks;
+  out.abs_error_ticks = out.actual_ticks >= out.predicted_ticks
+                            ? out.actual_ticks - out.predicted_ticks
+                            : out.predicted_ticks - out.actual_ticks;
+  ++stats_.error_observations;
+  stats_.sum_abs_error_ticks += out.abs_error_ticks;
+  return out;
+}
+
+void CallScheduler::forget_worker(WorkerId worker) {
+  stats_.forgotten += ledger_.forget_worker(worker);
+  for (auto& [fn, warm] : warm_) {
+    const auto it = std::lower_bound(warm.begin(), warm.end(), worker);
+    if (it != warm.end() && *it == worker) warm.erase(it);
+  }
+}
+
+bool CallScheduler::is_warm(WorkerId worker,
+                            const std::string& function) const {
+  const auto it = warm_.find(function);
+  if (it == warm_.end()) return false;
+  return std::binary_search(it->second.begin(), it->second.end(), worker);
+}
+
+}  // namespace hpcwhisk::sched

@@ -15,11 +15,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "hpcwhisk/mq/broker.hpp"
+#include "hpcwhisk/sched/scheduler.hpp"
 #include "hpcwhisk/sim/simulation.hpp"
 #include "hpcwhisk/whisk/activation.hpp"
 #include "hpcwhisk/whisk/function.hpp"
@@ -51,9 +54,27 @@ enum class RouteMode : std::uint8_t {
   kRoundRobin,
   /// Always the least-loaded healthy invoker (upper-bound baseline).
   kLeastLoaded,
+  /// Data-driven (sched::CallScheduler): minimize predicted completion
+  /// time — per-invoker expected backlog plus the function's estimated
+  /// duration, cold-start overhead included for invokers that never ran
+  /// it.
+  kLeastExpectedWork,
+  /// Data-driven: keep the hash-homed invoker (warm reuse) unless its
+  /// expected completion exceeds the best invoker's by more than a
+  /// slack proportional to the call's predicted duration (SJF-flavored
+  /// escape; see sched::CallScheduler).
+  kSjfAffinity,
 };
 
 [[nodiscard]] const char* to_string(RouteMode m);
+/// Parses the to_string() spellings ("hash-probing", "least-expected-work",
+/// ...). Used by bench env knobs and SimCheck repro files.
+[[nodiscard]] std::optional<RouteMode> route_mode_from_string(
+    const std::string& name);
+/// Whether the mode routes through the sched::CallScheduler.
+[[nodiscard]] constexpr bool is_data_driven(RouteMode m) {
+  return m == RouteMode::kLeastExpectedWork || m == RouteMode::kSjfAffinity;
+}
 
 struct SubmitResult {
   bool accepted{false};        ///< false => HTTP 503, no invoker available
@@ -73,6 +94,10 @@ class Controller {
     /// Per-invoker in-flight budget used by kHashProbing before stepping
     /// to the next invoker (OpenWhisk: invoker slot count).
     std::uint32_t invoker_slots{32};
+    /// Estimator/policy knobs for the data-driven route modes; ignored
+    /// (and no scheduler is instantiated) for the legacy modes, whose
+    /// decision logs stay byte-identical.
+    sched::SchedConfig sched{};
     /// Optional trace/metrics sink; null disables all instrumentation.
     obs::Observability* obs{nullptr};
   };
@@ -142,6 +167,16 @@ class Controller {
   /// Activations routed to `id` that have not reached a terminal state.
   [[nodiscard]] std::uint32_t in_flight(InvokerId id) const;
 
+  /// The data-driven scheduler, or nullptr under a legacy route mode.
+  [[nodiscard]] const sched::CallScheduler* scheduler() const {
+    return scheduler_.get();
+  }
+  /// Predicted outstanding work across all invokers, in ticks (0 without
+  /// a scheduler). Sampled by the federation gateway's health snapshots.
+  [[nodiscard]] std::int64_t expected_backlog_ticks() const {
+    return scheduler_ ? scheduler_->ledger().total() : 0;
+  }
+
   struct Counters {
     std::uint64_t submitted{0};
     std::uint64_t accepted{0};
@@ -200,6 +235,11 @@ class Controller {
   std::unordered_map<ActivationId, sim::EventId> timeout_events_;
   std::unordered_map<ActivationId, std::vector<CompletionCallback>>
       completion_callbacks_;
+  /// Present only for data-driven route modes.
+  std::unique_ptr<sched::CallScheduler> scheduler_;
+  /// Decision of the routing call currently inside submit(): carries the
+  /// charge and the short-class verdict from route() to the publish.
+  std::optional<sched::CallScheduler::Decision> pending_decision_;
   InvokerId next_invoker_id_{0};
   std::size_t round_robin_next_{0};
   sim::SimTime last_503_{sim::SimTime::zero()};

@@ -25,8 +25,20 @@ const char* to_string(RouteMode m) {
     case RouteMode::kHashOnly: return "hash-only";
     case RouteMode::kRoundRobin: return "round-robin";
     case RouteMode::kLeastLoaded: return "least-loaded";
+    case RouteMode::kLeastExpectedWork: return "least-expected-work";
+    case RouteMode::kSjfAffinity: return "sjf-affinity";
   }
   return "?";
+}
+
+std::optional<RouteMode> route_mode_from_string(const std::string& name) {
+  for (const RouteMode m :
+       {RouteMode::kHashProbing, RouteMode::kHashOnly, RouteMode::kRoundRobin,
+        RouteMode::kLeastLoaded, RouteMode::kLeastExpectedWork,
+        RouteMode::kSjfAffinity}) {
+    if (name == to_string(m)) return m;
+  }
+  return std::nullopt;
 }
 
 const char* to_string(InvokerHealth h) {
@@ -42,6 +54,8 @@ const char* to_string(InvokerHealth h) {
 Controller::Controller(sim::Simulation& simulation, mq::Broker& broker,
                        const FunctionRegistry& registry, Config config)
     : sim_{simulation}, broker_{broker}, registry_{registry}, config_{config} {
+  if (is_data_driven(config_.route_mode))
+    scheduler_ = std::make_unique<sched::CallScheduler>(config_.sched);
   sim_.every(config_.watchdog_interval, [this] { watchdog_sweep(); });
   HW_OBS_IF(config_.obs) {
     config_.obs->metrics.add_collector([this](obs::MetricsRegistry& m) {
@@ -59,6 +73,21 @@ Controller::Controller(sim::Simulation& simulation, mq::Broker& broker,
           .set(counters_.sequence_invocations);
       m.gauge("whisk.controller.healthy_invokers")
           .set(static_cast<double>(healthy_count()));
+      if (scheduler_) {
+        const auto& s = scheduler_->stats();
+        m.counter("whisk.sched.decisions").set(s.decisions);
+        m.counter("whisk.sched.cold_routed").set(s.cold_routed);
+        m.counter("whisk.sched.short_class").set(s.short_class);
+        m.counter("whisk.sched.affinity_kept").set(s.affinity_kept);
+        m.counter("whisk.sched.affinity_escaped").set(s.affinity_escaped);
+        m.counter("whisk.sched.prior_hits")
+            .set(scheduler_->estimator().stats().prior_hits);
+        m.gauge("whisk.sched.expected_backlog_ticks")
+            .set(static_cast<double>(scheduler_->ledger().total()));
+        m.gauge("whisk.sched.tracked_functions")
+            .set(static_cast<double>(
+                scheduler_->estimator().tracked_functions()));
+      }
     });
   }
 }
@@ -103,6 +132,8 @@ SubmitResult Controller::submit(const std::string& function) {
   const InvokerId target = route(function, healthy);
   records_.back().routed_to = target;
   ++invokers_[target].in_flight;
+  if (scheduler_ && pending_decision_)
+    scheduler_->on_routed(rec.id, *pending_decision_);
   HW_OBS_IF(config_.obs) {
     // The root of the activation's causal chain: everything later
     // (pulls, execs, reroutes, the terminal event) parents back here.
@@ -115,7 +146,15 @@ SubmitResult Controller::submit(const std::string& function) {
   mq::Message msg;
   msg.id = rec.id;
   msg.key = function;
-  broker_.topic(invoker_topic_name(target)).publish(msg, sim_.now());
+  mq::Topic& topic = broker_.topic(invoker_topic_name(target));
+  if (pending_decision_ && pending_decision_->short_class) {
+    // Deadline class: a predicted-short call jumps the queue at publish
+    // time (it never preempts an execution already underway).
+    topic.publish_front(msg, sim_.now());
+  } else {
+    topic.publish(msg, sim_.now());
+  }
+  pending_decision_.reset();
 
   // Arm the client-visible timeout.
   const ActivationId act_id = rec.id;
@@ -148,6 +187,14 @@ InvokerId Controller::route(const std::string& function,
       }
       return best;
     }
+    case RouteMode::kLeastExpectedWork:
+      pending_decision_ = scheduler_->route_least_expected_work(function,
+                                                                healthy);
+      return pending_decision_->worker;
+    case RouteMode::kSjfAffinity:
+      pending_decision_ =
+          scheduler_->route_sjf_affinity(function, healthy, hash % n);
+      return pending_decision_->worker;
     case RouteMode::kHashProbing:
       break;
   }
@@ -215,6 +262,9 @@ void Controller::deregister(InvokerId id) {
   it->second.health = InvokerHealth::kGone;
   // Any message published between drain and deregistration is rescued.
   move_backlog_to_fast_lane(id);
+  // Graceful departure already released charges via the requeue path;
+  // forgetting clears the warm set and any straggler charge.
+  if (scheduler_) scheduler_->forget_worker(id);
 }
 
 std::vector<ActivationId> Controller::move_backlog_to_fast_lane(InvokerId id) {
@@ -255,6 +305,9 @@ void Controller::requeue_to_fast_lane(mq::Message msg) {
     ActivationRecord& rec = records_[msg.id];
     if (is_terminal(rec.state)) return;  // e.g. already timed out: drop
     ++rec.requeues;
+    // The call no longer waits on the worker it was charged to; it
+    // re-charges wherever it next starts executing.
+    if (scheduler_) scheduler_->on_requeued(rec.id);
     HW_OBS_IF(config_.obs) {
       config_.obs->trace.record_chained(
           obs::Cat::kActivation, obs::Phase::kInstant, "fast_lane_reroute",
@@ -281,6 +334,7 @@ void Controller::activation_started(ActivationId id, InvokerId by,
   rec.start_time = sim_.now();
   rec.executed_by = by;
   rec.cold_start = cold_start;
+  if (scheduler_) scheduler_->on_started(rec.id, by, rec.function);
 }
 
 void Controller::activation_completed(ActivationId id) {
@@ -353,6 +407,23 @@ void Controller::on_completion(ActivationId id, CompletionCallback cb) {
 void Controller::finish(ActivationRecord& rec, ActivationState state) {
   rec.state = state;
   rec.end_time = sim_.now();
+  if (scheduler_) {
+    // Only a completed execution yields a duration sample (end - last
+    // start, the same window the paper's activation log measures); other
+    // terminal states just release the charge.
+    const bool executed = state == ActivationState::kCompleted &&
+                          rec.start_time != sim::SimTime::zero();
+    const std::int64_t actual =
+        executed ? (rec.end_time - rec.start_time).ticks() : -1;
+    const sched::CallScheduler::Outcome outcome =
+        scheduler_->on_finished(rec.id, rec.function, actual, rec.cold_start);
+    if (outcome.observed) {
+      HW_OBS_IF(config_.obs) {
+        config_.obs->metrics.histogram("whisk.sched.prediction_error_us")
+            .observe(static_cast<double>(outcome.abs_error_ticks));
+      }
+    }
+  }
   HW_OBS_IF(config_.obs) {
     config_.obs->trace.record_chained(
         obs::Cat::kActivation, obs::Phase::kAsyncEnd, "activation",
@@ -419,7 +490,9 @@ void Controller::watchdog_sweep() {
       // The invoker vanished without hand-off (hard kill / node failure):
       // rescue its unpulled backlog, then re-submit what it had already
       // pulled or was executing — that work would otherwise surface only
-      // as client timeouts.
+      // as client timeouts. Its predicted backlog (and warm set) must not
+      // survive it, or the router would keep avoiding a ghost.
+      if (scheduler_) scheduler_->forget_worker(id);
       const std::vector<ActivationId> rescued = move_backlog_to_fast_lane(id);
       rescue_in_flight(id, rescued);
     }

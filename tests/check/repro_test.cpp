@@ -53,6 +53,45 @@ TEST(Repro, EscapesStringsInMessages) {
   EXPECT_EQ(parsed.message, repro.message);
 }
 
+TEST(Repro, RoundTripPreservesRouteModeAndDeadlineClasses) {
+  check::Repro repro = make_repro();
+  repro.spec.route_mode = whisk::RouteMode::kSjfAffinity;
+  repro.spec.deadline_classes = true;
+  const check::Repro parsed = check::parse_repro(check::write_repro(repro));
+  EXPECT_EQ(parsed.spec.route_mode, whisk::RouteMode::kSjfAffinity);
+  EXPECT_TRUE(parsed.spec.deadline_classes);
+}
+
+TEST(Repro, ParsesPreRouteModeReprosWithDefaults) {
+  // Repros written before data-driven scheduling lack the route fields;
+  // they must parse and mean what they always meant.
+  std::string json = check::write_repro(make_repro());
+  const auto strip = [&json](std::string_view field) {
+    const std::size_t start = json.find(field);
+    ASSERT_NE(start, std::string::npos);
+    const std::size_t line_start = json.rfind(",\n", start);
+    const std::size_t line_end = json.find(",\n", start);
+    ASSERT_NE(line_start, std::string::npos);
+    ASSERT_NE(line_end, std::string::npos);
+    json.erase(line_start, line_end - line_start);
+  };
+  strip("\"route_mode\"");
+  strip("\"deadline_classes\"");
+  const check::Repro parsed = check::parse_repro(json);
+  EXPECT_EQ(parsed.spec.route_mode, whisk::RouteMode::kHashProbing);
+  EXPECT_FALSE(parsed.spec.deadline_classes);
+}
+
+TEST(Repro, RejectsUnknownRouteMode) {
+  std::string json = check::write_repro(make_repro());
+  const std::size_t pos = json.find("\"route_mode\": \"");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t vstart = json.find(": \"", pos) + 3;
+  const std::size_t vend = json.find('"', vstart);
+  json.replace(vstart, vend - vstart, "teleport");
+  EXPECT_THROW((void)check::parse_repro(json), std::invalid_argument);
+}
+
 TEST(Repro, RejectsMalformedInput) {
   EXPECT_THROW((void)check::parse_repro(""), std::invalid_argument);
   EXPECT_THROW((void)check::parse_repro("{"), std::invalid_argument);

@@ -80,6 +80,30 @@ TEST(ScenarioSpec, BugPlantStringsRoundTrip) {
   EXPECT_THROW(check::bug_plant_from_string("nope"), std::invalid_argument);
 }
 
+TEST(ScenarioSpec, SamplesEveryRouteModeAndDeadlineClasses) {
+  std::size_t mode_seen[6] = {};
+  bool dl_on = false, dl_off = false;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const auto s = check::ScenarioSpec::sample(seed);
+    ++mode_seen[static_cast<std::size_t>(s.route_mode)];
+    (s.deadline_classes ? dl_on : dl_off) = true;
+  }
+  for (std::size_t m = 0; m < 6; ++m) {
+    EXPECT_GT(mode_seen[m], 0u) << "route mode " << m << " never sampled";
+  }
+  EXPECT_TRUE(dl_on);
+  EXPECT_TRUE(dl_off);
+}
+
+TEST(ScenarioSpec, RouteModeDrawsAreSeedDeterministic) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const auto a = check::ScenarioSpec::sample(seed, {.chaos = true});
+    const auto b = check::ScenarioSpec::sample(seed, {.chaos = true});
+    EXPECT_EQ(a.route_mode, b.route_mode);
+    EXPECT_EQ(a.deadline_classes, b.deadline_classes);
+  }
+}
+
 TEST(ScenarioSpec, SummaryMentionsKeyKnobs) {
   const auto s = check::ScenarioSpec::sample(7);
   const std::string summary = s.summary();

@@ -1,0 +1,91 @@
+// BacklogLedger: exact integer-tick accounting — after any interleaving
+// of assign/move/release/forget the books must balance to zero.
+
+#include <gtest/gtest.h>
+
+#include "hpcwhisk/sched/backlog.hpp"
+
+namespace hpcwhisk::sched {
+namespace {
+
+TEST(BacklogLedger, AssignReleaseRoundTripsExactly) {
+  BacklogLedger ledger;
+  ledger.assign(1, 7, 1000, 900);
+  EXPECT_EQ(ledger.backlog(7), 1000);
+  EXPECT_EQ(ledger.total(), 1000);
+  EXPECT_EQ(ledger.charge_count(), 1u);
+
+  BacklogLedger::Charge charge;
+  EXPECT_TRUE(ledger.release(1, &charge));
+  EXPECT_EQ(charge.worker, 7u);
+  EXPECT_EQ(charge.cost_ticks, 1000);
+  EXPECT_EQ(charge.predicted_ticks, 900);
+  EXPECT_EQ(ledger.backlog(7), 0);
+  EXPECT_EQ(ledger.total(), 0);
+  EXPECT_EQ(ledger.charge_count(), 0u);
+}
+
+TEST(BacklogLedger, ReleaseWithoutChargeReturnsFalse) {
+  BacklogLedger ledger;
+  EXPECT_FALSE(ledger.release(42));
+  EXPECT_EQ(ledger.total(), 0);
+}
+
+TEST(BacklogLedger, ReassignMovesAndKeepsOriginalPrediction) {
+  BacklogLedger ledger;
+  ledger.assign(1, 0, 500, 500);
+  // A reroute re-assigns: the charge moves, the forecast stays pinned to
+  // the original prediction so the error report stays a forecast error.
+  ledger.assign(1, 3, 800, 777);
+  EXPECT_EQ(ledger.backlog(0), 0);
+  EXPECT_EQ(ledger.backlog(3), 800);
+  EXPECT_EQ(ledger.charge_count(), 1u);
+  ASSERT_NE(ledger.find(1), nullptr);
+  EXPECT_EQ(ledger.find(1)->predicted_ticks, 500);
+}
+
+TEST(BacklogLedger, MoveTransfersBetweenWorkers) {
+  BacklogLedger ledger;
+  ledger.assign(1, 0, 300, 300);
+  EXPECT_TRUE(ledger.move(1, 5));
+  EXPECT_EQ(ledger.backlog(0), 0);
+  EXPECT_EQ(ledger.backlog(5), 300);
+  EXPECT_EQ(ledger.total(), 300);
+  EXPECT_FALSE(ledger.move(99, 5));   // uncharged call
+  EXPECT_FALSE(ledger.move(1, 5));    // already there
+}
+
+TEST(BacklogLedger, ForgetWorkerDropsOnlyItsCharges) {
+  BacklogLedger ledger;
+  ledger.assign(1, 0, 100, 100);
+  ledger.assign(2, 0, 200, 200);
+  ledger.assign(3, 1, 400, 400);
+  EXPECT_EQ(ledger.forget_worker(0), 2u);
+  EXPECT_EQ(ledger.backlog(0), 0);
+  EXPECT_EQ(ledger.backlog(1), 400);
+  EXPECT_EQ(ledger.total(), 400);
+  EXPECT_EQ(ledger.charge_count(), 1u);
+  EXPECT_EQ(ledger.forget_worker(0), 0u);  // already empty
+}
+
+TEST(BacklogLedger, ArbitraryInterleavingBalancesToZero) {
+  // Deterministic torture: assign across 4 workers, reroute a third of
+  // the calls, hard-kill one worker, release the survivors — the books
+  // must read exactly zero (integer ticks: no epsilon).
+  BacklogLedger ledger;
+  for (CallId c = 0; c < 100; ++c) {
+    ledger.assign(c, static_cast<WorkerId>(c % 4), 10 + (c % 7), 10);
+  }
+  for (CallId c = 0; c < 100; c += 3) {
+    (void)ledger.move(c, static_cast<WorkerId>((c + 1) % 4));
+  }
+  const std::size_t dropped = ledger.forget_worker(2);
+  EXPECT_GT(dropped, 0u);
+  for (CallId c = 0; c < 100; ++c) (void)ledger.release(c);
+  EXPECT_EQ(ledger.total(), 0);
+  EXPECT_EQ(ledger.charge_count(), 0u);
+  for (WorkerId w = 0; w < 4; ++w) EXPECT_EQ(ledger.backlog(w), 0);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::sched

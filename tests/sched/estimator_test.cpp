@@ -1,0 +1,128 @@
+// Duration estimator: EWMA convergence, cold/warm discrimination, the
+// never-seen prior, and the quantile sketch's error bound.
+
+#include <gtest/gtest.h>
+
+#include "hpcwhisk/sched/estimator.hpp"
+
+namespace hpcwhisk::sched {
+namespace {
+
+using sim::SimTime;
+
+TEST(QuantileSketch, EmptyReturnsZeros) {
+  QuantileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, TracksExactMinMax) {
+  QuantileSketch s;
+  for (int v : {700, 3, 150, 42, 9000}) s.observe(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_EQ(s.min(), 3.0);
+  EXPECT_EQ(s.max(), 9000.0);
+}
+
+TEST(QuantileSketch, QuantileWithinRelativeErrorBound) {
+  QuantileSketch s;
+  for (int v = 1; v <= 1000; ++v) s.observe(v);
+  // 8 sub-buckets per octave => <= 12.5% relative error at the bucket
+  // boundary; allow a little slack for the mid-bucket estimate.
+  const double p50 = s.quantile(0.5);
+  EXPECT_GT(p50, 500.0 * 0.85);
+  EXPECT_LT(p50, 500.0 * 1.15);
+  const double p95 = s.quantile(0.95);
+  EXPECT_GT(p95, 950.0 * 0.85);
+  EXPECT_LT(p95, 1000.0);
+}
+
+TEST(QuantileSketch, QuantileClampsToObservedRange) {
+  QuantileSketch s;
+  s.observe(100);
+  s.observe(200);
+  EXPECT_GE(s.quantile(0.0), 100.0);
+  EXPECT_LE(s.quantile(1.0), 200.0);
+}
+
+TEST(DurationEstimator, NeverSeenFallsBackToPrior) {
+  EstimatorConfig cfg;
+  cfg.prior = SimTime::millis(123);
+  DurationEstimator est{cfg};
+  EXPECT_FALSE(est.seen("ghost"));
+  EXPECT_EQ(est.predict("ghost"), SimTime::millis(123));
+  EXPECT_EQ(est.predict_cold("ghost"), SimTime::millis(123));
+  EXPECT_EQ(est.predict_quantile("ghost", 0.95), SimTime::millis(123));
+  EXPECT_EQ(est.stats().prior_hits, 3u);
+}
+
+TEST(DurationEstimator, FirstObservationSeedsTheMean) {
+  DurationEstimator est;
+  est.observe("fn", SimTime::millis(50), /*cold_start=*/false);
+  EXPECT_TRUE(est.seen("fn"));
+  EXPECT_EQ(est.predict("fn"), SimTime::millis(50));
+  EXPECT_EQ(est.stats().prior_hits, 0u);
+}
+
+TEST(DurationEstimator, ConvergesToConstantDuration) {
+  DurationEstimator est;
+  for (int i = 0; i < 100; ++i) {
+    est.observe("fn", SimTime::millis(50), false);
+  }
+  EXPECT_EQ(est.predict("fn"), SimTime::millis(50));
+  EXPECT_EQ(est.deviation("fn"), SimTime::zero());
+  EXPECT_EQ(est.observations("fn"), 100u);
+}
+
+TEST(DurationEstimator, ConvergesAfterLevelShift) {
+  // alpha = 0.25: after ~30 samples at the new level the EWMA is within
+  // a tick of it — the model forgets a stale history quickly.
+  DurationEstimator est;
+  for (int i = 0; i < 20; ++i) est.observe("fn", SimTime::millis(10), false);
+  for (int i = 0; i < 40; ++i) est.observe("fn", SimTime::millis(200), false);
+  const auto p = est.predict("fn");
+  EXPECT_GT(p, SimTime::millis(195));
+  EXPECT_LE(p, SimTime::millis(200));
+}
+
+TEST(DurationEstimator, ColdAndWarmModelsAreSeparate) {
+  DurationEstimator est;
+  for (int i = 0; i < 20; ++i) {
+    est.observe("fn", SimTime::millis(10), /*cold_start=*/false);
+    est.observe("fn", SimTime::millis(300), /*cold_start=*/true);
+  }
+  EXPECT_EQ(est.predict("fn"), SimTime::millis(10));
+  EXPECT_EQ(est.predict_cold("fn"), SimTime::millis(300));
+  EXPECT_EQ(est.stats().cold_observations, 20u);
+  EXPECT_EQ(est.stats().observations, 40u);
+}
+
+TEST(DurationEstimator, PredictionsAreDeterministicFolds) {
+  // Two estimators fed the identical sequence agree exactly — routing on
+  // these estimates keeps seeded runs replayable.
+  DurationEstimator a, b;
+  for (int i = 1; i <= 50; ++i) {
+    const auto d = SimTime::millis(10 + (i * 7) % 90);
+    const bool cold = i % 5 == 0;
+    a.observe("fn", d, cold);
+    b.observe("fn", d, cold);
+  }
+  EXPECT_EQ(a.predict("fn"), b.predict("fn"));
+  EXPECT_EQ(a.predict_cold("fn"), b.predict_cold("fn"));
+  EXPECT_EQ(a.predict_quantile("fn", 0.95), b.predict_quantile("fn", 0.95));
+  EXPECT_EQ(a.deviation("fn"), b.deviation("fn"));
+}
+
+TEST(DurationEstimator, TracksFunctionsIndependently) {
+  DurationEstimator est;
+  est.observe("short", SimTime::millis(5), false);
+  est.observe("long", SimTime::seconds(30), false);
+  EXPECT_EQ(est.tracked_functions(), 2u);
+  EXPECT_EQ(est.predict("short"), SimTime::millis(5));
+  EXPECT_EQ(est.predict("long"), SimTime::seconds(30));
+}
+
+}  // namespace
+}  // namespace hpcwhisk::sched

@@ -1,0 +1,216 @@
+// CallScheduler policies: least-expected-work picks, sjf-affinity's
+// escape hysteresis, deadline classes, and lifecycle accounting (no
+// backlog leaks under reroutes, rescues, and worker kills).
+
+#include <gtest/gtest.h>
+
+#include "hpcwhisk/sched/scheduler.hpp"
+
+namespace hpcwhisk::sched {
+namespace {
+
+using sim::SimTime;
+
+const std::vector<WorkerId> kWorkers{0, 1, 2};
+
+SchedConfig config_with(double slack = 2.0, bool deadline = false) {
+  SchedConfig cfg;
+  cfg.sjf_affinity_slack = slack;
+  cfg.deadline_classes = deadline;
+  return cfg;
+}
+
+/// Runs `calls` to completion on `worker` so it is warm for `function`
+/// and the estimator has history.
+void warm_up(CallScheduler& sched, WorkerId worker,
+             const std::string& function, SimTime duration, int calls,
+             CallId base) {
+  for (int i = 0; i < calls; ++i) {
+    const CallId id = base + static_cast<CallId>(i);
+    sched.on_started(id, worker, function);
+    (void)sched.on_finished(id, function, duration.ticks(),
+                            /*cold_start=*/false);
+  }
+}
+
+TEST(LeastExpectedWork, PrefersLowestIdWhenIndistinguishable) {
+  CallScheduler sched;
+  const auto d = sched.route_least_expected_work("fn", kWorkers);
+  EXPECT_EQ(d.worker, 0u);
+  EXPECT_TRUE(d.expected_cold);
+  // Never-seen function: prediction is the prior, cost adds the
+  // cold-start overhead on top.
+  EXPECT_EQ(d.predicted_ticks, sched.config().estimator.prior.ticks());
+  EXPECT_EQ(d.cost_ticks,
+            sched.config().estimator.prior.ticks() +
+                sched.config().estimator.cold_overhead.ticks());
+}
+
+TEST(LeastExpectedWork, WarmWorkerBeatsColdOnes) {
+  CallScheduler sched;
+  warm_up(sched, /*worker=*/2, "fn", SimTime::millis(10), 5, 1000);
+  const auto d = sched.route_least_expected_work("fn", kWorkers);
+  EXPECT_EQ(d.worker, 2u);  // cold workers pay the overhead, 2 does not
+  EXPECT_FALSE(d.expected_cold);
+}
+
+TEST(LeastExpectedWork, AvoidsBackloggedWorker) {
+  CallScheduler sched;
+  warm_up(sched, 0, "fn", SimTime::millis(10), 5, 1000);
+  warm_up(sched, 1, "fn", SimTime::millis(10), 5, 2000);
+  // Pile predicted work onto worker 0.
+  for (CallId c = 0; c < 10; ++c) {
+    const auto d = sched.route_least_expected_work("fn", {0});
+    sched.on_routed(c, d);
+  }
+  EXPECT_GT(sched.ledger().backlog(0), 0);
+  const auto d = sched.route_least_expected_work("fn", {0, 1});
+  EXPECT_EQ(d.worker, 1u);
+}
+
+TEST(SjfAffinity, StaysHomeWithinSlack) {
+  CallScheduler sched{config_with(/*slack=*/2.0)};
+  warm_up(sched, 0, "fn", SimTime::millis(10), 5, 1000);
+  warm_up(sched, 1, "fn", SimTime::millis(10), 5, 2000);
+  // A small queue at home (one predicted call) is far under the
+  // cold-overhead hysteresis: affinity holds.
+  const auto first = sched.route_sjf_affinity("fn", kWorkers, 0);
+  sched.on_routed(5000, first);
+  const auto d = sched.route_sjf_affinity("fn", kWorkers, 0);
+  EXPECT_EQ(d.worker, 0u);
+  EXPECT_EQ(sched.stats().affinity_kept, 2u);
+  EXPECT_EQ(sched.stats().affinity_escaped, 0u);
+}
+
+TEST(SjfAffinity, EscapesWhenHomeQueueExceedsSlackPlusColdStart) {
+  CallScheduler sched{config_with(/*slack=*/2.0)};
+  warm_up(sched, 0, "fn", SimTime::millis(10), 5, 1000);
+  warm_up(sched, 1, "fn", SimTime::millis(10), 5, 2000);
+  // Pile ~1s of predicted work on home 0: excess queueing over worker 1
+  // now dwarfs slack * 10ms + 500ms cold overhead.
+  for (CallId c = 0; c < 100; ++c) {
+    const auto d = sched.route_sjf_affinity("fn", {0}, 0);
+    sched.on_routed(c, d);
+  }
+  const auto d = sched.route_sjf_affinity("fn", kWorkers, 0);
+  EXPECT_EQ(d.worker, 1u);
+  EXPECT_GT(sched.stats().affinity_escaped, 0u);
+}
+
+TEST(SjfAffinity, HomeIndexWrapsAroundWorkerList) {
+  CallScheduler sched;
+  const auto d = sched.route_sjf_affinity("fn", kWorkers, 7);  // 7 % 3 == 1
+  EXPECT_EQ(d.worker, 1u);
+}
+
+TEST(DeadlineClasses, ShortPredictionsAreShortClass) {
+  CallScheduler sched{config_with(2.0, /*deadline=*/true)};
+  warm_up(sched, 0, "quick", SimTime::millis(10), 5, 1000);
+  warm_up(sched, 0, "slow", SimTime::seconds(30), 5, 2000);
+  const auto quick = sched.route_least_expected_work("quick", kWorkers);
+  EXPECT_TRUE(quick.short_class);
+  const auto slow = sched.route_least_expected_work("slow", kWorkers);
+  EXPECT_FALSE(slow.short_class);
+  EXPECT_EQ(sched.stats().short_class, 1u);
+}
+
+TEST(DeadlineClasses, DisabledByDefault) {
+  CallScheduler sched;
+  warm_up(sched, 0, "quick", SimTime::millis(10), 5, 1000);
+  const auto d = sched.route_least_expected_work("quick", kWorkers);
+  EXPECT_FALSE(d.short_class);
+}
+
+TEST(Lifecycle, FinishedReportsForecastErrorAgainstPinnedPrediction) {
+  CallScheduler sched;
+  warm_up(sched, 0, "fn", SimTime::millis(100), 10, 1000);
+  const auto d = sched.route_least_expected_work("fn", kWorkers);
+  sched.on_routed(1, d);
+  sched.on_started(1, d.worker, "fn");
+  const auto out =
+      sched.on_finished(1, "fn", SimTime::millis(130).ticks(), false);
+  EXPECT_TRUE(out.had_charge);
+  EXPECT_TRUE(out.observed);
+  // Prediction was pinned at route time (100ms EWMA), so the error is a
+  // genuine forecast error — not contaminated by the new sample.
+  EXPECT_EQ(out.predicted_ticks, SimTime::millis(100).ticks());
+  EXPECT_EQ(out.abs_error_ticks, SimTime::millis(30).ticks());
+  EXPECT_EQ(sched.ledger().total(), 0);
+}
+
+TEST(Lifecycle, NeverExecutedOutcomeIsNotObserved) {
+  CallScheduler sched;
+  const auto d = sched.route_least_expected_work("fn", kWorkers);
+  sched.on_routed(1, d);
+  const auto out = sched.on_finished(1, "fn", /*actual_ticks=*/-1, false);
+  EXPECT_TRUE(out.had_charge);
+  EXPECT_FALSE(out.observed);
+  EXPECT_FALSE(sched.estimator().seen("fn"));
+  EXPECT_EQ(sched.ledger().total(), 0);
+}
+
+TEST(Lifecycle, FastLaneRerouteDoesNotLeakBacklog) {
+  CallScheduler sched;
+  // Route -> requeue (drain hand-off) -> restart on another worker ->
+  // finish. The charge must follow the call and end at zero.
+  const auto d = sched.route_least_expected_work("fn", kWorkers);
+  sched.on_routed(1, d);
+  EXPECT_GT(sched.ledger().total(), 0);
+  sched.on_requeued(1);
+  EXPECT_EQ(sched.ledger().total(), 0);
+  sched.on_started(1, 2, "fn");  // re-charged against the executor
+  EXPECT_GT(sched.ledger().total(), 0);
+  EXPECT_EQ(sched.stats().rescue_charges, 1u);
+  (void)sched.on_finished(1, "fn", SimTime::millis(10).ticks(), true);
+  EXPECT_EQ(sched.ledger().total(), 0);
+}
+
+TEST(Lifecycle, ForgetWorkerDropsChargesAndWarmth) {
+  CallScheduler sched;
+  warm_up(sched, 0, "fn", SimTime::millis(10), 3, 1000);
+  for (CallId c = 0; c < 5; ++c) {
+    const auto d = sched.route_least_expected_work("fn", {0});
+    sched.on_routed(c, d);
+  }
+  EXPECT_TRUE(sched.is_warm(0, "fn"));
+  sched.forget_worker(0);
+  EXPECT_FALSE(sched.is_warm(0, "fn"));
+  EXPECT_EQ(sched.ledger().backlog(0), 0);
+  EXPECT_EQ(sched.ledger().total(), 0);
+  EXPECT_EQ(sched.stats().forgotten, 5u);
+  // Terminal notifications for the dropped calls are harmless.
+  const auto out = sched.on_finished(3, "fn", -1, false);
+  EXPECT_FALSE(out.had_charge);
+}
+
+TEST(Lifecycle, ChaosInterleavingLeavesZeroBacklog) {
+  // Worker-kill chaos: calls in every lifecycle stage when worker 1 dies;
+  // survivors restart elsewhere. Invariant: once every call reaches a
+  // terminal state the ledger reads exactly zero.
+  CallScheduler sched{config_with(2.0, true)};
+  warm_up(sched, 0, "fn", SimTime::millis(20), 5, 10000);
+  for (CallId c = 0; c < 30; ++c) {
+    const auto d = sched.route_sjf_affinity(
+        "fn", kWorkers, static_cast<std::size_t>(c));
+    sched.on_routed(c, d);
+    if (c % 3 == 0) sched.on_started(c, d.worker, "fn");
+  }
+  sched.forget_worker(1);
+  for (CallId c = 0; c < 30; ++c) {
+    if (c % 5 == 0) {
+      sched.on_requeued(c);          // rescued to the fast lane...
+      sched.on_started(c, 2, "fn");  // ...restarts on worker 2
+      (void)sched.on_finished(c, "fn", SimTime::millis(25).ticks(), true);
+    } else if (c % 5 == 1) {
+      (void)sched.on_finished(c, "fn", -1, false);  // timed out
+    } else {
+      (void)sched.on_finished(c, "fn", SimTime::millis(20).ticks(), false);
+    }
+  }
+  EXPECT_EQ(sched.ledger().total(), 0);
+  EXPECT_EQ(sched.ledger().charge_count(), 0u);
+  for (const WorkerId w : kWorkers) EXPECT_EQ(sched.ledger().backlog(w), 0);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::sched

@@ -1,0 +1,138 @@
+// Controller-level behavior of the data-driven route modes: scheduler
+// lifecycle wiring, deadline-class front publishes, and — the invariant
+// the ledger exists for — zero leaked backlog after watchdog rescues.
+
+#include <gtest/gtest.h>
+
+#include "hpcwhisk/whisk/invoker.hpp"
+
+namespace hpcwhisk::whisk {
+namespace {
+
+using sim::Rng;
+using sim::SimTime;
+using sim::Simulation;
+
+struct Fixture {
+  Simulation sim;
+  mq::Broker broker;
+  FunctionRegistry registry;
+
+  Fixture() {
+    registry.put(fixed_duration_function("fast", SimTime::millis(10)));
+    registry.put(fixed_duration_function("slow", SimTime::minutes(2)));
+  }
+
+  Controller make_controller(RouteMode mode, bool deadline_classes = false) {
+    Controller::Config cfg;
+    cfg.route_mode = mode;
+    cfg.sched.deadline_classes = deadline_classes;
+    return Controller{sim, broker, registry, cfg};
+  }
+};
+
+TEST(SchedRouting, LegacyModesHaveNoScheduler) {
+  Fixture f;
+  auto controller = f.make_controller(RouteMode::kHashProbing);
+  EXPECT_EQ(controller.scheduler(), nullptr);
+  EXPECT_EQ(controller.expected_backlog_ticks(), 0);
+}
+
+TEST(SchedRouting, DataDrivenModeLearnsFromCompletions) {
+  Fixture f;
+  auto controller = f.make_controller(RouteMode::kLeastExpectedWork);
+  ASSERT_NE(controller.scheduler(), nullptr);
+  Invoker invoker{f.sim, f.broker, f.registry, controller, {}, Rng{1}};
+  invoker.start();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(controller.submit("fast").accepted);
+  }
+  f.sim.run_until(SimTime::minutes(1));
+
+  const auto* sched = controller.scheduler();
+  EXPECT_EQ(controller.counters().completed, 20u);
+  EXPECT_EQ(sched->stats().decisions, 20u);
+  EXPECT_GT(sched->stats().error_observations, 0u);
+  EXPECT_TRUE(sched->estimator().seen("fast"));
+  // The 10ms body converged into the model (EWMA seeds on the first
+  // sample, so even one completion pins it).
+  EXPECT_EQ(sched->estimator().predict("fast"), SimTime::millis(10));
+  // Everything drained: no outstanding predicted work.
+  EXPECT_EQ(controller.expected_backlog_ticks(), 0);
+}
+
+TEST(SchedRouting, BacklogIsVisibleWhileWorkIsOutstanding) {
+  Fixture f;
+  auto controller = f.make_controller(RouteMode::kSjfAffinity);
+  Invoker invoker{f.sim, f.broker, f.registry, controller, {}, Rng{1}};
+  invoker.start();
+  ASSERT_TRUE(controller.submit("slow").accepted);
+  f.sim.run_until(SimTime::seconds(10));
+  EXPECT_GT(controller.expected_backlog_ticks(), 0);
+  f.sim.run_until(SimTime::minutes(4));
+  EXPECT_EQ(controller.expected_backlog_ticks(), 0);
+}
+
+TEST(SchedRouting, DeadlineClassesPublishToQueueFront) {
+  Fixture f;
+  auto controller =
+      f.make_controller(RouteMode::kLeastExpectedWork, /*deadline=*/true);
+  const InvokerId id = controller.register_invoker();
+  // Never-seen prior (100ms) is under the short-class bound (250ms):
+  // the publish goes to the front of the invoker's queue.
+  ASSERT_TRUE(controller.submit("fast").accepted);
+  const auto& topic = f.broker.topic(Controller::invoker_topic_name(id));
+  EXPECT_EQ(topic.counters().front_published, 1u);
+  EXPECT_EQ(controller.scheduler()->stats().short_class, 1u);
+}
+
+TEST(SchedRouting, WatchdogRescueLeavesZeroLeakedBacklog) {
+  Fixture f;
+  auto controller = f.make_controller(RouteMode::kLeastExpectedWork);
+  auto victim = std::make_unique<Invoker>(f.sim, f.broker, f.registry,
+                                          controller, Invoker::Config{},
+                                          Rng{1});
+  victim->start();
+  const auto result = controller.submit("slow");
+  ASSERT_TRUE(result.accepted);
+  f.sim.run_until(SimTime::seconds(10));
+  ASSERT_EQ(controller.activation(result.activation).state,
+            ActivationState::kRunning);
+
+  auto rescuer = std::make_unique<Invoker>(f.sim, f.broker, f.registry,
+                                           controller, Invoker::Config{},
+                                           Rng{2});
+  rescuer->start();
+  victim->hard_kill();
+  f.sim.run_until(SimTime::minutes(5));
+
+  const auto& rec = controller.activation(result.activation);
+  EXPECT_EQ(rec.state, ActivationState::kCompleted);
+  EXPECT_EQ(rec.executed_by, rescuer->id());
+
+  // The kill dropped the victim's charge; the rescuer's restart
+  // re-charged it; completion released it. Books must read exactly zero
+  // — a leak here would bias every future routing decision.
+  const auto* sched = controller.scheduler();
+  EXPECT_GE(sched->stats().forgotten, 1u);
+  EXPECT_GE(sched->stats().rescue_charges, 1u);
+  EXPECT_EQ(sched->ledger().total(), 0);
+  EXPECT_EQ(sched->ledger().charge_count(), 0u);
+  EXPECT_EQ(controller.expected_backlog_ticks(), 0);
+  EXPECT_FALSE(sched->is_warm(victim->id(), "slow"));
+}
+
+TEST(SchedRouting, RouteModeStringsRoundTrip) {
+  for (const auto mode :
+       {RouteMode::kHashProbing, RouteMode::kHashOnly, RouteMode::kRoundRobin,
+        RouteMode::kLeastLoaded, RouteMode::kLeastExpectedWork,
+        RouteMode::kSjfAffinity}) {
+    const auto parsed = route_mode_from_string(to_string(mode));
+    ASSERT_TRUE(parsed.has_value()) << to_string(mode);
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(route_mode_from_string("teleport").has_value());
+}
+
+}  // namespace
+}  // namespace hpcwhisk::whisk

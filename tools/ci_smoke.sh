@@ -94,6 +94,42 @@ print(f"federation schema OK ({len(legs)} legs)")
 PYEOF
 fi
 
+# Routing leg: the six-mode ablation under the short/long mix must emit
+# a structurally valid BENCH_routing.json, show zero orphaned backlog
+# charges on the data-driven legs (no charge survives its call's
+# terminal state), and satisfy the headline acceptance — the best
+# data-driven mode beats hash-probing's p95 at an equal-or-better
+# warm-start rate (the bench's exit code enforces it).
+echo "== routing smoke =="
+HW_ROUTING_OUT="$BUILD_DIR/BENCH_routing.json" \
+  "$BUILD_DIR"/bench/ablation_routing > /dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$BUILD_DIR/BENCH_routing.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+legs = doc["legs"]
+assert len(legs) >= 6, "expected one leg per route mode"
+sched_legs = 0
+for leg in legs:
+    assert leg["issued"] > 0 and leg["completed"] > 0, leg
+    assert 0.0 <= leg["warm_start_rate"] <= 1.0, leg
+    assert leg["p50_ms"] <= leg["p95_ms"] <= leg["p99_ms"], leg
+    if "sched" in leg:
+        sched_legs += 1
+        s = leg["sched"]
+        assert s["decisions"] > 0 and s["error_observations"] > 0, leg
+        assert s["orphan_charges"] == 0, f"backlog leak: {leg}"
+        assert s["end_charges"] <= s["nonterminal"], f"backlog leak: {leg}"
+assert sched_legs >= 2, "expected least-expected-work and sjf-affinity legs"
+acc = doc["acceptance"]
+assert acc["acceptance_ok"], f"routing acceptance failed: {acc}"
+print(f"routing schema OK ({len(legs)} legs, {sched_legs} data-driven)")
+PYEOF
+fi
+if [[ "${SANITIZE:-0}" != "1" ]]; then
+  cp "$BUILD_DIR/BENCH_routing.json" BENCH_routing.json
+fi
+
 # SimCheck leg: fuzz ~20 random chaos + federation seeds against the
 # invariant suite. A clean tree must sweep clean; any failure leaves a
 # shrunk, replayable repro JSON under $BUILD_DIR/simcheck-repros/ (the
