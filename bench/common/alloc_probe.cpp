@@ -1,0 +1,79 @@
+// Counting global operator new/delete, linked ONLY into the perf
+// binaries (see bench/CMakeLists.txt): test and example builds keep the
+// stock allocator. The counter is a single relaxed atomic — the probe
+// measures allocation *frequency*, and perturbing the timing it reports
+// on would defeat it. All deallocation goes through std::free, which on
+// glibc pairs correctly with both malloc and aligned_alloc.
+
+#include "common/alloc_probe.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) n = 1;
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t n, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) n = align;
+  n = (n + align - 1) / align * align;  // aligned_alloc size precondition
+  void* p = std::aligned_alloc(align, n);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+}  // namespace
+
+namespace hpcwhisk::bench {
+
+std::uint64_t alloc_probe_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+bool alloc_probe_enabled() { return true; }
+
+}  // namespace hpcwhisk::bench
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,20 @@
+#pragma once
+// Allocation probe interface. The perf binaries link
+// bench/common/alloc_probe.cpp, whose global operator new/delete count
+// every heap allocation in the process; everything else falls back to
+// the weak no-op definitions in experiment.cpp. Steady-state
+// allocations-per-event is the regression tripwire for the hot path:
+// schedule/publish/poll are designed to allocate nothing once slabs and
+// scratch buffers have grown to size.
+
+#include <cstdint>
+
+namespace hpcwhisk::bench {
+
+/// Heap allocations observed so far; always 0 without the probe linked.
+[[nodiscard]] std::uint64_t alloc_probe_count();
+
+/// Whether this binary carries the counting operator new.
+[[nodiscard]] bool alloc_probe_enabled();
+
+}  // namespace hpcwhisk::bench

@@ -4,7 +4,15 @@
 #include <cstdlib>
 #include <ostream>
 
+#include "common/alloc_probe.hpp"
+
 namespace hpcwhisk::bench {
+
+// Weak fallbacks: binaries that don't link alloc_probe.cpp (everything
+// except the perf benches) see a dead probe. The strong definitions in
+// alloc_probe.cpp win at link time.
+__attribute__((weak)) std::uint64_t alloc_probe_count() { return 0; }
+__attribute__((weak)) bool alloc_probe_enabled() { return false; }
 
 ExperimentConfig apply_env(ExperimentConfig cfg) {
   if (std::getenv("HW_BENCH_QUICK") != nullptr) {
@@ -99,6 +107,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   result.workload->start();
   if (cfg.pilots.has_value()) system.start();
 
+  // Steady-state window baseline: captured when the clock crosses into
+  // the measured window, so burn-in (slab growth, topic creation, scratch
+  // sizing) doesn't count against allocs-per-event.
+  auto window_base =
+      std::make_shared<std::pair<std::uint64_t, std::uint64_t>>(0, 0);
+  simulation.at(result.measure_start, [&simulation, window_base] {
+    window_base->first = alloc_probe_count();
+    window_base->second = simulation.executed_events();
+  });
+
   // OW-level sampler (10 s) during the measurement window. All lambda
   // state is shared_ptr-owned: the result object is returned by value and
   // must not be captured by reference in pending events.
@@ -159,6 +177,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   simulation.run_until(result.measure_end);
+  result.alloc_probe_active = alloc_probe_enabled();
+  result.allocs_in_window = alloc_probe_count() - window_base->first;
+  result.events_in_window =
+      simulation.executed_events() - window_base->second;
   result.log->finalize(result.measure_end);
   result.ow_samples = std::move(*ow_samples);
   if (faas) result.faas_issued = faas->issued();

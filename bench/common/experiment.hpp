@@ -117,6 +117,15 @@ struct ExperimentResult {
   std::unique_ptr<trace::HpcWorkloadGenerator> workload;
   std::uint64_t faas_issued{0};
 
+  /// Steady-state telemetry over the measured window only (burn-in and
+  /// wiring excluded): events executed, and heap allocations as seen by
+  /// the alloc probe. allocs_in_window stays 0 (and alloc_probe_active
+  /// false) unless the binary links bench/common/alloc_probe.cpp — the
+  /// perf binaries do, the test suite does not.
+  std::uint64_t events_in_window{0};
+  std::uint64_t allocs_in_window{0};
+  bool alloc_probe_active{false};
+
   /// OW-level perspective sampled every 10 s during the window:
   /// healthy / warming / unresponsive invoker counts.
   struct OwSample {

@@ -51,6 +51,81 @@ void BM_topic_batch_poll(benchmark::State& state) {
 }
 BENCHMARK(BM_topic_batch_poll)->Arg(8)->Arg(64)->Arg(512);
 
+/// The steady-state message hot path at production scale: one topic per
+/// invoker on a 2,239-node cluster, handles resolved once at wiring time
+/// (mq::TopicRef), publishes and poll_into through the cached pointer —
+/// zero string hashing, zero broker locking, zero allocation per event
+/// once the scratch vector has grown.
+void BM_mq_publish_consume(benchmark::State& state) {
+  constexpr std::size_t kTopics = 2239;
+  mq::Broker broker;
+  std::vector<mq::TopicRef> refs;
+  refs.reserve(kTopics);
+  for (std::size_t i = 0; i < kTopics; ++i)
+    refs.push_back(broker.resolve("invoker-" + std::to_string(i)));
+  std::vector<mq::Message> scratch;
+  std::uint64_t id = 0;
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    mq::Topic& topic = *refs[cursor];
+    cursor = (cursor + 1) % kTopics;
+    mq::Message m;
+    m.id = id++;
+    topic.publish(std::move(m), sim::SimTime::zero());
+    scratch.clear();
+    benchmark::DoNotOptimize(topic.poll_into(4, scratch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_mq_publish_consume);
+
+/// Schedule + cancel against a heap already holding 2,239 live events —
+/// the queue depth a full-cluster production day sustains. Exercises
+/// sift-up on insert and the tombstone/compaction machinery on cancel.
+void BM_event_queue_schedule(benchmark::State& state) {
+  constexpr std::int64_t kLive = 2239;
+  sim::EventQueue queue;
+  for (std::int64_t i = 0; i < kLive; ++i)
+    queue.schedule(sim::SimTime::micros(1'000'000 + i), [] {});
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    const auto id = queue.schedule(sim::SimTime::micros(t++ % 1'000'000), [] {});
+    queue.cancel(id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_event_queue_schedule);
+
+/// Batched drain of same-deadline runs with 2,239 events in flight —
+/// the shape Simulation::run() sees when many invokers share a poll
+/// deadline. Items processed counts drained events, not iterations.
+void BM_event_queue_pop_batch(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  constexpr std::int64_t kLive = 2239;
+  // Background population parked far in the future: every pop_batch below
+  // must drain exactly the same-deadline run this iteration scheduled.
+  constexpr std::int64_t kFarFuture = std::int64_t{1} << 40;
+  sim::EventQueue queue;
+  for (std::int64_t i = 0; i < kLive; ++i)
+    queue.schedule(sim::SimTime::micros(kFarFuture + i), [] {});
+  std::vector<sim::EventQueue::Popped> out;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    ++t;
+    for (std::size_t i = 0; i < batch; ++i)
+      queue.schedule(sim::SimTime::micros(t), [] {});
+    std::size_t drained = 0;
+    while (drained < batch) {
+      out.clear();
+      drained += queue.pop_batch(batch - drained, out);
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_event_queue_pop_batch)->Arg(8)->Arg(64)->Arg(512);
+
 void BM_event_queue_schedule_pop(benchmark::State& state) {
   sim::EventQueue queue;
   std::int64_t t = 0;

@@ -6,12 +6,20 @@
 // harnesses drive independent brokers from worker threads, so the topic
 // guards its queue with a mutex (uncontended locks are cheap).
 //
+// Hot-path shape: consumers poll far more often than producers publish,
+// so the empty case is the common case. approx_empty() answers it with
+// one relaxed atomic load — no lock — and poll_into()/poll_one() bail
+// out through it before ever touching the mutex. poll_into() appends to
+// a caller-owned scratch vector, so a steady-state poll tick performs
+// zero allocations.
+//
 // Fault injection: an optional fault filter intercepts every publish and
 // may drop, delay, or duplicate the message — the broker-level failure
 // modes an at-least-once pipeline must survive. The filter is consulted
 // once per publish; delayed and duplicated copies are delivered through
 // an internal path that bypasses it, so a fault decision never cascades.
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -28,6 +36,24 @@ class Simulation;
 
 namespace hpcwhisk::mq {
 
+/// Dense broker-assigned topic handle (interning): stable for the
+/// broker's lifetime, resolvable back to the topic without hashing the
+/// name. Default-constructed ids are invalid (a topic created outside a
+/// broker never gets one).
+class TopicId {
+ public:
+  constexpr TopicId() = default;
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  constexpr bool operator==(const TopicId&) const = default;
+
+ private:
+  friend class Broker;
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+  constexpr explicit TopicId(std::uint32_t v) : value_{v} {}
+  std::uint32_t value_{kInvalid};
+};
+
 class Topic {
  public:
   explicit Topic(std::string name) : name_{std::move(name)} {}
@@ -36,6 +62,8 @@ class Topic {
   Topic& operator=(const Topic&) = delete;
 
   [[nodiscard]] const std::string& name() const { return name_; }
+  /// The broker-assigned intern id; invalid for free-standing topics.
+  [[nodiscard]] TopicId id() const { return id_; }
 
   /// Appends a message to the tail. Stamps first_published on the first
   /// publish and bumps delivery_count. Subject to the fault filter.
@@ -47,7 +75,21 @@ class Topic {
   /// loses its front position (it re-enters whenever the delay fires).
   void publish_front(Message msg, sim::SimTime now);
 
-  /// Pops up to `max_count` messages from the head (FIFO).
+  /// One relaxed atomic load, no lock. Precise whenever publishes and
+  /// polls happen on one thread (the simulator); under concurrent
+  /// producers a consumer may see a just-published message one poll
+  /// late, which pull-based consumption tolerates by construction.
+  [[nodiscard]] bool approx_empty() const {
+    return approx_size_.load(std::memory_order_relaxed) == 0;
+  }
+
+  /// Pops up to `max_count` messages from the head (FIFO), appending to
+  /// `out`. Returns the number popped. The empty case returns through
+  /// approx_empty() without locking or allocating.
+  std::size_t poll_into(std::size_t max_count, std::vector<Message>& out);
+
+  /// Pops up to `max_count` messages from the head (FIFO). Convenience
+  /// wrapper over poll_into() that allocates the result vector.
   [[nodiscard]] std::vector<Message> poll(std::size_t max_count);
 
   /// Pops a single message, if any.
@@ -93,13 +135,18 @@ class Topic {
   [[nodiscard]] Counters counters() const;
 
  private:
+  friend class Broker;  ///< assigns id_ at interning time
+
   /// Enqueues one copy, bypassing the fault filter.
   void deliver(Message msg, sim::SimTime now);
   void deliver_front(Message msg, sim::SimTime now);
 
   const std::string name_;
+  TopicId id_;
   mutable std::mutex mu_;
   std::deque<Message> queue_;
+  /// Mirrors queue_.size(); written under mu_, readable without it.
+  std::atomic<std::size_t> approx_size_{0};
   FaultFilter fault_filter_;
   sim::Simulation* sim_{nullptr};
   Counters counters_;

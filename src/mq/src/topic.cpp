@@ -87,6 +87,7 @@ void Topic::deliver(Message msg, sim::SimTime now) {
   if (msg.delivery_count == 0) msg.first_published = now;
   ++msg.delivery_count;
   queue_.push_back(std::move(msg));
+  approx_size_.store(queue_.size(), std::memory_order_relaxed);
   ++counters_.published;
 }
 
@@ -95,6 +96,7 @@ void Topic::deliver_front(Message msg, sim::SimTime now) {
   if (msg.delivery_count == 0) msg.first_published = now;
   ++msg.delivery_count;
   queue_.push_front(std::move(msg));
+  approx_size_.store(queue_.size(), std::memory_order_relaxed);
   ++counters_.published;
   ++counters_.front_published;
 }
@@ -105,24 +107,32 @@ void Topic::set_fault_filter(FaultFilter filter, sim::Simulation* simulation) {
   sim_ = simulation;
 }
 
-std::vector<Message> Topic::poll(std::size_t max_count) {
+std::size_t Topic::poll_into(std::size_t max_count, std::vector<Message>& out) {
+  if (approx_empty()) return 0;  // steady state: no lock, no alloc
   std::lock_guard lock{mu_};
-  std::vector<Message> out;
   const std::size_t n = std::min(max_count, queue_.size());
-  out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     out.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }
+  approx_size_.store(queue_.size(), std::memory_order_relaxed);
   counters_.consumed += n;
+  return n;
+}
+
+std::vector<Message> Topic::poll(std::size_t max_count) {
+  std::vector<Message> out;
+  (void)poll_into(max_count, out);
   return out;
 }
 
 std::optional<Message> Topic::poll_one() {
+  if (approx_empty()) return std::nullopt;
   std::lock_guard lock{mu_};
   if (queue_.empty()) return std::nullopt;
   Message m = std::move(queue_.front());
   queue_.pop_front();
+  approx_size_.store(queue_.size(), std::memory_order_relaxed);
   ++counters_.consumed;
   return m;
 }
@@ -133,6 +143,7 @@ std::vector<Message> Topic::drain() {
                            std::make_move_iterator(queue_.end())};
   counters_.drained += out.size();
   queue_.clear();
+  approx_size_.store(0, std::memory_order_relaxed);
   return out;
 }
 

@@ -87,8 +87,15 @@ class ContainerPool {
 
   /// Tops the stem-cell pool back up to prewarm_count (capacity
   /// permitting; stem cells never evict warm containers). Call
-  /// periodically (the invoker does so from its poll loop).
-  void maintain_prewarm(sim::SimTime now);
+  /// periodically (the invoker does so from its poll loop). The common
+  /// case — pool already topped up — returns after one inline size
+  /// check, so the per-tick cost is a compare, not a call.
+  void maintain_prewarm(sim::SimTime now) {
+    if (prewarmed_.size() >= config_.prewarm_count ||
+        config_.prewarm_kind.empty())
+      return;
+    refill_prewarm(now);
+  }
 
   /// Marks a previously acquired container busy (call when its start
   /// latency elapsed and execution begins).
@@ -130,6 +137,10 @@ class ContainerPool {
   /// allows one more. Returns total removal latency, or nullopt if
   /// impossible.
   std::optional<sim::SimTime> make_room(std::int64_t memory_mb);
+
+  /// Slow path of maintain_prewarm(): boots stem cells until the pool is
+  /// full or capacity runs out.
+  void refill_prewarm(sim::SimTime now);
 
   Config config_;
   RuntimeProfile profile_;

@@ -97,8 +97,7 @@ std::optional<sim::SimTime> ContainerPool::make_room(std::int64_t memory_mb) {
   return latency;
 }
 
-void ContainerPool::maintain_prewarm(sim::SimTime now) {
-  if (config_.prewarm_count == 0 || config_.prewarm_kind.empty()) return;
+void ContainerPool::refill_prewarm(sim::SimTime now) {
   while (prewarmed_.size() < config_.prewarm_count) {
     // Never evict for stem cells: only use genuinely free capacity.
     if (containers_.size() >= config_.max_containers) return;

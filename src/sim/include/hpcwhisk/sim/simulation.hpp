@@ -21,7 +21,7 @@ namespace detail {
 struct PeriodicState {
   Simulation* sim{nullptr};
   SimTime interval;
-  std::function<void()> cb;
+  EventQueue::Callback cb;
   EventId current;
   bool stopped{false};
 };
@@ -47,7 +47,9 @@ class PeriodicHandle {
 
 class Simulation {
  public:
-  using Callback = std::function<void()>;
+  /// Inline-storage callable: scheduling typical closures never touches
+  /// the heap (see InplaceCallback).
+  using Callback = EventQueue::Callback;
 
   Simulation() = default;
   /// Breaks callback<->handle reference cycles of still-armed periodic

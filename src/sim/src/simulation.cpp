@@ -91,13 +91,16 @@ PeriodicHandle Simulation::every(SimTime interval, Callback cb) {
 }
 
 void Simulation::run_until(SimTime until) {
-  while (!queue_.empty()) {
-    const SimTime t = queue_.next_time();
-    if (t > until) break;
-    auto [when, cb] = queue_.pop();
-    now_ = when;
+  // Single-pass batched dispatch: pop_due merges the staged same-deadline
+  // run with the heap and claims in one call (no separate next_time()
+  // peek per event). The explicit reset after the call keeps capture
+  // destruction at the same point the old per-iteration Popped gave it.
+  EventQueue::Popped p;
+  while (queue_.pop_due(until, p)) {
+    now_ = p.when;
     ++executed_;
-    cb();
+    p.cb();
+    p.cb.reset();
   }
   if (now_ < until) now_ = until;
 }
@@ -108,11 +111,11 @@ void Simulation::run() {
 }
 
 bool Simulation::step() {
-  if (queue_.empty()) return false;
-  auto [when, cb] = queue_.pop();
-  now_ = when;
+  EventQueue::Popped p;
+  if (!queue_.pop_due(SimTime::max(), p)) return false;
+  now_ = p.when;
   ++executed_;
-  cb();
+  p.cb();
   return true;
 }
 

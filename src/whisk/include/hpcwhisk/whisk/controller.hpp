@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -209,6 +208,10 @@ class Controller {
     InvokerHealth health{InvokerHealth::kHealthy};
     sim::SimTime last_heartbeat;
     std::uint32_t in_flight{0};
+    /// The invoker's topic, resolved once at registration: submit()
+    /// publishes through this pointer instead of re-hashing
+    /// "invoker-<id>" per message.
+    mq::Topic* topic{nullptr};
   };
 
   /// Picks the target invoker among `healthy` for `function`.
@@ -226,11 +229,21 @@ class Controller {
   void rescue_in_flight(InvokerId id,
                         const std::vector<ActivationId>& already_rescued);
 
+  /// Healthy ids in ascending order, rebuilt lazily after a membership
+  /// or health change. Ascending order matches the std::map iteration
+  /// this replaced, so routing decisions are byte-identical.
+  [[nodiscard]] const std::vector<InvokerId>& healthy_view() const;
+
   sim::Simulation& sim_;
   mq::Broker& broker_;
   const FunctionRegistry& registry_;
   Config config_;
-  std::map<InvokerId, InvokerEntry> invokers_;  // ordered => stable routing
+  /// Dense, indexed by InvokerId (ids are sequential and entries are
+  /// never erased — deregistration parks them at kGone). Ascending scans
+  /// reproduce the ordered-map iteration exactly.
+  std::vector<InvokerEntry> invokers_;
+  mutable std::vector<InvokerId> healthy_cache_;
+  mutable bool healthy_dirty_{true};
   std::vector<ActivationRecord> records_;       // index == ActivationId
   std::unordered_map<ActivationId, sim::EventId> timeout_events_;
   std::unordered_map<ActivationId, std::vector<CompletionCallback>>

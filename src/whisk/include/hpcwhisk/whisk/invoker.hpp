@@ -25,6 +25,7 @@
 #include <deque>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "hpcwhisk/mq/broker.hpp"
 #include "hpcwhisk/runtime/container_pool.hpp"
@@ -144,6 +145,9 @@ class Invoker {
   runtime::ContainerPool pool_;
   InvokerId id_{kNoInvoker};
   mq::Topic* own_topic_{nullptr};
+  mq::Topic* fast_lane_{nullptr};
+  /// Reused across poll ticks: pulling never allocates in steady state.
+  std::vector<mq::Message> pull_scratch_;
   std::deque<mq::Message> buffer_;
   std::unordered_map<ActivationId, Exec> running_;
   sim::PeriodicHandle poll_loop_;

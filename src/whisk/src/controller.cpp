@@ -109,7 +109,7 @@ SubmitResult Controller::submit(const std::string& function) {
   rec.function = function;
   rec.submit_time = sim_.now();
 
-  const std::vector<InvokerId> healthy = healthy_invokers();
+  const std::vector<InvokerId>& healthy = healthy_view();
   if (healthy.empty()) {
     // Immediate 503 — recorded so benches can rebuild the rejection
     // series of Figs. 5b/6b.
@@ -146,7 +146,9 @@ SubmitResult Controller::submit(const std::string& function) {
   mq::Message msg;
   msg.id = rec.id;
   msg.key = function;
-  mq::Topic& topic = broker_.topic(invoker_topic_name(target));
+  // Handle cached at registration: no string build, no hash, no broker
+  // lock on the per-submit path.
+  mq::Topic& topic = *invokers_[target].topic;
   if (pending_decision_ && pending_decision_->short_class) {
     // Deadline class: a predicted-short call jumps the queue at publish
     // time (it never preempts an execution already underway).
@@ -220,8 +222,7 @@ InvokerId Controller::route(const std::string& function,
 }
 
 std::uint32_t Controller::in_flight(InvokerId id) const {
-  const auto it = invokers_.find(id);
-  return it == invokers_.end() ? 0 : it->second.in_flight;
+  return id < invokers_.size() ? invokers_[id].in_flight : 0;
 }
 
 const ActivationRecord& Controller::activation(ActivationId id) const {
@@ -232,34 +233,41 @@ const ActivationRecord& Controller::activation(ActivationId id) const {
 
 InvokerId Controller::register_invoker() {
   const InvokerId id = next_invoker_id_++;
-  invokers_[id] = InvokerEntry{InvokerHealth::kHealthy, sim_.now()};
-  // Ensure the topic exists before any routing decision targets it.
-  broker_.topic(invoker_topic_name(id));
+  InvokerEntry entry{InvokerHealth::kHealthy, sim_.now()};
+  // Resolve the topic once; every later publish to this invoker goes
+  // through the cached handle (and the topic exists before any routing
+  // decision targets it).
+  entry.topic = broker_.resolve(invoker_topic_name(id)).get();
+  invokers_.push_back(entry);
+  healthy_dirty_ = true;
   return id;
 }
 
 void Controller::heartbeat(InvokerId id) {
-  const auto it = invokers_.find(id);
-  if (it == invokers_.end()) return;
-  it->second.last_heartbeat = sim_.now();
+  if (id >= invokers_.size()) return;
+  InvokerEntry& entry = invokers_[id];
+  entry.last_heartbeat = sim_.now();
   // A previously unresponsive invoker that pings again is readmitted
   // (does not happen with graceful pilots; kept for robustness).
-  if (it->second.health == InvokerHealth::kUnresponsive)
-    it->second.health = InvokerHealth::kHealthy;
+  if (entry.health == InvokerHealth::kUnresponsive) {
+    entry.health = InvokerHealth::kHealthy;
+    healthy_dirty_ = true;
+  }
 }
 
 void Controller::begin_drain(InvokerId id) {
-  const auto it = invokers_.find(id);
-  if (it == invokers_.end()) return;
-  if (it->second.health == InvokerHealth::kGone) return;
-  it->second.health = InvokerHealth::kDraining;
+  if (id >= invokers_.size()) return;
+  InvokerEntry& entry = invokers_[id];
+  if (entry.health == InvokerHealth::kGone) return;
+  entry.health = InvokerHealth::kDraining;
+  healthy_dirty_ = true;
   move_backlog_to_fast_lane(id);
 }
 
 void Controller::deregister(InvokerId id) {
-  const auto it = invokers_.find(id);
-  if (it == invokers_.end()) return;
-  it->second.health = InvokerHealth::kGone;
+  if (id >= invokers_.size()) return;
+  invokers_[id].health = InvokerHealth::kGone;
+  healthy_dirty_ = true;
   // Any message published between drain and deregistration is rescued.
   move_backlog_to_fast_lane(id);
   // Graceful departure already released charges via the requeue path;
@@ -268,7 +276,7 @@ void Controller::deregister(InvokerId id) {
 }
 
 std::vector<ActivationId> Controller::move_backlog_to_fast_lane(InvokerId id) {
-  auto backlog = broker_.topic(invoker_topic_name(id)).drain();
+  auto backlog = invokers_[id].topic->drain();
   std::vector<ActivationId> rescued;
   rescued.reserve(backlog.size());
   for (auto& msg : backlog) {
@@ -370,23 +378,31 @@ std::size_t Controller::healthy_count() const {
 
 std::size_t Controller::count_with_health(InvokerHealth h) const {
   std::size_t n = 0;
-  for (const auto& [id, entry] : invokers_)
+  for (const InvokerEntry& entry : invokers_)
     if (entry.health == h) ++n;
   return n;
 }
 
 InvokerHealth Controller::invoker_health(InvokerId id) const {
-  const auto it = invokers_.find(id);
-  if (it == invokers_.end())
+  if (id >= invokers_.size())
     throw std::out_of_range("Controller::invoker_health: unknown id");
-  return it->second.health;
+  return invokers_[id].health;
 }
 
 std::vector<InvokerId> Controller::healthy_invokers() const {
-  std::vector<InvokerId> out;
-  for (const auto& [id, entry] : invokers_)
-    if (entry.health == InvokerHealth::kHealthy) out.push_back(id);
-  return out;
+  return healthy_view();
+}
+
+const std::vector<InvokerId>& Controller::healthy_view() const {
+  if (healthy_dirty_) {
+    healthy_cache_.clear();
+    for (std::size_t id = 0; id < invokers_.size(); ++id) {
+      if (invokers_[id].health == InvokerHealth::kHealthy)
+        healthy_cache_.push_back(static_cast<InvokerId>(id));
+    }
+    healthy_dirty_ = false;
+  }
+  return healthy_cache_;
 }
 
 ActivationRecord& Controller::record(ActivationId id) {
@@ -433,10 +449,9 @@ void Controller::finish(ActivationRecord& rec, ActivationState state) {
     config_.obs->metrics.histogram("whisk.activation.response_us")
         .observe(static_cast<double>(rec.response_time().ticks()));
   }
-  if (rec.routed_to != kNoInvoker) {
-    const auto it = invokers_.find(rec.routed_to);
-    if (it != invokers_.end() && it->second.in_flight > 0)
-      --it->second.in_flight;
+  if (rec.routed_to != kNoInvoker && rec.routed_to < invokers_.size() &&
+      invokers_[rec.routed_to].in_flight > 0) {
+    --invokers_[rec.routed_to].in_flight;
   }
   const auto evt = timeout_events_.find(rec.id);
   if (evt != timeout_events_.end()) {
@@ -477,10 +492,13 @@ void Controller::finish(ActivationRecord& rec, ActivationState state) {
 void Controller::watchdog_sweep() {
   const sim::SimTime deadline =
       config_.heartbeat_interval * config_.heartbeat_miss_limit;
-  for (auto& [id, entry] : invokers_) {
+  for (std::size_t i = 0; i < invokers_.size(); ++i) {
+    const InvokerId id = static_cast<InvokerId>(i);
+    InvokerEntry& entry = invokers_[i];
     if (entry.health != InvokerHealth::kHealthy) continue;
     if (sim_.now() - entry.last_heartbeat > deadline) {
       entry.health = InvokerHealth::kUnresponsive;
+      healthy_dirty_ = true;
       ++counters_.unresponsive_detected;
       HW_OBS_IF(config_.obs) {
         config_.obs->trace.record(

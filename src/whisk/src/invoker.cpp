@@ -35,7 +35,10 @@ void Invoker::start() {
   if (started_) throw std::logic_error("Invoker::start: already started");
   started_ = true;
   id_ = controller_.register_invoker();
-  own_topic_ = &broker_.topic(Controller::invoker_topic_name(id_));
+  // Both handles resolved once here; every poll tick afterwards is
+  // broker-free.
+  own_topic_ = broker_.resolve(Controller::invoker_topic_name(id_)).get();
+  fast_lane_ = &broker_.fast_lane();
   start_loops();
 }
 
@@ -49,6 +52,16 @@ void Invoker::poll() {
   if (draining_ || dead_) return;
   pool_.maintain_prewarm(sim_.now());
   // Fast lane first (highest priority), then the invoker's own topic.
+  // Steady state — both empty — is decided by two relaxed atomic loads:
+  // no topic locks, no allocation, on the simulation's most frequent
+  // event (every invoker, every poll tick).
+  mq::Topic& fast = *fast_lane_;
+  const bool fast_has = !fast.approx_empty();
+  const bool own_has = !own_topic_->approx_empty();
+  if (!fast_has && !own_has) {
+    dispatch_buffer();
+    return;
+  }
   std::size_t budget = config_.pull_batch;
   const std::size_t room =
       buffer_.size() >= config_.pull_batch * 4
@@ -59,26 +72,21 @@ void Invoker::poll() {
     dispatch_buffer();
     return;
   }
-  std::size_t remaining = budget;
-  for (auto& msg : broker_.fast_lane().poll(remaining)) {
+  pull_scratch_.clear();
+  const std::size_t from_fast =
+      fast_has ? fast.poll_into(budget, pull_scratch_) : 0;
+  if (from_fast < budget && own_has)
+    (void)own_topic_->poll_into(budget - from_fast, pull_scratch_);
+  for (std::size_t i = 0; i < pull_scratch_.size(); ++i) {
     HW_OBS_IF(config_.obs) {
       config_.obs->trace.record_chained(
           obs::Cat::kActivation, obs::Phase::kInstant, "pull",
-          obs::Track::kInvoker, id_, msg.id, sim_.now(), /*arg0=*/1.0);
+          obs::Track::kInvoker, id_, pull_scratch_[i].id, sim_.now(),
+          /*arg0=*/i < from_fast ? 1.0 : 0.0);
     }
-    buffer_.push_back(std::move(msg));
-    --remaining;
+    buffer_.push_back(std::move(pull_scratch_[i]));
   }
-  if (remaining > 0) {
-    for (auto& msg : own_topic_->poll(remaining)) {
-      HW_OBS_IF(config_.obs) {
-        config_.obs->trace.record_chained(
-            obs::Cat::kActivation, obs::Phase::kInstant, "pull",
-            obs::Track::kInvoker, id_, msg.id, sim_.now(), /*arg0=*/0.0);
-      }
-      buffer_.push_back(std::move(msg));
-    }
-  }
+  pull_scratch_.clear();
   dispatch_buffer();
 }
 

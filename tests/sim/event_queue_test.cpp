@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -114,6 +115,111 @@ TEST(EventQueue, SlotReuseKeepsIdsDistinct) {
   EXPECT_EQ(q.size(), 1u);
   EXPECT_TRUE(q.cancel(b));
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAllThenScheduleReusesFreeList) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 512; ++i)
+    ids.push_back(q.schedule(SimTime::micros(i), [] {}));
+  for (const EventId id : ids) ASSERT_TRUE(q.cancel(id));
+  ASSERT_TRUE(q.empty());
+  // Refilling after a full cancel must recycle the freed slab slots: the
+  // queue behaves exactly like a fresh one, stale ids stay dead, and the
+  // tombstone sweep left no residue that a new population could trip on.
+  std::vector<int> fired;
+  for (int i = 0; i < 512; ++i)
+    q.schedule(SimTime::micros(i), [&fired, i] { fired.push_back(i); });
+  EXPECT_EQ(q.size(), 512u);
+  for (const EventId stale : ids) EXPECT_FALSE(q.cancel(stale));
+  EXPECT_EQ(q.size(), 512u);
+  while (!q.empty()) q.pop().cb();
+  ASSERT_EQ(fired.size(), 512u);
+  for (int i = 0; i < 512; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, TombstoneBoundHoldsUnderAdversarialCancels) {
+  // Worst-case cancellation pressure: keep a rolling window of pending
+  // events and always cancel the oldest half, so tombstones are minted
+  // as fast as possible. After every operation the documented bound must
+  // hold: heap entries (incl. tombstones) <= max(live + 64, 2 * live),
+  // +1 slack for the entry being sifted during the triggering insert.
+  EventQueue q;
+  const auto check_bound = [&q] {
+    const std::size_t live = q.size();
+    const std::size_t bound = std::max(live + 64, 2 * live) + 1;
+    EXPECT_LE(q.heap_entries(), bound) << "live=" << live;
+  };
+  std::vector<EventId> window;
+  std::int64_t t = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      window.push_back(q.schedule(SimTime::micros(t++), [] {}));
+      check_bound();
+    }
+    const std::size_t half = window.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      ASSERT_TRUE(q.cancel(window[i]));
+      check_bound();
+    }
+    window.erase(window.begin(),
+                 window.begin() + static_cast<std::ptrdiff_t>(half));
+  }
+  // Drain what's left; the live events must all still fire.
+  std::size_t fired = 0;
+  while (!q.empty()) {
+    q.pop().cb();
+    ++fired;
+    check_bound();
+  }
+  EXPECT_EQ(fired, window.size());
+}
+
+TEST(EventQueue, PopBatchKeepsFifoAcrossCompaction) {
+  EventQueue q;
+  // A same-deadline run of 100, plus enough cancellable filler to force
+  // a tombstone compaction while the run is still pending.
+  std::vector<int> fired;
+  for (int i = 0; i < 100; ++i)
+    q.schedule(SimTime::seconds(1), [&fired, i] { fired.push_back(i); });
+  std::vector<EventId> filler;
+  for (int i = 0; i < 400; ++i)
+    filler.push_back(q.schedule(SimTime::seconds(2), [] {}));
+  for (const EventId id : filler) ASSERT_TRUE(q.cancel(id));
+  // 400 tombstones against 100 live guarantees a compaction happened.
+  ASSERT_LE(q.heap_entries(), 2 * q.size() + 65);
+
+  std::vector<EventQueue::Popped> out;
+  std::size_t claimed = q.pop_batch(64, out);
+  EXPECT_EQ(claimed, 64u);
+
+  // Force a second compaction between the two batch claims, with the
+  // tail of the run still in the heap.
+  filler.clear();
+  for (int i = 0; i < 400; ++i)
+    filler.push_back(q.schedule(SimTime::seconds(3), [] {}));
+  for (const EventId id : filler) ASSERT_TRUE(q.cancel(id));
+
+  claimed += q.pop_batch(64, out);
+  EXPECT_EQ(claimed, 100u);
+  for (auto& p : out) {
+    EXPECT_EQ(p.when, SimTime::seconds(1));
+    p.cb();
+  }
+  ASSERT_EQ(fired.size(), 100u);
+  // FIFO must survive both compactions: schedule order, exactly.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, PopBatchStopsAtDeadlineBoundary) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(SimTime::seconds(1), [] {});
+  q.schedule(SimTime::seconds(2), [] {});
+  std::vector<EventQueue::Popped> out;
+  // max_n exceeds the run length: only the same-deadline run is claimed.
+  EXPECT_EQ(q.pop_batch(100, out), 5u);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), SimTime::seconds(2));
 }
 
 TEST(EventQueue, ManyInterleavedCancellations) {

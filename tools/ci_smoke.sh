@@ -190,6 +190,43 @@ fi
 # repo root for the non-sanitizer run, where timings are meaningful).
 echo "== perf baseline =="
 HW_PERF_OUT="$BUILD_DIR/BENCH_perf.json" "$BUILD_DIR"/bench/perf_report
+
+# Schema + floor validation: the JSON must carry the alloc-probe fields,
+# steady-state allocations must stay below 0.1/event, and a quick-mode
+# run on an unloaded host must clear 3M events/s (the post-overhaul hot
+# path does >9M; 3M is the regression tripwire, with headroom for noisy
+# shared CI hosts). Sanitizer builds check schema only — their timings
+# and allocation profiles measure the sanitizer, not the simulator.
+python3 - "$BUILD_DIR/BENCH_perf.json" "${SANITIZE:-0}" <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+sanitize = sys.argv[2] == "1"
+for key in ("bench", "quick", "alloc_probe", "hw_threads", "experiments",
+            "sweep"):
+    assert key in report, f"BENCH_perf.json missing key {key!r}"
+assert report["experiments"], "BENCH_perf.json has no experiments"
+for exp in report["experiments"]:
+    for key in ("name", "wall_s", "events", "events_per_sec",
+                "events_in_window", "allocs_in_window", "allocs_per_event"):
+        assert key in exp, f"experiment {exp.get('name')} missing {key!r}"
+sweep = report["sweep"]
+assert sweep["outputs_identical"] is True, "sweep outputs diverged"
+if sweep.get("speedup_skipped"):
+    assert sweep.get("speedup_skipped_reason"), "skipped speedup needs a reason"
+else:
+    assert isinstance(sweep.get("speedup"), (int, float)), "speedup missing"
+if not sanitize:
+    assert report["alloc_probe"] is True, "perf_report lost the alloc probe"
+    for exp in report["experiments"]:
+        ape = exp["allocs_per_event"]
+        assert ape < 0.1, f"{exp['name']}: {ape:.3f} allocs/event (floor 0.1)"
+    if report["quick"]:
+        best = max(e["events_per_sec"] for e in report["experiments"])
+        assert best >= 3e6, f"best experiment {best:.3g} events/s < 3M floor"
+        print(f"perf floors OK (best {best / 1e6:.1f}M events/s)")
+print("BENCH_perf.json schema OK")
+PYEOF
+
 if [[ "${SANITIZE:-0}" != "1" ]]; then
   cp "$BUILD_DIR/BENCH_perf.json" BENCH_perf.json
 fi
