@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_json.hpp"
 #include "common/experiment.hpp"
 
 using namespace hpcwhisk;
@@ -256,11 +257,8 @@ int main() {
       rows);
 
   std::ofstream json{out_path};
-  json << "{\n"
-       << "  \"bench\": \"ablation_routing\",\n"
-       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
-       << "  \"seed\": " << base_seed << ",\n"
-       << "  \"trials\": " << trials << ",\n"
+  bench::write_meta_header(json, "ablation_routing", quick, base_seed);
+  json << "  \"trials\": " << trials << ",\n"
        << "  \"long_share\": " << fmt_num(kLongShare) << ",\n"
        << "  \"long_duration_s\": " << kLongDurationS << ",\n"
        << "  \"legs\": [\n";

@@ -1,0 +1,17 @@
+#include "common/bench_json.hpp"
+
+#include <thread>
+
+namespace hpcwhisk::bench {
+
+void write_meta_header(std::ostream& os, const char* bench, bool quick,
+                       std::uint64_t seed) {
+  os << "{\n"
+     << "  \"schema_version\": " << kBenchSchemaVersion << ",\n"
+     << "  \"bench\": \"" << bench << "\",\n"
+     << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+     << "  \"seed\": " << seed << ",\n"
+     << "  \"hw_threads\": " << std::thread::hardware_concurrency() << ",\n";
+}
+
+}  // namespace hpcwhisk::bench

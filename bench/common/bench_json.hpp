@@ -1,0 +1,30 @@
+#pragma once
+// Common metadata header for every BENCH_*.json artifact. tools/bench_diff
+// keys on these fields: it refuses to diff reports whose schema_version or
+// bench name differ, and uses quick/seed/hw_threads to annotate verdicts.
+//
+// Bump kBenchSchemaVersion whenever the meaning of an existing metric
+// changes (adding new keys is backwards-compatible and needs no bump).
+
+#include <cstdint>
+#include <ostream>
+
+namespace hpcwhisk::bench {
+
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// Writes the opening brace plus the common metadata keys, leaving the
+/// stream ready for the bench-specific body:
+///
+///   {
+///     "schema_version": 2,
+///     "bench": "<name>",
+///     "quick": <bool>,
+///     "seed": <n>,
+///     "hw_threads": <hardware_concurrency>,
+///
+/// Callers append their own keys and the closing brace.
+void write_meta_header(std::ostream& os, const char* bench, bool quick,
+                       std::uint64_t seed);
+
+}  // namespace hpcwhisk::bench

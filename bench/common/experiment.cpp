@@ -107,6 +107,88 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   result.workload->start();
   if (cfg.pilots.has_value()) system.start();
 
+  // Time-series tier: sampled signals registered against the recorder,
+  // polled by the existing 10 s OW sampler below. Sampling must never
+  // schedule its own events — the executed-event count is part of the
+  // decision log, so an obs-only event would break traced/untraced
+  // identity.
+  if (result.obs != nullptr) {
+    obs::TimeSeriesRecorder& ts = result.obs->series;
+    slurm::Slurmctld* ctld = &system.slurm();
+    core::JobManager* mgr = &system.manager();
+    whisk::Controller* ctrl = &system.controller();
+    // Node timeline: the idle-capacity signal a predictive pilot supply
+    // would forecast from (ROADMAP item 5).
+    ts.add_sampled("slurm.nodes_idle", [ctld] {
+      return static_cast<double>(ctld->state_totals().idle);
+    });
+    ts.add_sampled("slurm.nodes_hpc", [ctld] {
+      return static_cast<double>(ctld->state_totals().hpc);
+    });
+    ts.add_sampled("slurm.nodes_pilot", [ctld] {
+      return static_cast<double>(ctld->state_totals().pilot);
+    });
+    ts.add_sampled("slurm.nodes_available", [ctld] {
+      return static_cast<double>(ctld->state_totals().available());
+    });
+    // Pilot phases and harvest accumulation.
+    ts.add_sampled("pilot.warming", [mgr] {
+      return static_cast<double>(mgr->phase_counts().warming_up);
+    });
+    ts.add_sampled("pilot.serving", [mgr] {
+      return static_cast<double>(mgr->phase_counts().serving);
+    });
+    ts.add_sampled("pilot.draining", [mgr] {
+      return static_cast<double>(mgr->phase_counts().draining);
+    });
+    ts.add_sampled("harvest.harvested_node_s", [mgr] {
+      return mgr->harvest().harvested.to_seconds();
+    });
+    ts.add_sampled("harvest.preempt_wasted_s", [mgr] {
+      return mgr->harvest().preempt_wasted.to_seconds();
+    });
+    // Container-pool occupancy across serving invokers.
+    ts.add_sampled("pool.containers_total", [mgr] {
+      double n = 0;
+      for (const whisk::Invoker* inv : mgr->serving_invokers())
+        n += static_cast<double>(inv->pool().total_containers());
+      return n;
+    });
+    ts.add_sampled("pool.containers_busy", [mgr] {
+      double n = 0;
+      for (const whisk::Invoker* inv : mgr->serving_invokers())
+        n += static_cast<double>(inv->pool().busy_containers());
+      return n;
+    });
+    ts.add_sampled("pool.prewarmed", [mgr] {
+      double n = 0;
+      for (const whisk::Invoker* inv : mgr->serving_invokers())
+        n += static_cast<double>(inv->pool().prewarmed_containers());
+      return n;
+    });
+    // Invoker load as the controller sees it.
+    ts.add_sampled("whisk.inflight", [ctrl] {
+      return static_cast<double>(ctrl->total_in_flight());
+    });
+    ts.add_sampled("whisk.queue_depth", [ctrl] {
+      return static_cast<double>(ctrl->queued_messages());
+    });
+    ts.add_sampled("whisk.healthy_invokers", [ctrl] {
+      return static_cast<double>(ctrl->healthy_count());
+    });
+    // Cumulative cold/warm counts: registry counters are shared by name
+    // across invokers, so they survive pilot churn (lease-tier signal,
+    // ROADMAP item 3).
+    obs::Counter* cold = &result.obs->metrics.counter("whisk.invoker.cold_starts");
+    obs::Counter* warm = &result.obs->metrics.counter("whisk.invoker.warm_hits");
+    ts.add_sampled("whisk.cold_starts_total", [cold] {
+      return static_cast<double>(cold->value());
+    });
+    ts.add_sampled("whisk.warm_hits_total", [warm] {
+      return static_cast<double>(warm->value());
+    });
+  }
+
   // Steady-state window baseline: captured when the clock crosses into
   // the measured window, so burn-in (slab growth, topic creation, scratch
   // sizing) doesn't count against allocs-per-event.
@@ -123,16 +205,20 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   auto ow_samples = std::make_shared<std::vector<ExperimentResult::OwSample>>();
   const sim::SimTime measure_end = result.measure_end;
   if (cfg.pilots.has_value()) {
+    obs::Observability* obs = result.obs.get();
     simulation.at(result.measure_start, [&simulation, &system, ow_samples,
-                                         measure_end] {
+                                         measure_end, obs] {
       auto sampler = std::make_shared<sim::PeriodicHandle>();
       *sampler = simulation.every(
           sim::SimTime::seconds(10),
-          [&simulation, &system, ow_samples, measure_end, sampler] {
+          [&simulation, &system, ow_samples, measure_end, sampler, obs] {
             if (simulation.now() > measure_end) {
               sampler->stop();
               return;
             }
+            // Piggyback the time-series sweep on this pre-existing tick:
+            // it runs identically with obs off, so event counts match.
+            if (obs != nullptr) obs->series.sample_all(simulation.now());
             ExperimentResult::OwSample s;
             s.at = simulation.now();
             const auto phases = system.manager().phase_counts();

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_json.hpp"
 #include "common/experiment.hpp"
 #include "hpcwhisk/fed/federated_gateway.hpp"
 
@@ -330,11 +331,8 @@ int main() {
       rows);
 
   std::ofstream json{out_path};
-  json << "{\n"
-       << "  \"bench\": \"federation\",\n"
-       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
-       << "  \"seed\": " << base_seed << ",\n"
-       << "  \"trials\": " << trials << ",\n"
+  bench::write_meta_header(json, "federation", quick, base_seed);
+  json << "  \"trials\": " << trials << ",\n"
        << "  \"total_nodes\": " << (quick ? 24 : 48) << ",\n"
        << "  \"legs\": [\n";
   for (std::size_t i = 0; i < legs.size(); ++i) {

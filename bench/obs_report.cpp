@@ -15,19 +15,26 @@
 //    python3 when available).
 //
 //   HW_BENCH_QUICK=1        quarter-scale run (CI smoke)
+//   HW_OBS_REPS=<n>         timed reps per arm, best-of (default 5)
 //   HW_SEED=<n>             base RNG seed (default 1)
 //   HW_OBS_OUT=<p>          report path (default BENCH_obs.json)
 //   HW_OBS_TRACE_OUT=<p>    Perfetto trace path (default obs_trace.json)
 //   HW_OBS_METRICS_OUT=<p>  metrics JSONL path (default obs_metrics.jsonl)
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <ctime>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <string_view>
 
+#include "common/bench_json.hpp"
 #include "common/experiment.hpp"
 #include "hpcwhisk/obs/export.hpp"
 
@@ -37,8 +44,22 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
+/// Process CPU seconds when the platform has them, wall seconds
+/// otherwise. The overhead ratio below divides two of these, so what
+/// matters is that both arms use the same clock; CPU time is preferred
+/// because it does not charge either arm for time stolen by other
+/// tenants of the host — on a busy single-core box wall-clock noise
+/// can exceed the instrumentation cost being measured.
+double now_seconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
 }
 
 /// Everything behavioral about a finished run, serialized in a fixed
@@ -92,15 +113,32 @@ struct RunOutcome {
   std::size_t log_bytes{0};
 };
 
-RunOutcome run(const bench::ExperimentConfig& cfg) {
-  RunOutcome out;
-  const auto start = Clock::now();
+/// One timed rep: re-runs the experiment, keeps the fastest wall time
+/// seen so far and the latest result (the sim is deterministic, so every
+/// rep's result is byte-identical — only the wall time varies with host
+/// noise). Best-of-N is the standard single-core noise killer: OS jitter
+/// only ever adds time, so the minimum is the closest estimate of the
+/// true cost of the run.
+void measure_rep(RunOutcome& out, const bench::ExperimentConfig& cfg,
+                 int rep) {
+  {
+    // Free the prior rep untimed. Move it out and let the destructor
+    // run: member destruction order (reverse declaration) keeps obs
+    // alive until after the system — pilot teardown records into it.
+    // A plain `out.result = {}` would member-assign in declaration
+    // order and free obs first.
+    const bench::ExperimentResult dead = std::move(out.result);
+  }
+  const double start = now_seconds();
   out.result = bench::run_experiment(cfg);
-  out.wall_s = seconds_since(start);
+  const double wall = now_seconds() - start;
+  if (rep == 0 || wall < out.wall_s) out.wall_s = wall;
+}
+
+void finalize_log(RunOutcome& out) {
   const std::string log = decision_log(out.result);
   out.log_hash = obs::fnv1a(log);
   out.log_bytes = log.size();
-  return out;
 }
 
 std::string fmt_num(double v) {
@@ -117,6 +155,16 @@ const char* env_or(const char* name, const char* fallback) {
 }  // namespace
 
 int main() {
+#if defined(__GLIBC__)
+  // Keep the trace buffer's large allocation on the heap between reps.
+  // By default glibc mmap()s blocks this size and returns them to the
+  // OS on free (and trims the heap top), so every traced rep would
+  // re-pay tens of thousands of soft page faults plus ~64 MB of kernel
+  // zero-fill inside the timed window — first-touch cost, not
+  // instrumentation cost, which is what this bench measures.
+  mallopt(M_MMAP_THRESHOLD, 1 << 30);
+  mallopt(M_TRIM_THRESHOLD, 1 << 30);
+#endif
   const bool quick = std::getenv("HW_BENCH_QUICK") != nullptr;
   const std::string out_path = env_or("HW_OBS_OUT", "BENCH_obs.json");
   const std::string trace_path = env_or("HW_OBS_TRACE_OUT", "obs_trace.json");
@@ -135,16 +183,28 @@ int main() {
   cfg.faas_long_duration = sim::SimTime::seconds(45);
   cfg = bench::apply_env(cfg);
   cfg.trace_capacity = quick ? (1u << 21) : (1u << 23);
+  if (std::getenv("HW_OBS_DIAG_TINY_TRACE") != nullptr) cfg.trace_capacity = 1;
 
   bench::ExperimentConfig untraced_cfg = cfg;
   untraced_cfg.observe = false;
   bench::ExperimentConfig traced_cfg = cfg;
   traced_cfg.observe = true;
 
-  std::cout << "untraced run...\n";
-  const RunOutcome untraced = run(untraced_cfg);
-  std::cout << "traced run...\n";
-  const RunOutcome traced = run(traced_cfg);
+  // Interleave the arms rep by rep so slow host drift (thermal,
+  // background load) hits both equally instead of biasing whichever arm
+  // runs last; best-of within each arm then strips the additive noise.
+  const char* reps_env = std::getenv("HW_OBS_REPS");
+  const int reps = reps_env != nullptr ? std::max(1, std::atoi(reps_env)) : 5;
+  RunOutcome untraced;
+  RunOutcome traced;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::cout << "rep " << (rep + 1) << "/" << reps << ": untraced...\n";
+    measure_rep(untraced, untraced_cfg, rep);
+    std::cout << "rep " << (rep + 1) << "/" << reps << ": traced...\n";
+    measure_rep(traced, traced_cfg, rep);
+  }
+  finalize_log(untraced);
+  finalize_log(traced);
 
   const bool logs_identical = untraced.log_hash == traced.log_hash &&
                               untraced.log_bytes == traced.log_bytes;
@@ -202,12 +262,19 @@ int main() {
   const double traced_overhead =
       untraced_eps > 0 ? 1.0 - traced_eps / untraced_eps : 0.0;
 
+  // Harvest-efficiency ledger of the traced run (identical to the
+  // untraced one: the decision-log hash above covers slurm counters).
+  const core::JobManager::HarvestStats& hv =
+      traced.result.system->manager().harvest();
+  sim::SimTime cloud_offload;
+  for (const cloud::LambdaService::InvocationRecord& inv :
+       traced.result.system->commercial().invocations()) {
+    cloud_offload += inv.internal_duration;
+  }
+
   std::ofstream json{out_path};
-  json << "{\n"
-       << "  \"bench\": \"obs_report\",\n"
-       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
-       << "  \"seed\": " << cfg.seed << ",\n"
-       << "  \"events\": " << events << ",\n"
+  bench::write_meta_header(json, "obs_report", quick, cfg.seed);
+  json << "  \"events\": " << events << ",\n"
        << "  \"untraced_events_per_sec\": " << fmt_num(untraced_eps) << ",\n"
        << "  \"traced_events_per_sec\": " << fmt_num(traced_eps) << ",\n"
        << "  \"traced_overhead\": " << fmt_num(traced_overhead) << ",\n"
@@ -223,6 +290,19 @@ int main() {
        << ",\n"
        << "  \"metric_instruments\": "
        << traced.result.obs->metrics.instrument_count() << ",\n"
+       << "  \"harvest\": {"
+       << "\"harvested_node_s\": " << fmt_num(hv.harvested.to_seconds())
+       << ", \"warmup_overhead_s\": " << fmt_num(hv.warmup_overhead.to_seconds())
+       << ", \"drain_overhead_s\": " << fmt_num(hv.drain_overhead.to_seconds())
+       << ", \"preempt_wasted_s\": " << fmt_num(hv.preempt_wasted.to_seconds())
+       << ", \"efficiency\": " << fmt_num(hv.efficiency())
+       << ", \"pilots_served\": " << hv.pilots_served
+       << ", \"pilots_never_served\": " << hv.pilots_never_served
+       << ", \"cloud_offload_s\": " << fmt_num(cloud_offload.to_seconds())
+       << "},\n"
+       << "  \"timeseries\": {"
+       << "\"series\": " << traced.result.obs->series.series().size()
+       << ", \"sweeps\": " << traced.result.obs->series.sweeps() << "},\n"
        << "  \"perfetto_valid\": " << (perfetto_valid ? "true" : "false")
        << "\n}\n";
   json.close();
@@ -240,7 +320,15 @@ int main() {
             << " ev/s, traced " << fmt_num(traced_eps) << " ev/s (overhead "
             << fmt_num(traced_overhead * 100.0) << "%)\n"
             << "perfetto JSON: " << (perfetto_valid ? "valid" : "INVALID")
-            << "\nwrote " << out_path << ", " << trace_path << ", "
+            << "\nharvest: " << fmt_num(hv.harvested.to_seconds())
+            << " node-s served FaaS at efficiency " << fmt_num(hv.efficiency())
+            << " (" << hv.pilots_served << " pilots served, "
+            << hv.pilots_never_served << " wasted), cloud offload "
+            << fmt_num(cloud_offload.to_seconds()) << " s\n"
+            << "timeseries: " << traced.result.obs->series.series().size()
+            << " series over " << traced.result.obs->series.sweeps()
+            << " sweeps\n"
+            << "wrote " << out_path << ", " << trace_path << ", "
             << metrics_path << "\n";
 
   const bool ok = logs_identical && rerouted && perfetto_valid;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/alloc_probe.hpp"
+#include "common/bench_json.hpp"
 #include "common/experiment.hpp"
 
 using namespace hpcwhisk;
@@ -183,13 +184,10 @@ int main() {
                              : 0.0;
 
   std::ofstream json{out_path};
-  json << "{\n"
-       << "  \"bench\": \"perf_report\",\n"
-       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
-       << "  \"reps\": " << reps << ",\n"
+  bench::write_meta_header(json, "perf_report", quick, sweep_base.seed);
+  json << "  \"reps\": " << reps << ",\n"
        << "  \"alloc_probe\": "
        << (bench::alloc_probe_enabled() ? "true" : "false") << ",\n"
-       << "  \"hw_threads\": " << std::thread::hardware_concurrency() << ",\n"
        << "  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << ",\n"
        << "  \"jobs\": " << exec::job_count() << ",\n"

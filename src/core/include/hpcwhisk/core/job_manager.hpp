@@ -131,6 +131,34 @@ class JobManager {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  /// Harvest-efficiency ledger (Sec. I's value proposition, made
+  /// measurable): how much of the node time pilots occupied actually
+  /// served FaaS, and where the rest went. Pilots are single-node, so
+  /// occupied time IS node time. Accrued when a pilot ends.
+  struct HarvestStats {
+    /// Registration -> drain start (or end, if no SIGTERM arrived):
+    /// node-time an invoker was accepting and executing work.
+    sim::SimTime harvested;
+    /// Boot -> registration, for pilots that reached serving.
+    sim::SimTime warmup_overhead;
+    /// SIGTERM -> Slurm-job end, for pilots that drained.
+    sim::SimTime drain_overhead;
+    /// Whole lifetime of pilots preempted/killed before ever serving —
+    /// node-time spent warming up for nothing.
+    sim::SimTime preempt_wasted;
+    std::uint64_t pilots_served{0};
+    std::uint64_t pilots_never_served{0};
+
+    /// harvested / (harvested + all overheads); 0 when nothing accrued.
+    [[nodiscard]] double efficiency() const {
+      const double total = (harvested + warmup_overhead + drain_overhead +
+                            preempt_wasted)
+                               .to_seconds();
+      return total > 0 ? harvested.to_seconds() / total : 0.0;
+    }
+  };
+  [[nodiscard]] const HarvestStats& harvest() const { return harvest_; }
+
   /// Serving durations of finished pilots, for the "ready time" stats of
   /// Tables II/III (median ~11 min for fib, ~7 min for var).
   [[nodiscard]] const std::vector<sim::SimTime>& serving_durations() const {
@@ -175,6 +203,7 @@ class JobManager {
   std::size_t adaptations_{0};
   std::size_t adapt_consumed_{0};  ///< serving samples already used
   Counters counters_;
+  HarvestStats harvest_;
   std::vector<sim::SimTime> serving_durations_;
   std::vector<sim::SimTime> warmup_durations_;
 };

@@ -61,6 +61,9 @@ class PilotJob {
   [[nodiscard]] slurm::JobId slurm_job() const { return slurm_job_; }
   [[nodiscard]] sim::SimTime started_at() const { return started_at_; }
   [[nodiscard]] sim::SimTime serving_since() const { return serving_since_; }
+  /// When the serving->draining transition happened (zero if the pilot
+  /// never drained — hard kill, or SIGTERM during warm-up).
+  [[nodiscard]] sim::SimTime draining_since() const { return draining_since_; }
 
  private:
   sim::Simulation& sim_;
@@ -71,6 +74,7 @@ class PilotJob {
   sim::EventId warmup_event_;
   sim::SimTime started_at_;
   sim::SimTime serving_since_;
+  sim::SimTime draining_since_;
   obs::Observability* obs_{nullptr};
 };
 

@@ -60,6 +60,17 @@ JobManager::JobManager(sim::Simulation& simulation, slurm::Slurmctld& slurmctld,
       m.counter("pilot.hard_killed").set(counters_.hard_killed);
       m.gauge("pilot.active").set(static_cast<double>(pilots_.size()));
       m.gauge("pilot.queued").set(static_cast<double>(queued_.size()));
+      m.gauge("harvest.harvested_node_s").set(harvest_.harvested.to_seconds());
+      m.gauge("harvest.warmup_overhead_s")
+          .set(harvest_.warmup_overhead.to_seconds());
+      m.gauge("harvest.drain_overhead_s")
+          .set(harvest_.drain_overhead.to_seconds());
+      m.gauge("harvest.preempt_wasted_s")
+          .set(harvest_.preempt_wasted.to_seconds());
+      m.gauge("harvest.efficiency").set(harvest_.efficiency());
+      m.counter("harvest.pilots_served").set(harvest_.pilots_served);
+      m.counter("harvest.pilots_never_served")
+          .set(harvest_.pilots_never_served);
     });
   }
 }
@@ -260,6 +271,20 @@ void JobManager::on_pilot_end(const slurm::JobRecord& rec,
       config_.obs->metrics.histogram("pilot.serving_min")
           .observe(served.to_minutes());
     }
+    // Harvest ledger: serving time up to the drain hand-off is harvested
+    // node-time; warm-up and drain bracket it as overhead.
+    ++harvest_.pilots_served;
+    const bool drained = pilot.draining_since() > sim::SimTime::zero();
+    const sim::SimTime drain_start =
+        drained ? pilot.draining_since() : sim_.now();
+    harvest_.harvested += drain_start - pilot.serving_since();
+    harvest_.warmup_overhead += pilot.serving_since() - pilot.started_at();
+    if (drained) harvest_.drain_overhead += sim_.now() - pilot.draining_since();
+  } else {
+    // Preempted/killed before registering: its whole allocation warmed
+    // up for nothing.
+    ++harvest_.pilots_never_served;
+    harvest_.preempt_wasted += sim_.now() - pilot.started_at();
   }
   HW_OBS_IF(config_.obs) {
     config_.obs->trace.record_chained(

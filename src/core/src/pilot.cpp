@@ -52,6 +52,7 @@ void PilotJob::on_sigterm() {
       return;
     case Phase::kServing: {
       phase_ = Phase::kDraining;
+      draining_since_ = sim_.now();
       invoker_->sigterm([this] {
         if (phase_ != Phase::kDraining) return;
         phase_ = Phase::kExited;

@@ -1,0 +1,70 @@
+#pragma once
+// Scheduling-decision explainability: one structured "why" record per
+// routing decision made by a data-driven policy — the policy name, the
+// duration prediction, the backlog charge it saw, warm/cold expectation,
+// and the runner-up it rejected. The records answer the question traces
+// cannot ("why THIS invoker?") and are exportable as JSONL
+// (obs::write_decisions_jsonl) for offline scheduler forensics.
+//
+// Recording is observation only: the controller copies an already-made
+// sched::CallScheduler::Decision here, so the store can never perturb a
+// choice — decision-log hashes stay identical with obs on and off. The
+// buffer is bounded; past capacity, records drop (counted), matching the
+// TraceCollector contract.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hpcwhisk/sim/time.hpp"
+
+namespace hpcwhisk::obs {
+
+struct RouteDecision {
+  /// Sentinel worker id: no runner-up existed (single candidate).
+  static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+  std::uint64_t call{0};  ///< activation id
+  sim::SimTime at;
+  /// to_string(RouteMode) spelling; must point at static storage.
+  const char* policy{"?"};
+  std::string function;
+  std::uint32_t chosen{0};
+  std::uint32_t runner_up{kNone};
+  std::uint32_t candidates{0};  ///< healthy invokers considered
+  std::int64_t predicted_ticks{0};       ///< bare duration prediction
+  std::int64_t chosen_cost_ticks{0};     ///< backlog + duration (+ cold)
+  std::int64_t runner_up_cost_ticks{0};  ///< same, for the rejected pick
+  std::int64_t backlog_ticks{0};  ///< chosen worker's charge at decision
+  bool expected_cold{false};
+  bool short_class{false};
+};
+
+class DecisionLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit DecisionLog(std::size_t capacity = kDefaultCapacity)
+      : capacity_{capacity} {}
+
+  DecisionLog(const DecisionLog&) = delete;
+  DecisionLog& operator=(const DecisionLog&) = delete;
+
+  void record(RouteDecision d);
+
+  [[nodiscard]] const std::vector<RouteDecision>& decisions() const {
+    return decisions_;
+  }
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<RouteDecision> decisions_;
+  std::uint64_t recorded_{0};
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace hpcwhisk::obs

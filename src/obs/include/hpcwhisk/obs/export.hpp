@@ -16,7 +16,9 @@
 #include <iosfwd>
 #include <string>
 
+#include "hpcwhisk/obs/decisions.hpp"
 #include "hpcwhisk/obs/metrics.hpp"
+#include "hpcwhisk/obs/timeseries.hpp"
 #include "hpcwhisk/obs/trace.hpp"
 
 namespace hpcwhisk::obs {
@@ -33,6 +35,17 @@ void write_perfetto_json(std::ostream& os, const TraceCollector& trace,
 /// Call metrics.collect() first if collectors are registered.
 void write_metrics_jsonl(std::ostream& os, const MetricsRegistry& metrics,
                          const ExportInfo& info = {});
+
+/// One JSON object per series: name, stride, total raw observations and
+/// the stored samples as [at_us, mean, min, max, count] tuples. Leading
+/// line mirrors write_metrics_jsonl's "_run" info record.
+void write_timeseries_jsonl(std::ostream& os, const TimeSeriesRecorder& series,
+                            const ExportInfo& info = {});
+
+/// One JSON object per routing decision (record order == decision
+/// order); leading "_run" info line carries recorded/dropped totals.
+void write_decisions_jsonl(std::ostream& os, const DecisionLog& decisions,
+                           const ExportInfo& info = {});
 
 /// Minimal structural validation of an exported Perfetto JSON document:
 /// balanced braces/brackets outside strings and the required top-level

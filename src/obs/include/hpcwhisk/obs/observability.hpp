@@ -22,7 +22,9 @@
 // site into `if constexpr (false)`, removing even the branch while still
 // type-checking the body.
 
+#include "hpcwhisk/obs/decisions.hpp"
 #include "hpcwhisk/obs/metrics.hpp"
+#include "hpcwhisk/obs/timeseries.hpp"
 #include "hpcwhisk/obs/trace.hpp"
 
 #ifndef HPCWHISK_OBS_COMPILED
@@ -40,16 +42,27 @@ namespace hpcwhisk::obs {
 struct Observability {
   struct Config {
     std::size_t trace_capacity{TraceCollector::kDefaultCapacity};
+    /// Stored points per time series before downsampling (tier 2).
+    std::size_t series_capacity{TimeSeriesRecorder::kDefaultCapacity};
+    /// Routing "why" records kept before counted drops (tier 2).
+    std::size_t decision_capacity{DecisionLog::kDefaultCapacity};
   };
 
   Observability() : Observability(Config{}) {}
-  explicit Observability(Config config) : trace{config.trace_capacity} {}
+  explicit Observability(Config config)
+      : trace{config.trace_capacity},
+        series{config.series_capacity},
+        decisions{config.decision_capacity} {}
 
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;
 
   TraceCollector trace;
   MetricsRegistry metrics;
+  /// Sim-time series (sampled by the run's owner, never by obs events).
+  TimeSeriesRecorder series;
+  /// Per-routing-decision explainability records.
+  DecisionLog decisions;
 };
 
 }  // namespace hpcwhisk::obs

@@ -1,0 +1,118 @@
+#pragma once
+// Sim-time series: the second observability tier. Where MetricsRegistry
+// answers "how much in total" at end of run, a Series answers "when" —
+// the utilization/responsiveness time profiles of the paper's Figs. 1,
+// 5b and 6b (idle/busy/pilot node counts, container-pool occupancy,
+// invoker in-flight and queue depth, cumulative harvested node-seconds).
+//
+// Memory is bounded: each series holds at most `capacity` stored
+// samples. When a series overflows, adjacent samples are pairwise-merged
+// (count-weighted mean, min of mins, max of maxes) and the effective
+// stride doubles — an unbounded run degrades resolution, never memory.
+// Sampling is driven by the *owner* (benches reuse their existing
+// periodic sampler), never by obs-scheduled events: a simulation's
+// executed-event count is part of the decision log, so the recorder must
+// not perturb it. Everything is deterministic for a seeded run.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hpcwhisk/sim/time.hpp"
+
+namespace hpcwhisk::obs {
+
+/// One stored point: a raw observation, or — after downsampling — the
+/// count-weighted merge of `count` consecutive raw observations starting
+/// at `at`.
+struct Sample {
+  sim::SimTime at;
+  double mean{0};
+  double min{0};
+  double max{0};
+  std::uint32_t count{0};
+};
+
+/// One bounded, self-downsampling signal.
+class Series {
+ public:
+  Series(std::string name, std::size_t capacity);
+
+  /// Appends one raw observation. Observations must arrive in
+  /// non-decreasing `at` order (the recorder's sweep guarantees it).
+  void append(sim::SimTime at, double v);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  /// Raw observations folded into each *full* stored sample (1, 2, 4...);
+  /// the tail sample may still be filling.
+  [[nodiscard]] std::uint32_t stride() const { return stride_; }
+  /// Total raw observations ever appended (survives downsampling).
+  [[nodiscard]] std::uint64_t appended() const { return appended_; }
+  [[nodiscard]] double last() const {
+    return samples_.empty() ? 0.0 : samples_.back().mean;
+  }
+
+ private:
+  /// Pairwise-merges adjacent samples and doubles the stride.
+  void compact();
+
+  std::string name_;
+  std::size_t capacity_;
+  std::uint32_t stride_{1};
+  std::uint64_t appended_{0};
+  std::vector<Sample> samples_;
+};
+
+/// Registry of series plus polled samplers. Components (or the bench
+/// driver) register a sampler once; the owner of the clock calls
+/// sample_all() at its chosen cadence and every polled series gets one
+/// observation. Manual series skip the polling and are appended to
+/// directly (cumulative signals with their own event cadence).
+class TimeSeriesRecorder {
+ public:
+  using SeriesId = std::size_t;
+  using Sampler = std::function<double()>;
+
+  /// Stored samples per series before downsampling kicks in. 512 points
+  /// cover a 24 h day at 10 s cadence with stride 32 — 16 KB per series.
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  explicit TimeSeriesRecorder(std::size_t capacity = kDefaultCapacity)
+      : capacity_{capacity < 2 ? 2 : capacity} {}
+
+  TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
+  TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
+
+  /// Registers a manually-appended series.
+  SeriesId add_series(std::string name);
+  /// Registers a series polled by sample_all(). The sampler must not
+  /// outlive the component it captures.
+  SeriesId add_sampled(std::string name, Sampler fn);
+
+  void append(SeriesId id, sim::SimTime at, double v);
+
+  /// Polls every sampled series once, stamped `now`.
+  void sample_all(sim::SimTime now);
+
+  [[nodiscard]] const Series* find(std::string_view name) const;
+  /// Registration order (deterministic for exporters).
+  [[nodiscard]] const std::vector<Series>& series() const { return series_; }
+  [[nodiscard]] std::uint64_t sweeps() const { return sweeps_; }
+
+ private:
+  struct Polled {
+    SeriesId id;
+    Sampler fn;
+  };
+
+  std::size_t capacity_;
+  std::vector<Series> series_;
+  std::vector<Polled> polled_;
+  std::uint64_t sweeps_{0};
+};
+
+}  // namespace hpcwhisk::obs

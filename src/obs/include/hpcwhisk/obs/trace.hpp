@@ -9,7 +9,8 @@
 // a trace is a total order of everything the run did.
 //
 // Cost model: recording is bounded-time (one bounds check, one struct
-// write, and for chained events one hash-map update); names must be
+// write, and for chained events one dense-array tail update — corr ids
+// are small dense integers, so no hashing on the hot path); names must be
 // string literals so no allocation or copy ever happens per event. When
 // tracing is off the collector does not exist at all — call sites guard
 // on a null Observability pointer (see observability.hpp), which is the
@@ -23,10 +24,21 @@
 // walked back to its submission. tests/obs/causality_test.cpp holds the
 // invariant.
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "hpcwhisk/sim/time.hpp"
 
@@ -72,7 +84,10 @@ enum class Track : std::uint8_t {
 inline constexpr std::uint32_t kNoParent = 0xFFFFFFFFu;
 inline constexpr std::uint64_t kNoCorr = ~0ull;
 
-struct TraceEvent {
+/// Cache-line sized and aligned: the collector commits each event with
+/// one full-line non-temporal store (see record()), which requires the
+/// struct to tile the buffer in whole 64-byte lines.
+struct alignas(64) TraceEvent {
   sim::SimTime at;
   const char* name;    ///< static string literal; never freed or copied
   std::uint64_t corr;  ///< correlation id (activation id, slurm job id)
@@ -84,6 +99,9 @@ struct TraceEvent {
   Phase phase{};
   Track track_kind{};
 };
+
+static_assert(sizeof(TraceEvent) == 64 && alignof(TraceEvent) == 64);
+static_assert(std::is_trivially_copyable_v<TraceEvent>);
 
 class TraceCollector {
  public:
@@ -98,23 +116,45 @@ class TraceCollector {
 
   /// Records one event; returns its sequence number (index into
   /// events()), or kNoParent if the buffer is full and it was dropped.
-  /// `name` MUST be a string literal (stored by pointer).
+  /// `name` MUST be a string literal (stored by pointer). Inline: this
+  /// runs ~once per four simulation events in a traced run, and the
+  /// call overhead alone is measurable in bench/obs_report.
   std::uint32_t record(Cat cat, Phase phase, const char* name, Track track_kind,
                        std::uint64_t track, std::uint64_t corr,
-                       sim::SimTime at, double arg0 = 0.0, double arg1 = 0.0);
+                       sim::SimTime at, double arg0 = 0.0, double arg1 = 0.0) {
+    return record_with_parent(kNoParent, cat, phase, name, track_kind, track,
+                              corr, at, arg0, arg1);
+  }
 
   /// Like record(), but sets `parent` to the previous event recorded for
   /// the same (cat, corr) through this method — the causal-chain variant
-  /// used for activation and pilot lifecycles.
+  /// used for activation and pilot lifecycles. The parent is resolved
+  /// BEFORE the event is committed so the stored line is never read
+  /// back (record() streams it past the cache).
   std::uint32_t record_chained(Cat cat, Phase phase, const char* name,
                                Track track_kind, std::uint64_t track,
                                std::uint64_t corr, sim::SimTime at,
-                               double arg0 = 0.0, double arg1 = 0.0);
-
-  [[nodiscard]] const std::vector<TraceEvent>& events() const {
-    return events_;
+                               double arg0 = 0.0, double arg1 = 0.0) {
+    if (size_ >= capacity_) {
+      ++dropped_;
+      return kNoParent;
+    }
+    const auto seq = static_cast<std::uint32_t>(size_);
+    std::uint32_t parent;
+    auto& tails = dense_tails_[static_cast<std::size_t>(cat)];
+    if (corr < tails.size()) {
+      parent = std::exchange(tails[static_cast<std::size_t>(corr)], seq);
+    } else {
+      parent = chain_slow(cat, corr, seq);
+    }
+    return record_with_parent(parent, cat, phase, name, track_kind, track,
+                              corr, at, arg0, arg1);
   }
-  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  [[nodiscard]] std::span<const TraceEvent> events() const {
+    return {store_.get(), size_};
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   /// Events refused because the buffer was full.
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
@@ -130,8 +170,74 @@ class TraceCollector {
     return (static_cast<std::uint64_t>(cat) << 56) ^ corr;
   }
 
-  std::vector<TraceEvent> events_;
-  std::unordered_map<std::uint64_t, std::uint32_t> chain_tail_;
+  /// Correlation ids in this codebase are small dense integers
+  /// (activation ids, slurm job ids, chaos/cluster indices), so chain
+  /// tails live in per-category arrays indexed by corr — one L1-friendly
+  /// load on the hot path instead of a hash-map probe. Ids at or above
+  /// this bound (and kNoCorr) fall back to the sparse map; the bound
+  /// caps a single array at 16 MB even against a hostile id.
+  static constexpr std::uint64_t kDenseCorrLimit = 1u << 22;
+  static constexpr std::size_t kNumCats =
+      static_cast<std::size_t>(Cat::kFed) + 1;
+
+  /// Cold paths kept out of line: buffer allocation and first-touch /
+  /// sparse chain-tail slots (returns the previous tail, if any).
+  void allocate_store();
+  std::uint32_t chain_slow(Cat cat, std::uint64_t corr, std::uint32_t seq);
+
+  /// The one hot store. The event buffer is write-once and read only at
+  /// export time, so on x86 each 64-byte event is committed with
+  /// non-temporal stores: no read-for-ownership and no eviction of the
+  /// simulation's working set — the main residue of tracing overhead.
+  /// Single-thread loads still see the data (same-CPU ordering), so
+  /// exporters and tests need no fence.
+  std::uint32_t record_with_parent(std::uint32_t parent, Cat cat, Phase phase,
+                                   const char* name, Track track_kind,
+                                   std::uint64_t track, std::uint64_t corr,
+                                   sim::SimTime at, double arg0, double arg1) {
+    if (size_ >= capacity_) {
+      ++dropped_;
+      return kNoParent;
+    }
+    if (store_ == nullptr) allocate_store();
+    alignas(64) TraceEvent ev;
+    ev.at = at;
+    ev.name = name;
+    ev.corr = corr;
+    ev.track = track;
+    ev.arg0 = arg0;
+    ev.arg1 = arg1;
+    ev.parent = parent;
+    ev.cat = cat;
+    ev.phase = phase;
+    ev.track_kind = track_kind;
+#if defined(__SSE2__)
+    const auto* src = reinterpret_cast<const __m128i*>(&ev);
+    auto* dst = reinterpret_cast<__m128i*>(store_.get() + size_);
+    _mm_stream_si128(dst + 0, _mm_load_si128(src + 0));
+    _mm_stream_si128(dst + 1, _mm_load_si128(src + 1));
+    _mm_stream_si128(dst + 2, _mm_load_si128(src + 2));
+    _mm_stream_si128(dst + 3, _mm_load_si128(src + 3));
+#else
+    std::memcpy(store_.get() + size_, &ev, sizeof ev);
+#endif
+    return static_cast<std::uint32_t>(size_++);
+  }
+
+  struct StoreDelete {
+    void operator()(TraceEvent* p) const {
+      ::operator delete(p, std::align_val_t{alignof(TraceEvent)});
+    }
+  };
+
+  /// Raw 64-byte-aligned storage, allocated lazily at full capacity on
+  /// the first record (virtual memory only — pages are touched as they
+  /// fill). TraceEvent is an implicit-lifetime type, so the byte-copy
+  /// commit above creates the objects without placement-new.
+  std::unique_ptr<TraceEvent, StoreDelete> store_;
+  std::size_t size_{0};
+  std::vector<std::uint32_t> dense_tails_[kNumCats];
+  std::unordered_map<std::uint64_t, std::uint32_t> sparse_tails_;
   std::size_t capacity_;
   std::uint64_t dropped_{0};
 };

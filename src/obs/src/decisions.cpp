@@ -1,0 +1,18 @@
+#include "hpcwhisk/obs/decisions.hpp"
+
+#include <algorithm>
+
+namespace hpcwhisk::obs {
+
+void DecisionLog::record(RouteDecision d) {
+  ++recorded_;
+  if (decisions_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  if (decisions_.empty())
+    decisions_.reserve(std::min<std::size_t>(capacity_, 1024));
+  decisions_.push_back(std::move(d));
+}
+
+}  // namespace hpcwhisk::obs

@@ -109,6 +109,50 @@ void write_metrics_jsonl(std::ostream& os, const MetricsRegistry& metrics,
   metrics.write_jsonl(os);
 }
 
+void write_timeseries_jsonl(std::ostream& os, const TimeSeriesRecorder& series,
+                            const ExportInfo& info) {
+  os << "{\"name\":\"_run\",\"type\":\"info\",\"run\":\"" << info.run
+     << "\",\"seed\":" << info.seed << ",\"series\":" << series.series().size()
+     << ",\"sweeps\":" << series.sweeps() << "}\n";
+  for (const Series& s : series.series()) {
+    os << "{\"name\":\"" << s.name() << "\",\"type\":\"series\",\"stride\":"
+       << s.stride() << ",\"appended\":" << s.appended() << ",\"samples\":[";
+    const auto& samples = s.samples();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const Sample& p = samples[i];
+      os << (i > 0 ? "," : "") << '[' << p.at.ticks() << ','
+         << json_num(p.mean) << ',' << json_num(p.min) << ','
+         << json_num(p.max) << ',' << p.count << ']';
+    }
+    os << "]}\n";
+  }
+}
+
+void write_decisions_jsonl(std::ostream& os, const DecisionLog& decisions,
+                           const ExportInfo& info) {
+  os << "{\"name\":\"_run\",\"type\":\"info\",\"run\":\"" << info.run
+     << "\",\"seed\":" << info.seed
+     << ",\"recorded\":" << decisions.recorded()
+     << ",\"dropped\":" << decisions.dropped() << "}\n";
+  for (const RouteDecision& d : decisions.decisions()) {
+    os << "{\"call\":" << d.call << ",\"at_us\":" << d.at.ticks()
+       << ",\"policy\":\"" << d.policy << "\",\"function\":\"" << d.function
+       << "\",\"chosen\":" << d.chosen << ",\"runner_up\":";
+    if (d.runner_up == RouteDecision::kNone) {
+      os << "null";
+    } else {
+      os << d.runner_up;
+    }
+    os << ",\"candidates\":" << d.candidates
+       << ",\"predicted_us\":" << d.predicted_ticks
+       << ",\"chosen_cost_us\":" << d.chosen_cost_ticks
+       << ",\"runner_up_cost_us\":" << d.runner_up_cost_ticks
+       << ",\"backlog_us\":" << d.backlog_ticks << ",\"expected_cold\":"
+       << (d.expected_cold ? "true" : "false") << ",\"short_class\":"
+       << (d.short_class ? "true" : "false") << "}\n";
+  }
+}
+
 bool looks_like_perfetto_json(std::string_view doc) {
   if (doc.find("\"traceEvents\"") == std::string_view::npos) return false;
   if (doc.find("\"otherData\"") == std::string_view::npos) return false;

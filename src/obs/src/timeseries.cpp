@@ -1,0 +1,84 @@
+#include "hpcwhisk/obs/timeseries.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcwhisk::obs {
+
+Series::Series(std::string name, std::size_t capacity)
+    : name_{std::move(name)}, capacity_{capacity < 2 ? 2 : capacity} {
+  samples_.reserve(std::min<std::size_t>(capacity_, 64));
+}
+
+void Series::append(sim::SimTime at, double v) {
+  ++appended_;
+  if (!samples_.empty() && samples_.back().count < stride_) {
+    // The tail window is still filling: fold the observation in. The
+    // window keeps its start time, so `at` spacing stays uniform.
+    Sample& tail = samples_.back();
+    const double n = static_cast<double>(tail.count);
+    tail.mean = (tail.mean * n + v) / (n + 1.0);
+    tail.min = std::min(tail.min, v);
+    tail.max = std::max(tail.max, v);
+    ++tail.count;
+    return;
+  }
+  samples_.push_back(Sample{at, v, v, v, 1});
+  if (samples_.size() > capacity_) compact();
+}
+
+void Series::compact() {
+  std::vector<Sample> merged;
+  merged.reserve((samples_.size() + 1) / 2);
+  for (std::size_t i = 0; i < samples_.size(); i += 2) {
+    if (i + 1 >= samples_.size()) {
+      merged.push_back(samples_[i]);
+      break;
+    }
+    const Sample& a = samples_[i];
+    const Sample& b = samples_[i + 1];
+    Sample m;
+    m.at = a.at;
+    const double na = static_cast<double>(a.count);
+    const double nb = static_cast<double>(b.count);
+    m.mean = (a.mean * na + b.mean * nb) / (na + nb);
+    m.min = std::min(a.min, b.min);
+    m.max = std::max(a.max, b.max);
+    m.count = a.count + b.count;
+    merged.push_back(m);
+  }
+  samples_ = std::move(merged);
+  stride_ *= 2;
+}
+
+TimeSeriesRecorder::SeriesId TimeSeriesRecorder::add_series(std::string name) {
+  series_.emplace_back(std::move(name), capacity_);
+  return series_.size() - 1;
+}
+
+TimeSeriesRecorder::SeriesId TimeSeriesRecorder::add_sampled(std::string name,
+                                                             Sampler fn) {
+  const SeriesId id = add_series(std::move(name));
+  polled_.push_back(Polled{id, std::move(fn)});
+  return id;
+}
+
+void TimeSeriesRecorder::append(SeriesId id, sim::SimTime at, double v) {
+  if (id >= series_.size())
+    throw std::out_of_range("TimeSeriesRecorder::append: unknown series");
+  series_[id].append(at, v);
+}
+
+void TimeSeriesRecorder::sample_all(sim::SimTime now) {
+  ++sweeps_;
+  for (const Polled& p : polled_) series_[p.id].append(now, p.fn());
+}
+
+const Series* TimeSeriesRecorder::find(std::string_view name) const {
+  for (const Series& s : series_) {
+    if (s.name() == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace hpcwhisk::obs

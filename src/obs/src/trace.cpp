@@ -1,6 +1,8 @@
 #include "hpcwhisk/obs/trace.hpp"
 
 #include <algorithm>
+#include <new>
+#include <utility>
 
 namespace hpcwhisk::obs {
 
@@ -19,58 +21,45 @@ const char* to_string(Cat c) {
   return "?";
 }
 
-TraceCollector::TraceCollector(std::size_t capacity) : capacity_{capacity} {
-  // Reserve the first chunk up front; the vector then grows normally up
-  // to `capacity` so small traces do not pay the full footprint.
-  events_.reserve(std::min<std::size_t>(capacity_, 4096));
+TraceCollector::TraceCollector(std::size_t capacity) : capacity_{capacity} {}
+
+void TraceCollector::allocate_store() {
+  // Full-capacity allocation in one shot, but only virtual memory: the
+  // kernel maps pages as the trace actually fills, so small traces
+  // never pay the full footprint.
+  store_.reset(static_cast<TraceEvent*>(::operator new(
+      capacity_ * sizeof(TraceEvent), std::align_val_t{alignof(TraceEvent)})));
 }
 
-std::uint32_t TraceCollector::record(Cat cat, Phase phase, const char* name,
-                                     Track track_kind, std::uint64_t track,
-                                     std::uint64_t corr, sim::SimTime at,
-                                     double arg0, double arg1) {
-  if (events_.size() >= capacity_) {
-    ++dropped_;
-    return kNoParent;
+std::uint32_t TraceCollector::chain_slow(Cat cat, std::uint64_t corr,
+                                         std::uint32_t seq) {
+  if (corr < kDenseCorrLimit) {
+    auto& tails = dense_tails_[static_cast<std::size_t>(cat)];
+    // Doubling growth keeps the amortized cost O(1) as ids count up.
+    const auto need = static_cast<std::size_t>(corr) + 1;
+    tails.resize(std::max({need, tails.size() * 2, std::size_t{256}}),
+                 kNoParent);
+    return std::exchange(tails[static_cast<std::size_t>(corr)], seq);
   }
-  TraceEvent ev;
-  ev.at = at;
-  ev.name = name;
-  ev.corr = corr;
-  ev.track = track;
-  ev.arg0 = arg0;
-  ev.arg1 = arg1;
-  ev.cat = cat;
-  ev.phase = phase;
-  ev.track_kind = track_kind;
-  events_.push_back(ev);
-  return static_cast<std::uint32_t>(events_.size() - 1);
-}
-
-std::uint32_t TraceCollector::record_chained(Cat cat, Phase phase,
-                                             const char* name, Track track_kind,
-                                             std::uint64_t track,
-                                             std::uint64_t corr, sim::SimTime at,
-                                             double arg0, double arg1) {
-  const std::uint32_t seq =
-      record(cat, phase, name, track_kind, track, corr, at, arg0, arg1);
-  if (seq == kNoParent) return kNoParent;
-  auto [it, inserted] = chain_tail_.try_emplace(chain_key(cat, corr), seq);
-  if (!inserted) {
-    events_[seq].parent = it->second;
-    it->second = seq;
-  }
-  return seq;
+  const auto it =
+      sparse_tails_.try_emplace(chain_key(cat, corr), kNoParent).first;
+  return std::exchange(it->second, seq);
 }
 
 std::uint32_t TraceCollector::chain_tail(Cat cat, std::uint64_t corr) const {
-  const auto it = chain_tail_.find(chain_key(cat, corr));
-  return it == chain_tail_.end() ? kNoParent : it->second;
+  if (corr < kDenseCorrLimit) {
+    const auto& tails = dense_tails_[static_cast<std::size_t>(cat)];
+    return corr < tails.size() ? tails[static_cast<std::size_t>(corr)]
+                               : kNoParent;
+  }
+  const auto it = sparse_tails_.find(chain_key(cat, corr));
+  return it == sparse_tails_.end() ? kNoParent : it->second;
 }
 
 void TraceCollector::clear() {
-  events_.clear();
-  chain_tail_.clear();
+  size_ = 0;
+  for (auto& tails : dense_tails_) tails.clear();
+  sparse_tails_.clear();
   dropped_ = 0;
 }
 

@@ -59,11 +59,21 @@ class CallScheduler {
   // --- Routing -------------------------------------------------------------
 
   struct Decision {
+    /// Sentinel runner_up: no alternative existed (single candidate).
+    static constexpr WorkerId kNoRunnerUp = ~WorkerId{0};
+
     WorkerId worker{0};
     std::int64_t predicted_ticks{0};  ///< bare duration prediction
     std::int64_t cost_ticks{0};       ///< duration + cold overhead if cold
     bool expected_cold{false};        ///< worker outside the warm set
     bool short_class{false};          ///< publish to the queue front
+
+    // Explainability (observation only — nothing below feeds back into a
+    // routing choice, so decision logs are unchanged by its presence).
+    WorkerId runner_up{kNoRunnerUp};       ///< the pick that lost
+    std::int64_t runner_up_cost_ticks{0};  ///< its expected completion
+    std::int64_t backlog_ticks{0};  ///< chosen worker's charge at decision
+    std::uint32_t candidates{0};    ///< workers considered
   };
 
   /// Least-expected-work pick among `workers` (ascending, non-empty).
@@ -136,12 +146,15 @@ class CallScheduler {
   struct Cost {
     std::int64_t cost{0};
     std::int64_t predicted{0};
+    std::int64_t backlog{0};
     bool cold{false};
   };
   [[nodiscard]] Cost cost_at(const std::string& function,
                              WorkerId worker) const;
   [[nodiscard]] Decision finalize(const std::string& function,
-                                  WorkerId worker, const Cost& cost);
+                                  WorkerId worker, const Cost& cost,
+                                  std::size_t candidates, WorkerId runner_up,
+                                  std::int64_t runner_up_cost);
 
   SchedConfig config_;
   DurationEstimator estimator_;

@@ -8,20 +8,21 @@ CallScheduler::Cost CallScheduler::cost_at(const std::string& function,
                                            WorkerId worker) const {
   Cost c;
   c.cold = !is_warm(worker, function);
+  c.backlog = ledger_.backlog(worker);
   if (c.cold) {
     c.predicted = estimator_.predict_cold(function).ticks();
-    c.cost = ledger_.backlog(worker) + c.predicted +
-             config_.estimator.cold_overhead.ticks();
+    c.cost = c.backlog + c.predicted + config_.estimator.cold_overhead.ticks();
   } else {
     c.predicted = estimator_.predict(function).ticks();
-    c.cost = ledger_.backlog(worker) + c.predicted;
+    c.cost = c.backlog + c.predicted;
   }
   return c;
 }
 
-CallScheduler::Decision CallScheduler::finalize(const std::string& function,
-                                                WorkerId worker,
-                                                const Cost& cost) {
+CallScheduler::Decision CallScheduler::finalize(
+    const std::string& function, WorkerId worker, const Cost& cost,
+    std::size_t candidates, WorkerId runner_up,
+    std::int64_t runner_up_cost) {
   Decision d;
   d.worker = worker;
   d.predicted_ticks = cost.predicted;
@@ -29,6 +30,10 @@ CallScheduler::Decision CallScheduler::finalize(const std::string& function,
                                        ? config_.estimator.cold_overhead.ticks()
                                        : std::int64_t{0});
   d.expected_cold = cost.cold;
+  d.runner_up = runner_up;
+  d.runner_up_cost_ticks = runner_up_cost;
+  d.backlog_ticks = cost.backlog;
+  d.candidates = static_cast<std::uint32_t>(candidates);
   if (config_.deadline_classes &&
       estimator_.predict(function) <= config_.short_class_bound) {
     d.short_class = true;
@@ -43,6 +48,10 @@ CallScheduler::Decision CallScheduler::route_least_expected_work(
     const std::string& function, const std::vector<WorkerId>& workers) {
   WorkerId best = workers.front();
   Cost best_cost = cost_at(function, best);
+  // Second-best tracking is explainability bookkeeping only: the chosen
+  // worker comes out of exactly the comparison chain this always ran.
+  WorkerId second = Decision::kNoRunnerUp;
+  std::int64_t second_cost = 0;
   for (std::size_t i = 1; i < workers.size(); ++i) {
     const Cost c = cost_at(function, workers[i]);
     // Strict < keeps the lowest id on exact ties; on a cost tie a warm
@@ -50,11 +59,17 @@ CallScheduler::Decision CallScheduler::route_least_expected_work(
     // fewer containers spawned).
     if (c.cost < best_cost.cost ||
         (c.cost == best_cost.cost && best_cost.cold && !c.cold)) {
+      second = best;
+      second_cost = best_cost.cost;
       best = workers[i];
       best_cost = c;
+    } else if (second == Decision::kNoRunnerUp || c.cost < second_cost) {
+      second = workers[i];
+      second_cost = c.cost;
     }
   }
-  return finalize(function, best, best_cost);
+  return finalize(function, best, best_cost, workers.size(), second,
+                  second_cost);
 }
 
 CallScheduler::Decision CallScheduler::route_sjf_affinity(
@@ -88,10 +103,14 @@ CallScheduler::Decision CallScheduler::route_sjf_affinity(
   if (best != home && static_cast<double>(home_cost.cost - best_cost.cost) >
                           slack) {
     ++stats_.affinity_escaped;
-    return finalize(function, best, best_cost);
+    // The rejected alternative is the warm home the call abandoned.
+    return finalize(function, best, best_cost, workers.size(), home,
+                    home_cost.cost);
   }
   ++stats_.affinity_kept;
-  return finalize(function, home, home_cost);
+  const WorkerId runner_up = best != home ? best : Decision::kNoRunnerUp;
+  return finalize(function, home, home_cost, workers.size(), runner_up,
+                  best != home ? best_cost.cost : 0);
 }
 
 void CallScheduler::on_routed(CallId call, const Decision& decision) {

@@ -184,6 +184,18 @@ class Slurmctld {
   /// HPC-Whisk were absent (the paper's "originally idle" baseline).
   [[nodiscard]] std::size_t available_node_count() const;
 
+  /// All four observed-state counts in one allocation-free pass: the
+  /// node-timeline sample of the time-series tier (idle + pilot is the
+  /// forecastable idle-capacity signal of ROADMAP item 5).
+  struct StateTotals {
+    std::uint32_t idle{0};
+    std::uint32_t hpc{0};
+    std::uint32_t pilot{0};
+    std::uint32_t down{0};
+    [[nodiscard]] std::uint32_t available() const { return idle + pilot; }
+  };
+  [[nodiscard]] StateTotals state_totals() const;
+
   /// Ground-truth observer: invoked on every observed-state transition.
   /// The initial state of every node (idle at t=0) is not announced.
   void set_node_observer(std::function<void(const NodeTransition&)> cb) {

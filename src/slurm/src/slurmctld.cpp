@@ -325,6 +325,19 @@ std::size_t Slurmctld::available_node_count() const {
   return n;
 }
 
+Slurmctld::StateTotals Slurmctld::state_totals() const {
+  StateTotals t;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    switch (observed_state(static_cast<NodeId>(i))) {
+      case ObservedNodeState::kIdle: ++t.idle; break;
+      case ObservedNodeState::kHpc: ++t.hpc; break;
+      case ObservedNodeState::kPilot: ++t.pilot; break;
+      case ObservedNodeState::kDown: ++t.down; break;
+    }
+  }
+  return t;
+}
+
 void Slurmctld::schedule_now() { run_sched_pass(false); }
 
 void Slurmctld::request_schedule() {

@@ -28,6 +28,7 @@
 
 namespace hpcwhisk::obs {
 struct Observability;
+class Histogram;
 }
 
 namespace hpcwhisk::whisk {
@@ -176,6 +177,13 @@ class Controller {
     return scheduler_ ? scheduler_->ledger().total() : 0;
   }
 
+  /// In-flight activations summed over all invokers (time-series hook).
+  [[nodiscard]] std::uint64_t total_in_flight() const;
+  /// Unpulled messages across every registered invoker topic plus the
+  /// fast lane. Takes each topic's lock — meant for the sampling cadence
+  /// (seconds), not for per-event paths.
+  [[nodiscard]] std::size_t queued_messages() const;
+
   struct Counters {
     std::uint64_t submitted{0};
     std::uint64_t accepted{0};
@@ -258,6 +266,12 @@ class Controller {
   sim::SimTime last_503_{sim::SimTime::zero()};
   TerminalObserver terminal_observer_;
   Counters counters_;
+  /// Instrument handles resolved once at construction: the per-event
+  /// paths must not pay a string build + map lookup per observation
+  /// (that lookup was the bulk of the traced-overhead regression).
+  obs::Histogram* h_queue_wait_{nullptr};
+  obs::Histogram* h_response_{nullptr};
+  obs::Histogram* h_pred_error_{nullptr};
 };
 
 }  // namespace hpcwhisk::whisk

@@ -34,6 +34,11 @@
 #include "hpcwhisk/whisk/controller.hpp"
 #include "hpcwhisk/whisk/function.hpp"
 
+namespace hpcwhisk::obs {
+class Counter;
+class Histogram;
+}
+
 namespace hpcwhisk::whisk {
 
 class Invoker {
@@ -159,6 +164,17 @@ class Invoker {
   sim::EventId resume_event_;
   std::function<void()> on_drained_;
   Counters counters_;
+  /// Registry instruments resolved once at construction (shared across
+  /// invokers by name; monotone across pilot churn). Per-event string
+  /// lookups here were the bulk of the traced-overhead regression.
+  obs::Histogram* h_exec_us_{nullptr};
+  obs::Counter* c_executed_{nullptr};
+  obs::Counter* c_dropped_{nullptr};
+  obs::Counter* c_capacity_{nullptr};
+  obs::Counter* c_interrupted_{nullptr};
+  obs::Counter* c_cold_starts_{nullptr};
+  obs::Counter* c_warm_hits_{nullptr};
+  obs::Counter* c_prewarm_hits_{nullptr};
 };
 
 }  // namespace hpcwhisk::whisk

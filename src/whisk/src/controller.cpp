@@ -58,6 +58,14 @@ Controller::Controller(sim::Simulation& simulation, mq::Broker& broker,
     scheduler_ = std::make_unique<sched::CallScheduler>(config_.sched);
   sim_.every(config_.watchdog_interval, [this] { watchdog_sweep(); });
   HW_OBS_IF(config_.obs) {
+    // Hot-path instruments resolved once; references stay valid for the
+    // registry's lifetime.
+    h_queue_wait_ =
+        &config_.obs->metrics.histogram("whisk.activation.queue_wait_us");
+    h_response_ =
+        &config_.obs->metrics.histogram("whisk.activation.response_us");
+    h_pred_error_ =
+        &config_.obs->metrics.histogram("whisk.sched.prediction_error_us");
     config_.obs->metrics.add_collector([this](obs::MetricsRegistry& m) {
       m.counter("whisk.controller.submitted").set(counters_.submitted);
       m.counter("whisk.controller.accepted").set(counters_.accepted);
@@ -141,6 +149,36 @@ SubmitResult Controller::submit(const std::string& function) {
         obs::Cat::kActivation, obs::Phase::kAsyncBegin, "activation",
         obs::Track::kController, 0, rec.id, sim_.now(),
         static_cast<double>(target));
+    if (pending_decision_) {
+      // Data-driven route: keep the full "why" (chosen vs runner-up,
+      // backlog charge, warm/cold expectation) alongside a compact trace
+      // instant in the activation's chain. Observation only — the
+      // decision was already made above.
+      const sched::CallScheduler::Decision& d = *pending_decision_;
+      config_.obs->trace.record_chained(
+          obs::Cat::kActivation, obs::Phase::kInstant, "route_decision",
+          obs::Track::kController, 0, rec.id, sim_.now(),
+          static_cast<double>(d.worker),
+          d.runner_up == sched::CallScheduler::Decision::kNoRunnerUp
+              ? -1.0
+              : static_cast<double>(d.runner_up));
+      obs::RouteDecision why;
+      why.call = rec.id;
+      why.at = sim_.now();
+      why.policy = to_string(config_.route_mode);
+      why.function = function;
+      why.chosen = d.worker;
+      why.runner_up = d.runner_up;  // sentinels match (~0u)
+      why.candidates = d.candidates;
+      why.predicted_ticks = d.predicted_ticks;
+      // Expected completion (comparable with the runner-up's cost).
+      why.chosen_cost_ticks = d.backlog_ticks + d.cost_ticks;
+      why.runner_up_cost_ticks = d.runner_up_cost_ticks;
+      why.backlog_ticks = d.backlog_ticks;
+      why.expected_cold = d.expected_cold;
+      why.short_class = d.short_class;
+      config_.obs->decisions.record(std::move(why));
+    }
   }
 
   mq::Message msg;
@@ -223,6 +261,21 @@ InvokerId Controller::route(const std::string& function,
 
 std::uint32_t Controller::in_flight(InvokerId id) const {
   return id < invokers_.size() ? invokers_[id].in_flight : 0;
+}
+
+std::uint64_t Controller::total_in_flight() const {
+  std::uint64_t n = 0;
+  for (const InvokerEntry& entry : invokers_) n += entry.in_flight;
+  return n;
+}
+
+std::size_t Controller::queued_messages() const {
+  std::size_t n = broker_.fast_lane().size();
+  for (const InvokerEntry& entry : invokers_) {
+    if (entry.health != InvokerHealth::kGone && entry.topic != nullptr)
+      n += entry.topic->size();
+  }
+  return n;
 }
 
 const ActivationRecord& Controller::activation(ActivationId id) const {
@@ -335,8 +388,7 @@ void Controller::activation_started(ActivationId id, InvokerId by,
   if (rec.first_start_time == sim::SimTime::zero()) {
     rec.first_start_time = sim_.now();
     HW_OBS_IF(config_.obs) {
-      config_.obs->metrics.histogram("whisk.activation.queue_wait_us")
-          .observe(static_cast<double>(rec.queue_wait().ticks()));
+      h_queue_wait_->observe(static_cast<double>(rec.queue_wait().ticks()));
     }
   }
   rec.start_time = sim_.now();
@@ -435,8 +487,7 @@ void Controller::finish(ActivationRecord& rec, ActivationState state) {
         scheduler_->on_finished(rec.id, rec.function, actual, rec.cold_start);
     if (outcome.observed) {
       HW_OBS_IF(config_.obs) {
-        config_.obs->metrics.histogram("whisk.sched.prediction_error_us")
-            .observe(static_cast<double>(outcome.abs_error_ticks));
+        h_pred_error_->observe(static_cast<double>(outcome.abs_error_ticks));
       }
     }
   }
@@ -446,8 +497,7 @@ void Controller::finish(ActivationRecord& rec, ActivationState state) {
         obs::Track::kController, 0, rec.id, sim_.now(),
         static_cast<double>(static_cast<int>(state)),
         static_cast<double>(rec.requeues));
-    config_.obs->metrics.histogram("whisk.activation.response_us")
-        .observe(static_cast<double>(rec.response_time().ticks()));
+    h_response_->observe(static_cast<double>(rec.response_time().ticks()));
   }
   if (rec.routed_to != kNoInvoker && rec.routed_to < invokers_.size() &&
       invokers_[rec.routed_to].in_flight > 0) {

@@ -24,7 +24,21 @@ Invoker::Invoker(sim::Simulation& simulation, mq::Broker& broker,
       controller_{controller},
       config_{config},
       rng_{rng},
-      pool_{config.pool, make_profile(config.runtime_kind), rng.fork()} {}
+      pool_{config.pool, make_profile(config.runtime_kind), rng.fork()} {
+  HW_OBS_IF(config_.obs) {
+    // Shared-by-name across invokers, so the counts are monotone across
+    // pilot churn (a per-pilot pool counter dies with its pilot).
+    obs::MetricsRegistry& m = config_.obs->metrics;
+    h_exec_us_ = &m.histogram("whisk.invoker.exec_us");
+    c_executed_ = &m.counter("whisk.invoker.executed");
+    c_dropped_ = &m.counter("whisk.invoker.dropped_undeliverable");
+    c_capacity_ = &m.counter("whisk.invoker.capacity_failures");
+    c_interrupted_ = &m.counter("whisk.invoker.interrupted");
+    c_cold_starts_ = &m.counter("whisk.invoker.cold_starts");
+    c_warm_hits_ = &m.counter("whisk.invoker.warm_hits");
+    c_prewarm_hits_ = &m.counter("whisk.invoker.prewarm_hits");
+  }
+}
 
 Invoker::~Invoker() {
   // The owner (pilot) must have ended the lifecycle; be safe regardless.
@@ -105,7 +119,7 @@ void Invoker::begin_execution(mq::Message msg) {
       config_.obs->trace.record_chained(
           obs::Cat::kActivation, obs::Phase::kInstant, "drop_undeliverable",
           obs::Track::kInvoker, id_, msg.id, sim_.now());
-      config_.obs->metrics.counter("whisk.invoker.dropped_undeliverable").add();
+      c_dropped_->add();
     }
     return;
   }
@@ -113,9 +127,7 @@ void Invoker::begin_execution(mq::Message msg) {
     // Duplicate delivery of work we are already executing (an mq
     // duplication fault, or a watchdog rescue racing our own thaw).
     ++counters_.dropped_undeliverable;
-    HW_OBS_IF(config_.obs) {
-      config_.obs->metrics.counter("whisk.invoker.dropped_undeliverable").add();
-    }
+    HW_OBS_IF(config_.obs) { c_dropped_->add(); }
     return;
   }
   const FunctionSpec& spec = registry_.at(msg.key);
@@ -129,7 +141,7 @@ void Invoker::begin_execution(mq::Message msg) {
       config_.obs->trace.record_chained(
           obs::Cat::kActivation, obs::Phase::kInstant, "capacity_reject",
           obs::Track::kInvoker, id_, msg.id, sim_.now());
-      config_.obs->metrics.counter("whisk.invoker.capacity_failures").add();
+      c_capacity_->add();
     }
     controller_.activation_failed(msg.id);
     return;
@@ -147,6 +159,14 @@ void Invoker::begin_execution(mq::Message msg) {
         obs::Cat::kActivation, obs::Phase::kAsyncBegin, "exec",
         obs::Track::kInvoker, id_, act, sim_.now(),
         /*arg0=*/running_.at(act).cold ? 1.0 : 0.0);
+    switch (acquired.kind) {
+      case runtime::AcquireResult::Kind::kWarm: c_warm_hits_->add(); break;
+      case runtime::AcquireResult::Kind::kPrewarmed:
+        c_prewarm_hits_->add();
+        break;
+      case runtime::AcquireResult::Kind::kCold: c_cold_starts_->add(); break;
+      case runtime::AcquireResult::Kind::kRejected: break;
+    }
   }
   schedule_exec_event(act, acquired.start_latency);
 }
@@ -178,8 +198,7 @@ void Invoker::on_exec_event(ActivationId act) {
           obs::Cat::kActivation, obs::Phase::kInstant, "exec_running",
           obs::Track::kInvoker, id_, act, sim_.now(),
           static_cast<double>(duration.ticks()), e.cold ? 1.0 : 0.0);
-      config_.obs->metrics.histogram("whisk.invoker.exec_us")
-          .observe(static_cast<double>(duration.ticks()));
+      h_exec_us_->observe(static_cast<double>(duration.ticks()));
     }
     schedule_exec_event(act, duration);
     return;
@@ -191,7 +210,7 @@ void Invoker::on_exec_event(ActivationId act) {
     config_.obs->trace.record_chained(
         obs::Cat::kActivation, obs::Phase::kAsyncEnd, "exec",
         obs::Track::kInvoker, id_, act, sim_.now(), /*arg0=*/1.0);
-    config_.obs->metrics.counter("whisk.invoker.executed").add();
+    c_executed_->add();
   }
   controller_.activation_completed(act);
   if (draining_) {
@@ -287,9 +306,7 @@ void Invoker::sigterm(std::function<void()> on_drained) {
     if (e.phase == ExecPhase::kRunning) {
       controller_.activation_interrupted(act);
       ++counters_.interrupted;
-      HW_OBS_IF(config_.obs) {
-        config_.obs->metrics.counter("whisk.invoker.interrupted").add();
-      }
+      HW_OBS_IF(config_.obs) { c_interrupted_->add(); }
     }
     HW_OBS_IF(config_.obs) {
       // Close the exec span as aborted (arg0=0) before the reroute event

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -76,6 +78,68 @@ TEST(Histogram, SubUnitValuesLandInFirstBucket) {
   // inside the observed range.
   EXPECT_GE(h.quantile(0.5), 0.25);
   EXPECT_LE(h.quantile(0.5), 0.5);
+}
+
+TEST(Histogram, ExactPowerOfTwoEdges) {
+  // 2^k is the *first* sub-bucket of octave k (frexp gives mant = 0.5),
+  // and nextafter(2^k, 0) the *last* sub-bucket of octave k-1: exact
+  // edges must not straddle or double-count.
+  for (const double edge : {2.0, 4.0, 1024.0, 1048576.0}) {
+    Histogram at_edge;
+    at_edge.observe(edge);
+    EXPECT_EQ(at_edge.quantile(0.5), edge) << edge;
+
+    Histogram below;
+    const double just_below = std::nextafter(edge, 0.0);
+    below.observe(just_below);
+    // Single sample: clamping to [min, max] recovers it exactly even
+    // though the bucket midpoint differs.
+    EXPECT_EQ(below.quantile(0.5), just_below) << edge;
+
+    // Both land in buckets, never lost: counts are conserved.
+    Histogram both;
+    both.observe(edge);
+    both.observe(just_below);
+    EXPECT_EQ(both.count(), 2u);
+    EXPECT_EQ(both.min(), just_below);
+    EXPECT_EQ(both.max(), edge);
+  }
+}
+
+TEST(Histogram, P99WithOneSampleIsTheSample) {
+  Histogram h;
+  h.observe(37.5);
+  // Nearest-rank with count 1: every quantile is observation #1, and
+  // min/max clamping makes the estimate exact.
+  EXPECT_EQ(h.quantile(0.0), 37.5);
+  EXPECT_EQ(h.quantile(0.5), 37.5);
+  EXPECT_EQ(h.quantile(0.99), 37.5);
+  EXPECT_EQ(h.quantile(1.0), 37.5);
+  EXPECT_EQ(h.min(), 37.5);
+  EXPECT_EQ(h.max(), 37.5);
+  EXPECT_EQ(h.avg(), 37.5);
+}
+
+TEST(Histogram, SaturatingValuesClampToLastOctave) {
+  // Values beyond the 60-octave range saturate into the last bucket
+  // instead of indexing out of bounds; quantiles stay inside the exact
+  // observed range.
+  Histogram h;
+  h.observe(1e300);
+  h.observe(1e301);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), 1e301);
+  EXPECT_GE(h.quantile(0.99), 1e300);
+  EXPECT_LE(h.quantile(0.99), 1e301);
+
+  // Non-finite and negative observations land in the first bucket and
+  // never corrupt the count.
+  Histogram odd;
+  odd.observe(-5.0);
+  odd.observe(0.0);
+  odd.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(odd.count(), 3u);
+  EXPECT_LE(odd.quantile(0.5), 0.0);
 }
 
 TEST(MetricsRegistry, JsonlIsNameOrderedAndTyped) {

@@ -1,0 +1,178 @@
+// TimeSeriesRecorder / Series unit contract: bounded memory through
+// pairwise downsampling (count-weighted mean, min-of-mins, max-of-maxes,
+// stride doubling), owner-driven sweeps, and the DecisionLog's bounded
+// drop-counting buffer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "hpcwhisk/obs/decisions.hpp"
+#include "hpcwhisk/obs/export.hpp"
+#include "hpcwhisk/obs/timeseries.hpp"
+
+namespace hpcwhisk::obs {
+namespace {
+
+sim::SimTime at_s(double s) { return sim::SimTime::seconds(s); }
+
+TEST(Series, RawPointsKeptBelowCapacity) {
+  Series s{"sig", 8};
+  for (int i = 0; i < 8; ++i) s.append(at_s(i), static_cast<double>(i));
+  ASSERT_EQ(s.samples().size(), 8u);
+  EXPECT_EQ(s.stride(), 1u);
+  EXPECT_EQ(s.appended(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const Sample& p = s.samples()[static_cast<std::size_t>(i)];
+    EXPECT_EQ(p.at, at_s(i));
+    EXPECT_EQ(p.mean, i);
+    EXPECT_EQ(p.min, i);
+    EXPECT_EQ(p.max, i);
+    EXPECT_EQ(p.count, 1u);
+  }
+  EXPECT_EQ(s.last(), 7.0);
+}
+
+TEST(Series, OverflowMergesPairwiseAndDoublesStride) {
+  Series s{"sig", 4};
+  const double values[] = {1, 2, 3, 4, 5};
+  for (int i = 0; i < 5; ++i) s.append(at_s(i), values[i]);
+  // The 5th point overflowed capacity 4: (1,2)(3,4)(5) remain.
+  ASSERT_EQ(s.samples().size(), 3u);
+  EXPECT_EQ(s.stride(), 2u);
+  const Sample& a = s.samples()[0];
+  EXPECT_EQ(a.at, at_s(0));  // merged window keeps its start time
+  EXPECT_EQ(a.mean, 1.5);
+  EXPECT_EQ(a.min, 1.0);
+  EXPECT_EQ(a.max, 2.0);
+  EXPECT_EQ(a.count, 2u);
+  const Sample& b = s.samples()[1];
+  EXPECT_EQ(b.mean, 3.5);
+  // The odd tail survives un-merged and keeps filling to the new stride.
+  const Sample& c = s.samples()[2];
+  EXPECT_EQ(c.count, 1u);
+  s.append(at_s(5), 7.0);
+  ASSERT_EQ(s.samples().size(), 3u);
+  EXPECT_EQ(s.samples()[2].count, 2u);
+  EXPECT_EQ(s.samples()[2].mean, 6.0);
+  EXPECT_EQ(s.samples()[2].min, 5.0);
+  EXPECT_EQ(s.samples()[2].max, 7.0);
+}
+
+TEST(Series, LongRunStaysBoundedAndConservesMass) {
+  Series s{"sig", 8};
+  const int n = 10'000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = static_cast<double>((i * 37) % 101);
+    sum += v;
+    s.append(at_s(i), v);
+  }
+  EXPECT_LE(s.samples().size(), 8u);
+  EXPECT_EQ(s.appended(), static_cast<std::uint64_t>(n));
+  // Stride is the doubling cascade's power of two.
+  EXPECT_EQ(s.stride() & (s.stride() - 1), 0u);
+  // Every raw observation is folded into exactly one stored sample, and
+  // the count-weighted mean over the stored samples is the exact mean.
+  std::uint64_t total = 0;
+  double weighted = 0;
+  for (const Sample& p : s.samples()) {
+    total += p.count;
+    weighted += p.mean * p.count;
+    EXPECT_LE(p.min, p.mean);
+    EXPECT_GE(p.max, p.mean);
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(n));
+  EXPECT_NEAR(weighted / static_cast<double>(n), sum / n, 1e-6);
+}
+
+TEST(Series, MinimumCapacityIsTwo) {
+  Series s{"sig", 0};  // clamped to 2
+  for (int i = 0; i < 100; ++i) s.append(at_s(i), static_cast<double>(i));
+  EXPECT_LE(s.samples().size(), 2u);
+  EXPECT_EQ(s.appended(), 100u);
+}
+
+TEST(TimeSeriesRecorder, SweepPollsOnlySampledSeries) {
+  TimeSeriesRecorder rec{16};
+  double polled_value = 1.0;
+  const auto polled =
+      rec.add_sampled("polled", [&polled_value] { return polled_value; });
+  const auto manual = rec.add_series("manual");
+  (void)polled;
+
+  rec.sample_all(at_s(0));
+  polled_value = 5.0;
+  rec.sample_all(at_s(10));
+  EXPECT_EQ(rec.sweeps(), 2u);
+
+  const Series* p = rec.find("polled");
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->samples().size(), 2u);
+  EXPECT_EQ(p->samples()[0].mean, 1.0);
+  EXPECT_EQ(p->samples()[1].mean, 5.0);
+  EXPECT_EQ(p->samples()[1].at, at_s(10));
+
+  // The manual series is untouched by sweeps and fed directly.
+  const Series* m = rec.find("manual");
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->samples().empty());
+  rec.append(manual, at_s(3), 9.0);
+  EXPECT_EQ(m->samples().size(), 1u);
+
+  EXPECT_EQ(rec.find("nope"), nullptr);
+  EXPECT_THROW(rec.append(99, at_s(0), 0.0), std::out_of_range);
+}
+
+TEST(TimeSeriesRecorder, JsonlExportRoundTrips) {
+  TimeSeriesRecorder rec{4};
+  const auto id = rec.add_series("x");
+  for (int i = 0; i < 6; ++i) rec.append(id, at_s(i), static_cast<double>(i));
+  std::ostringstream os;
+  ExportInfo info;
+  info.run = "test";
+  write_timeseries_jsonl(os, rec, info);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"_run\""), std::string::npos);
+  EXPECT_NE(out.find("\"x\""), std::string::npos);
+  EXPECT_NE(out.find("\"stride\":2"), std::string::npos);
+}
+
+TEST(DecisionLog, BoundedBufferCountsDrops) {
+  DecisionLog log{3};
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    RouteDecision d;
+    d.call = i;
+    d.chosen = static_cast<std::uint32_t>(i);
+    log.record(d);
+  }
+  EXPECT_EQ(log.recorded(), 5u);
+  EXPECT_EQ(log.dropped(), 2u);
+  ASSERT_EQ(log.decisions().size(), 3u);
+  // Oldest records win: the buffer keeps the head of the run.
+  EXPECT_EQ(log.decisions().front().call, 0u);
+  EXPECT_EQ(log.decisions().back().call, 2u);
+}
+
+TEST(DecisionLog, JsonlExportEmitsRunInfoAndNullRunnerUp) {
+  DecisionLog log;
+  RouteDecision d;
+  d.call = 7;
+  d.policy = "least-expected-work";
+  d.function = "fn";
+  d.chosen = 3;
+  // runner_up stays kNone: exported as null, not a bogus worker id.
+  log.record(d);
+  std::ostringstream os;
+  write_decisions_jsonl(os, log, {});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"_run\""), std::string::npos);
+  EXPECT_NE(out.find("\"runner_up\":null"), std::string::npos);
+  EXPECT_NE(out.find("least-expected-work"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcwhisk::obs

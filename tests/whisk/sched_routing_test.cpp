@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <vector>
+
+#include "hpcwhisk/obs/export.hpp"
+#include "hpcwhisk/obs/observability.hpp"
 #include "hpcwhisk/whisk/invoker.hpp"
 
 namespace hpcwhisk::whisk {
@@ -120,6 +125,55 @@ TEST(SchedRouting, WatchdogRescueLeavesZeroLeakedBacklog) {
   EXPECT_EQ(sched->ledger().charge_count(), 0u);
   EXPECT_EQ(controller.expected_backlog_ticks(), 0);
   EXPECT_FALSE(sched->is_warm(victim->id(), "slow"));
+}
+
+TEST(SchedRouting, DecisionRecordsExplainEveryRouting) {
+  // The explainability contract: with obs attached, every data-driven
+  // routing emits one RouteDecision whose chosen worker IS the worker
+  // the activation was routed to, whose runner-up (when present)
+  // differs, and whose costs are consistent with the policy (the chosen
+  // expected completion never exceeds the rejected one).
+  Fixture f;
+  obs::Observability obs;
+  Controller::Config cfg;
+  cfg.route_mode = RouteMode::kLeastExpectedWork;
+  cfg.obs = &obs;
+  Controller controller{f.sim, f.broker, f.registry, cfg};
+  Invoker a{f.sim, f.broker, f.registry, controller, {}, Rng{1}};
+  Invoker b{f.sim, f.broker, f.registry, controller, {}, Rng{2}};
+  a.start();
+  b.start();
+
+  std::vector<ActivationId> submitted;
+  for (int i = 0; i < 12; ++i) {
+    const auto result = controller.submit(i % 3 == 0 ? "slow" : "fast");
+    ASSERT_TRUE(result.accepted);
+    submitted.push_back(result.activation);
+  }
+  f.sim.run_until(SimTime::minutes(5));
+
+  ASSERT_EQ(obs.decisions.recorded(), submitted.size());
+  ASSERT_EQ(obs.decisions.decisions().size(), submitted.size());
+  for (std::size_t i = 0; i < submitted.size(); ++i) {
+    const obs::RouteDecision& d = obs.decisions.decisions()[i];
+    EXPECT_EQ(d.call, submitted[i]);
+    EXPECT_STREQ(d.policy, "least-expected-work");
+    EXPECT_EQ(d.chosen, controller.activation(submitted[i]).routed_to);
+    EXPECT_EQ(d.candidates, 2u);
+    EXPECT_GT(d.predicted_ticks, 0);
+    if (d.runner_up != obs::RouteDecision::kNone) {
+      EXPECT_NE(d.runner_up, d.chosen);
+      EXPECT_GE(d.runner_up_cost_ticks, d.chosen_cost_ticks);
+    }
+  }
+
+  // And the records survive a JSONL round trip.
+  std::ostringstream os;
+  obs::write_decisions_jsonl(os, obs.decisions, {});
+  // One "_run" info line plus one line per decision.
+  std::size_t lines = 0;
+  for (const char c : os.str()) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, submitted.size() + 1);
 }
 
 TEST(SchedRouting, RouteModeStringsRoundTrip) {

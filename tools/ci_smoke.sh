@@ -25,6 +25,24 @@ cmake -B "$BUILD_DIR" -S . -DHPCWHISK_SANITIZE=$SAN_FLAG
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
+# The bench regression gate must prove it still catches an injected
+# regression before any of its verdicts below are trusted.
+"$BUILD_DIR"/tools/bench_diff --self-test
+
+# Compares a fresh quick bench report against the committed baseline
+# under tools/bench_diff's per-metric direction/threshold rules, and
+# archives the machine-readable verdict next to the report. Runs before
+# the baseline-refresh cp steps below, so a regressing PR fails here
+# instead of silently rewriting its own baseline. Skipped under
+# SANITIZE=1 (wall-clock metrics there measure the sanitizer).
+bench_gate() {
+  local name=$1 baseline=$2 candidate=$3
+  if [[ "${SANITIZE:-0}" == "1" ]]; then return 0; fi
+  echo "== bench gate: $name =="
+  "$BUILD_DIR"/tools/bench_diff --out "$BUILD_DIR/verdict_$name.json" \
+    "$baseline" "$candidate"
+}
+
 export HW_BENCH_QUICK=1
 if [[ "${FULL_BENCH:-0}" == "1" ]]; then
   for b in "$BUILD_DIR"/bench/*; do
@@ -67,8 +85,24 @@ PYEOF
 fi
 grep -q '"decision_logs_identical": true' "$BUILD_DIR/BENCH_obs.json"
 grep -q '"perfetto_valid": true' "$BUILD_DIR/BENCH_obs.json"
+bench_gate obs BENCH_obs.json "$BUILD_DIR/BENCH_obs.json"
 if [[ "${SANITIZE:-0}" != "1" ]]; then
   cp "$BUILD_DIR/BENCH_obs.json" BENCH_obs.json
+fi
+
+# Time-series / harvest-efficiency leg: the sampled sim-time series must
+# stay within their bounded capacity, every routing decision must carry a
+# self-consistent "why" record (the bench's exit code enforces both), and
+# the harvest account must not regress against the committed baseline.
+echo "== obs timeseries smoke =="
+HW_OBS_TS_OUT="$BUILD_DIR/BENCH_obs_timeseries.json" \
+  HW_OBS_TS_SERIES_OUT="$BUILD_DIR/obs_timeseries.jsonl" \
+  HW_OBS_TS_DECISIONS_OUT="$BUILD_DIR/obs_decisions.jsonl" \
+  "$BUILD_DIR"/bench/obs_timeseries
+bench_gate obs_timeseries BENCH_obs_timeseries.json \
+  "$BUILD_DIR/BENCH_obs_timeseries.json"
+if [[ "${SANITIZE:-0}" != "1" ]]; then
+  cp "$BUILD_DIR/BENCH_obs_timeseries.json" BENCH_obs_timeseries.json
 fi
 
 # Federation leg: a two-cluster federated sweep across all three routing
@@ -126,6 +160,7 @@ assert acc["acceptance_ok"], f"routing acceptance failed: {acc}"
 print(f"routing schema OK ({len(legs)} legs, {sched_legs} data-driven)")
 PYEOF
 fi
+bench_gate routing BENCH_routing.json "$BUILD_DIR/BENCH_routing.json"
 if [[ "${SANITIZE:-0}" != "1" ]]; then
   cp "$BUILD_DIR/BENCH_routing.json" BENCH_routing.json
 fi
@@ -227,8 +262,13 @@ if not sanitize:
 print("BENCH_perf.json schema OK")
 PYEOF
 
+bench_gate perf BENCH_perf.json "$BUILD_DIR/BENCH_perf.json"
 if [[ "${SANITIZE:-0}" != "1" ]]; then
   cp "$BUILD_DIR/BENCH_perf.json" BENCH_perf.json
 fi
+
+# (The committed BENCH_federation.json is the full {1,2,4}-cluster sweep
+# at HW_BENCH_TRIALS=3; the smoke above runs a single 2-cluster leg, so
+# there is no matching committed baseline to gate against here.)
 
 echo "ci_smoke: OK"
