@@ -31,6 +31,11 @@ ExperimentConfig apply_env(ExperimentConfig cfg) {
     if (const auto parsed = whisk::route_mode_from_string(mode))
       cfg.route_mode = *parsed;
   }
+  if (std::getenv("HW_LEASE") != nullptr) cfg.lease.enabled = true;
+  if (const char* ka = std::getenv("HW_KEEPALIVE")) {
+    if (const auto parsed = runtime::keep_alive_policy_from_string(ka))
+      cfg.keep_alive.policy = *parsed;
+  }
   return cfg;
 }
 
@@ -79,6 +84,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   sys_cfg.slurm.pilot_placement = cfg.placement;
   sys_cfg.controller.route_mode = cfg.route_mode;
   sys_cfg.controller.sched = cfg.sched;
+  sys_cfg.controller.lease = cfg.lease;
+  sys_cfg.manager.invoker.pool.keep_alive = cfg.keep_alive;
   if (cfg.invoker_concurrency > 0)
     sys_cfg.manager.invoker.max_concurrent = cfg.invoker_concurrency;
   if (cfg.invoker_slots > 0)
@@ -254,6 +261,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     trace::FaasLoadGenerator::Config faas_cfg;
     faas_cfg.rate_qps = cfg.faas_qps;
     faas_cfg.functions = names;
+    faas_cfg.hot_share = cfg.faas_hot_share;
+    faas_cfg.hot_count = cfg.faas_hot_functions;
     faas = std::make_shared<trace::FaasLoadGenerator>(
         simulation, faas_cfg,
         [&system](const std::string& fn) { (void)system.controller().submit(fn); },

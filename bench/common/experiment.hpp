@@ -13,6 +13,9 @@
 //   HW_ROUTE_MODE=<m>   controller routing policy by to_string name
 //                       (hash-probing, hash-only, round-robin,
 //                       least-loaded, least-expected-work, sjf-affinity)
+//   HW_LEASE=1          enable the lease-based serving tier
+//   HW_KEEPALIVE=<p>    container keep-alive policy by to_string name
+//                       (fixed, adaptive, hybrid)
 
 #include <cstdint>
 #include <memory>
@@ -28,6 +31,8 @@
 #include "hpcwhisk/analysis/stats.hpp"
 #include "hpcwhisk/core/job_manager.hpp"
 #include "hpcwhisk/core/system.hpp"
+#include "hpcwhisk/lease/lease_manager.hpp"
+#include "hpcwhisk/runtime/container_pool.hpp"
 #include "hpcwhisk/obs/observability.hpp"
 #include "hpcwhisk/trace/faas_workload.hpp"
 #include "hpcwhisk/trace/hpc_workload.hpp"
@@ -86,6 +91,20 @@ struct ExperimentConfig {
   /// fast-lane reroute path that 10 ms sleeps almost never hit.
   double faas_long_share{0.0};
   sim::SimTime faas_long_duration{sim::SimTime::seconds(30)};
+
+  /// Lease-based serving tier (Controller::Config::lease); disabled by
+  /// default. HW_LEASE=1 flips `lease.enabled`.
+  lease::LeaseConfig lease{};
+  /// Container keep-alive policy for every invoker pool
+  /// (ContainerPool::Config::keep_alive). HW_KEEPALIVE overrides the
+  /// policy by name.
+  runtime::KeepAliveConfig keep_alive{};
+  /// Skewed FaaS popularity: share of arrivals drawn from the first
+  /// `faas_hot_functions` names (0 keeps the uniform round-robin and an
+  /// unchanged arrival sequence). The hot-function mix the lease tier
+  /// is designed for.
+  double faas_hot_share{0.0};
+  std::size_t faas_hot_functions{8};
 };
 
 /// Applies HW_BENCH_QUICK / HW_SEED to a config.

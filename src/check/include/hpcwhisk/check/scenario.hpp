@@ -86,6 +86,10 @@ struct ScenarioSpec {
   /// it (legacy modes have no scheduler), but it is sampled and
   /// round-tripped unconditionally so the knob is always explicit.
   bool deadline_classes{false};
+  /// Lease-based serving tier: hot functions get warm-executor leases
+  /// and bypass the topic via direct invoke. Every invariant (call
+  /// conservation, grace, backlog hygiene) must hold with it on.
+  bool lease_mode{false};
   std::vector<ScenarioFault> faults;
   BugPlant plant{BugPlant::kNone};
 

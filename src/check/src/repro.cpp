@@ -362,6 +362,8 @@ std::string write_repro(const Repro& repro) {
   append_escaped(out, whisk::to_string(s.route_mode));
   out += ",\n    \"deadline_classes\": ";
   out += s.deadline_classes ? "true" : "false";
+  out += ",\n    \"lease_mode\": ";
+  out += s.lease_mode ? "true" : "false";
   out += ",\n    \"plant\": ";
   append_escaped(out, to_string(s.plant));
   out += ",\n    \"faults\": [";
@@ -430,6 +432,9 @@ Repro parse_repro(std::string_view json) {
   }
   if (const JsonValue* dl = spec.find("deadline_classes")) {
     s.deadline_classes = as_bool(*dl);
+  }
+  if (const JsonValue* lm = spec.find("lease_mode")) {
+    s.lease_mode = as_bool(*lm);
   }
   s.plant = bug_plant_from_string(as_string(require(spec, "plant")));
   const JsonValue& faults = require(spec, "faults");

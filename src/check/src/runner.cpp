@@ -139,6 +139,7 @@ core::HpcWhiskSystem::Config system_config(const ScenarioSpec& spec,
   cfg.manager.fib_per_length = spec.fib_per_length;
   cfg.controller.route_mode = spec.route_mode;
   cfg.controller.sched.deadline_classes = spec.deadline_classes;
+  cfg.controller.lease.enabled = spec.lease_mode;
   for (const ScenarioFault& f : spec.faults) {
     if (f.cluster == cluster) cfg.faults.add(f.event);
   }

@@ -87,6 +87,7 @@ ScenarioSpec ScenarioSpec::sample(std::uint64_t seed,
   };
   s.route_mode = kRouteModes[rng.uniform_int(0, 5)];
   s.deadline_classes = rng.bernoulli(0.5);
+  s.lease_mode = rng.bernoulli(0.3);
   return s;
 }
 
@@ -98,6 +99,7 @@ std::string ScenarioSpec::summary() const {
       << horizon.to_string() << " qps=" << faas_qps << " fns="
       << faas_functions << " route=" << whisk::to_string(route_mode);
   if (deadline_classes) out << "+dl";
+  if (lease_mode) out << "+lease";
   out << " faults=" << faults.size();
   if (plant != BugPlant::kNone) out << " plant=" << to_string(plant);
   return out.str();

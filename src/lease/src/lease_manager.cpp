@@ -1,0 +1,128 @@
+#include "hpcwhisk/lease/lease_manager.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace hpcwhisk::lease {
+
+const char* to_string(Tier t) {
+  switch (t) {
+    case Tier::kCold: return "cold";
+    case Tier::kWarm: return "warm";
+    case Tier::kHot: return "hot";
+  }
+  return "?";
+}
+
+void LeaseManager::observe_arrival(const std::string& function,
+                                   sim::SimTime now) {
+  Arrival& a = arrivals_[function];
+  if (a.count > 0) {
+    const auto gap = static_cast<double>((now - a.last).ticks());
+    a.ewma_us = a.count == 1 ? gap : a.ewma_us + config_.alpha * (gap - a.ewma_us);
+  }
+  a.last = now;
+  ++a.count;
+}
+
+Tier LeaseManager::tier(const std::string& function) const {
+  const auto it = arrivals_.find(function);
+  if (it == arrivals_.end() || it->second.count < config_.min_arrivals)
+    return Tier::kCold;
+  const auto ewma =
+      sim::SimTime::micros(static_cast<std::int64_t>(it->second.ewma_us));
+  if (ewma <= config_.hot_interarrival) return Tier::kHot;
+  if (ewma <= config_.warm_interarrival) return Tier::kWarm;
+  return Tier::kCold;
+}
+
+const Lease* LeaseManager::find(const std::string& function, sim::SimTime now) {
+  const auto it = leases_.find(function);
+  if (it == leases_.end()) return nullptr;
+  if (it->second.expires_at < now) {
+    ++stats_.expired;
+    drop(function);
+    return nullptr;
+  }
+  return &it->second;
+}
+
+const Lease* LeaseManager::acquire(const std::string& function, WorkerId worker,
+                                   sim::SimTime now) {
+  if (leases_.find(function) != leases_.end()) return nullptr;
+  std::size_t& held = per_worker_[worker];
+  if (held >= config_.max_leases_per_worker) return nullptr;
+  Lease l;
+  l.id = next_id_++;
+  l.function = function;
+  l.worker = worker;
+  l.granted_at = now;
+  l.expires_at = now + config_.term;
+  ++held;
+  ++stats_.granted;
+  return &leases_.emplace(function, std::move(l)).first->second;
+}
+
+bool LeaseManager::renew(const std::string& function, sim::SimTime now) {
+  const auto it = leases_.find(function);
+  if (it == leases_.end()) return false;
+  it->second.expires_at = now + config_.term;
+  ++it->second.renewals;
+  ++stats_.renewed;
+  return true;
+}
+
+void LeaseManager::on_hit(const std::string& function, sim::SimTime now) {
+  const auto it = leases_.find(function);
+  if (it == leases_.end()) return;
+  ++it->second.hits;
+  ++stats_.hits;
+  if (config_.auto_renew) {
+    it->second.expires_at = now + config_.term;
+    ++it->second.renewals;
+    ++stats_.renewed;
+  }
+}
+
+bool LeaseManager::revoke(const std::string& function) {
+  if (leases_.find(function) == leases_.end()) return false;
+  ++stats_.revoked;
+  drop(function);
+  return true;
+}
+
+std::size_t LeaseManager::revoke_worker(WorkerId worker) {
+  // Collect-then-erase in sorted order: leases_ is an unordered_map and
+  // nothing downstream may depend on its iteration order.
+  std::vector<std::string> victims;
+  for (const auto& [fn, l] : leases_) {
+    if (l.worker == worker) victims.push_back(fn);
+  }
+  std::sort(victims.begin(), victims.end());
+  for (const std::string& fn : victims) {
+    ++stats_.revoked;
+    drop(fn);
+  }
+  return victims.size();
+}
+
+std::size_t LeaseManager::leases_on(WorkerId worker) const {
+  const auto it = per_worker_.find(worker);
+  return it == per_worker_.end() ? 0 : it->second;
+}
+
+sim::SimTime LeaseManager::interarrival(const std::string& function) const {
+  const auto it = arrivals_.find(function);
+  if (it == arrivals_.end() || it->second.count < 2) return sim::SimTime::zero();
+  return sim::SimTime::micros(static_cast<std::int64_t>(it->second.ewma_us));
+}
+
+void LeaseManager::drop(const std::string& function) {
+  const auto it = leases_.find(function);
+  if (it == leases_.end()) return;
+  const auto held = per_worker_.find(it->second.worker);
+  if (held != per_worker_.end() && held->second > 0) --held->second;
+  leases_.erase(it);
+}
+
+}  // namespace hpcwhisk::lease

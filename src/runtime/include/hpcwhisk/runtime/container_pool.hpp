@@ -53,6 +53,46 @@ struct AcquireResult {
   sim::SimTime start_latency;  ///< includes any eviction cost paid first
 };
 
+/// Container keep-alive (idle-timeout) policy family (*Has Your FaaS
+/// Application Been Decommissioned Yet?*, PAPERS.md: the keep-alive
+/// policy dominates cold-start rate under real traffic).
+enum class KeepAlivePolicy : std::uint8_t {
+  /// Every idle container lives Config::idle_timeout — the historical
+  /// single hardcoded constant (OpenWhisk's 10 minutes).
+  kFixed,
+  /// Per-function timeout proportional to the function's inter-arrival
+  /// EWMA, clamped to [floor, ceiling]: rarely-called functions release
+  /// memory early, hot functions never lose their container to a timer.
+  kAdaptive,
+  /// kAdaptive further scaled down toward `floor` as pool occupancy
+  /// (containers or memory, whichever is tighter) crosses
+  /// [pressure_low, pressure_high] — keep-alive generosity is a luxury
+  /// of an empty node.
+  kHybrid,
+};
+
+[[nodiscard]] const char* to_string(KeepAlivePolicy p);
+[[nodiscard]] std::optional<KeepAlivePolicy> keep_alive_policy_from_string(
+    const std::string& name);
+
+struct KeepAliveConfig {
+  KeepAlivePolicy policy{KeepAlivePolicy::kFixed};
+  /// kAdaptive/kHybrid: timeout = clamp(margin * interarrival EWMA).
+  double margin{4.0};
+  sim::SimTime floor{sim::SimTime::seconds(30)};
+  sim::SimTime ceiling{sim::SimTime::minutes(20)};
+  /// Inter-arrival EWMA smoothing factor.
+  double alpha{0.25};
+  /// kHybrid occupancy band: below low the adaptive timeout applies
+  /// untouched, above high only `floor` remains.
+  double pressure_low{0.5};
+  double pressure_high{0.9};
+  /// Cadence of the invoker-side reap_idle() sweep. Zero (the default)
+  /// disables periodic reaping — the historical behavior, where idle
+  /// containers die only by eviction pressure.
+  sim::SimTime reap_interval{sim::SimTime::zero()};
+};
+
 class ContainerPool {
  public:
   struct Config {
@@ -61,8 +101,13 @@ class ContainerPool {
     std::int64_t memory_mb{120 * 1024};
     /// Hard cap on concurrently existing containers on the node.
     std::size_t max_containers{64};
-    /// Idle containers older than this are reaped by reap_idle().
+    /// Idle containers older than this are reaped by reap_idle() under
+    /// KeepAlivePolicy::kFixed (and as the fallback before a function
+    /// has arrival history under the adaptive policies).
     sim::SimTime idle_timeout{sim::SimTime::minutes(10)};
+    /// Pluggable keep-alive policy; the default (kFixed) reproduces the
+    /// historical behavior exactly.
+    KeepAliveConfig keep_alive{};
     /// Stem-cell pool (OpenWhisk prewarm): generic containers of this
     /// kind are kept booted so the first call of a new function pays
     /// only a specialization latency instead of a full cold start.
@@ -108,9 +153,31 @@ class ContainerPool {
   /// by a drain and the invoker is shutting down).
   void remove(ContainerId id);
 
-  /// Evicts idle containers unused for longer than idle_timeout.
-  /// Returns how many were reaped.
+  /// Evicts idle containers unused for longer than their keep-alive
+  /// timeout (per-function under the adaptive policies). Returns how
+  /// many were reaped.
   std::size_t reap_idle(sim::SimTime now);
+
+  /// The keep-alive timeout currently in force for `function`: the
+  /// fixed idle_timeout, or the per-function adaptive value (pressure-
+  /// scaled under kHybrid). Exposed for tests and observability.
+  [[nodiscard]] sim::SimTime effective_idle_timeout(
+      const std::string& function) const;
+
+  /// True if an idle warm container for `function` (>= memory_mb) exists,
+  /// i.e. an acquire right now would be a warm resume.
+  [[nodiscard]] bool has_warm_idle(const std::string& function,
+                                   std::int64_t memory_mb) const;
+
+  /// True if a new container of `memory_mb` fits without evicting
+  /// anything (the same admission rule refill_prewarm uses). Conservative
+  /// headroom probe for the direct-invoke seam: when it is false a direct
+  /// call would evict warm containers or be rejected outright, so callers
+  /// should fall back to the queue path instead.
+  [[nodiscard]] bool can_admit(std::int64_t memory_mb) const {
+    return containers_.size() < config_.max_containers &&
+           memory_in_use_mb_ + memory_mb <= config_.memory_mb;
+  }
 
   /// Destroys every container (node handed back to the HPC workload).
   void clear();
@@ -142,6 +209,16 @@ class ContainerPool {
   /// full or capacity runs out.
   void refill_prewarm(sim::SimTime now);
 
+  /// Folds an acquire into the function's inter-arrival EWMA (adaptive
+  /// keep-alive policies only; kFixed never touches the map).
+  void note_arrival(const std::string& function, sim::SimTime now);
+
+  struct InterArrival {
+    sim::SimTime last;
+    double ewma_us{0.0};
+    std::uint64_t count{0};
+  };
+
   Config config_;
   RuntimeProfile profile_;
   sim::Rng rng_;
@@ -153,6 +230,9 @@ class ContainerPool {
   std::size_t busy_count_{0};
   std::int64_t memory_in_use_mb_{0};
   ContainerId next_id_{1};
+  /// Per-function arrival stats for the adaptive keep-alive policies;
+  /// empty (never populated) under kFixed.
+  std::unordered_map<std::string, InterArrival> arrivals_;
   Counters counters_;
 };
 

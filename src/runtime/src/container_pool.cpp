@@ -6,6 +6,25 @@
 
 namespace hpcwhisk::runtime {
 
+const char* to_string(KeepAlivePolicy p) {
+  switch (p) {
+    case KeepAlivePolicy::kFixed: return "fixed";
+    case KeepAlivePolicy::kAdaptive: return "adaptive";
+    case KeepAlivePolicy::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+std::optional<KeepAlivePolicy> keep_alive_policy_from_string(
+    const std::string& name) {
+  for (const KeepAlivePolicy p :
+       {KeepAlivePolicy::kFixed, KeepAlivePolicy::kAdaptive,
+        KeepAlivePolicy::kHybrid}) {
+    if (name == to_string(p)) return p;
+  }
+  return std::nullopt;
+}
+
 ContainerPool::ContainerPool(Config config, RuntimeProfile profile,
                              sim::Rng rng)
     : config_{config}, profile_{profile}, rng_{rng} {}
@@ -18,6 +37,8 @@ AcquireResult ContainerPool::acquire(const std::string& function,
 AcquireResult ContainerPool::acquire(const std::string& function,
                                      const std::string& kind,
                                      std::int64_t memory_mb, sim::SimTime now) {
+  if (config_.keep_alive.policy != KeepAlivePolicy::kFixed)
+    note_arrival(function, now);
   // 1. Warm hit: scan the idle LRU (newest-first so the hottest container
   //    is reused) for a container of the same function.
   for (auto it = idle_lru_.rbegin(); it != idle_lru_.rend(); ++it) {
@@ -69,6 +90,15 @@ AcquireResult ContainerPool::acquire(const std::string& function,
   ++counters_.cold_starts;
   return AcquireResult{AcquireResult::Kind::kCold, id,
                        *eviction_latency + profile_.sample_cold_start(rng_)};
+}
+
+bool ContainerPool::has_warm_idle(const std::string& function,
+                                  std::int64_t memory_mb) const {
+  for (const ContainerId id : idle_lru_) {
+    const Container& c = containers_.at(id);
+    if (c.function == function && c.memory_mb >= memory_mb) return true;
+  }
+  return false;
 }
 
 std::optional<sim::SimTime> ContainerPool::make_room(std::int64_t memory_mb) {
@@ -150,11 +180,57 @@ void ContainerPool::remove(ContainerId id) {
   containers_.erase(it);
 }
 
+void ContainerPool::note_arrival(const std::string& function,
+                                 sim::SimTime now) {
+  InterArrival& a = arrivals_[function];
+  if (a.count > 0) {
+    const auto gap = static_cast<double>((now - a.last).ticks());
+    a.ewma_us =
+        a.count == 1 ? gap : a.ewma_us + config_.keep_alive.alpha * (gap - a.ewma_us);
+  }
+  a.last = now;
+  ++a.count;
+}
+
+sim::SimTime ContainerPool::effective_idle_timeout(
+    const std::string& function) const {
+  const KeepAliveConfig& ka = config_.keep_alive;
+  if (ka.policy == KeepAlivePolicy::kFixed) return config_.idle_timeout;
+  sim::SimTime base = config_.idle_timeout;  // no history yet: old behavior
+  const auto it = arrivals_.find(function);
+  if (it != arrivals_.end() && it->second.count >= 2) {
+    base = std::clamp(sim::SimTime::micros(static_cast<std::int64_t>(
+                          ka.margin * it->second.ewma_us)),
+                      ka.floor, ka.ceiling);
+  }
+  if (ka.policy == KeepAlivePolicy::kAdaptive || base <= ka.floor) return base;
+  // kHybrid: occupancy pressure eats the margin above the floor.
+  const double by_count =
+      config_.max_containers == 0
+          ? 0.0
+          : static_cast<double>(containers_.size()) /
+                static_cast<double>(config_.max_containers);
+  const double by_memory =
+      config_.memory_mb <= 0
+          ? 0.0
+          : static_cast<double>(memory_in_use_mb_) /
+                static_cast<double>(config_.memory_mb);
+  const double occupancy = std::max(by_count, by_memory);
+  const double band = std::max(1e-9, ka.pressure_high - ka.pressure_low);
+  const double p =
+      std::clamp((occupancy - ka.pressure_low) / band, 0.0, 1.0);
+  const auto above_floor = static_cast<double>((base - ka.floor).ticks());
+  return base - sim::SimTime::micros(static_cast<std::int64_t>(p * above_floor));
+}
+
 std::size_t ContainerPool::reap_idle(sim::SimTime now) {
   std::size_t reaped = 0;
+  const bool fixed = config_.keep_alive.policy == KeepAlivePolicy::kFixed;
   for (auto it = idle_lru_.begin(); it != idle_lru_.end();) {
     const Container& c = containers_.at(*it);
-    if (now - c.last_used > config_.idle_timeout) {
+    const sim::SimTime timeout =
+        fixed ? config_.idle_timeout : effective_idle_timeout(c.function);
+    if (now - c.last_used > timeout) {
       memory_in_use_mb_ -= c.memory_mb;
       containers_.erase(*it);
       it = idle_lru_.erase(it);

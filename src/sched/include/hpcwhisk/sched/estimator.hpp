@@ -72,25 +72,49 @@ struct EstimatorConfig {
   /// routing-cost prior: the cold/warm duration models below measure
   /// execution time, which in this simulator excludes container setup.
   sim::SimTime cold_overhead{sim::SimTime::millis(500)};
+  /// Additionally keep a (function, worker) EWMA pair and let the
+  /// worker-qualified predict overloads answer from it when it has
+  /// history. Captures per-node heterogeneity (CPU dilation under
+  /// co-location, slow nodes) that the global model averages away.
+  /// Off by default: the overloads then delegate to the global model
+  /// and routing decisions are byte-identical.
+  bool per_worker{false};
 };
 
 /// Per-function online duration model fed from activation completions.
 class DurationEstimator {
  public:
+  /// Worker id meaning "not attributable to a worker" (matches the
+  /// controller's kNoInvoker sentinel, ~0u): per-worker folding and
+  /// lookups are skipped for it.
+  static constexpr std::uint32_t kAnyWorker = ~std::uint32_t{0};
+
   explicit DurationEstimator(EstimatorConfig config = {})
       : config_{config} {}
 
   /// Folds one completed execution into the function's model.
   void observe(const std::string& function, sim::SimTime duration,
                bool cold_start);
+  /// As above, additionally folding the (function, worker) model when
+  /// EstimatorConfig::per_worker is set and `worker` != kAnyWorker.
+  void observe(const std::string& function, sim::SimTime duration,
+               bool cold_start, std::uint32_t worker);
 
   /// Best single-point prediction for one execution of `function`:
   /// warm EWMA if warm history exists, else cold EWMA, else the prior.
   /// Reads never mutate state (prior_hits is the only, explicit, tally).
   [[nodiscard]] sim::SimTime predict(const std::string& function) const;
+  /// Worker-qualified prediction: the (function, worker) warm EWMA when
+  /// per_worker is on and that pair has history; otherwise identical to
+  /// the global predict() (same value, same prior_hits accounting).
+  [[nodiscard]] sim::SimTime predict(const std::string& function,
+                                     std::uint32_t worker) const;
   /// Prediction for a cold execution (cold EWMA, falling back like
   /// predict()). The cold-start *overhead* is config().cold_overhead.
   [[nodiscard]] sim::SimTime predict_cold(const std::string& function) const;
+  /// Worker-qualified cold prediction (see predict(function, worker)).
+  [[nodiscard]] sim::SimTime predict_cold(const std::string& function,
+                                          std::uint32_t worker) const;
   /// Tail estimate from the quantile sketch; predict() with no samples.
   [[nodiscard]] sim::SimTime predict_quantile(const std::string& function,
                                               double q) const;
@@ -124,10 +148,17 @@ class DurationEstimator {
     void fold(double sample, double alpha);
   };
 
+  struct WorkerEwmas {
+    Ewma warm;
+    Ewma cold;
+  };
+
   struct Model {
     Ewma warm;
     Ewma cold;
     QuantileSketch sketch;
+    /// Populated only when EstimatorConfig::per_worker is set.
+    std::unordered_map<std::uint32_t, WorkerEwmas> per_worker;
   };
 
   EstimatorConfig config_;

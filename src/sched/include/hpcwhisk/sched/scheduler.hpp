@@ -46,6 +46,12 @@ struct SchedConfig {
   bool deadline_classes{false};
   /// Predicted-duration bound under which a call is short-class.
   sim::SimTime short_class_bound{sim::SimTime::millis(250)};
+  /// Deadline-class dispersion guard: the short-class test compares
+  /// `predict + factor * deviation` against the bound, so a function
+  /// whose durations swing wildly must predict well under the bound
+  /// before it may jump queues. 0 (default) preserves the plain
+  /// predicted <= bound test bit-for-bit.
+  double short_class_deviation_factor{0.0};
 };
 
 class CallScheduler {
@@ -112,6 +118,12 @@ class CallScheduler {
   /// (`actual` >= 0) — folds the actual duration into the estimator.
   Outcome on_finished(CallId call, const std::string& function,
                       std::int64_t actual_ticks, bool cold_start);
+  /// As above, attributing the sample to the worker that executed the
+  /// call (feeds the per-worker models when they are enabled; pass
+  /// DurationEstimator::kAnyWorker when unknown).
+  Outcome on_finished(CallId call, const std::string& function,
+                      std::int64_t actual_ticks, bool cold_start,
+                      WorkerId worker);
 
   /// The worker vanished without hand-off: drop all its charges (the
   /// watchdog's rescue re-charges survivors when they restart).

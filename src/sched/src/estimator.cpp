@@ -73,10 +73,20 @@ void DurationEstimator::Ewma::fold(double sample, double alpha) {
 
 void DurationEstimator::observe(const std::string& function,
                                 sim::SimTime duration, bool cold_start) {
+  observe(function, duration, cold_start, kAnyWorker);
+}
+
+void DurationEstimator::observe(const std::string& function,
+                                sim::SimTime duration, bool cold_start,
+                                std::uint32_t worker) {
   Model& model = models_[function];
   const auto sample = static_cast<double>(duration.ticks());
   (cold_start ? model.cold : model.warm).fold(sample, config_.alpha);
   model.sketch.observe(sample);
+  if (config_.per_worker && worker != kAnyWorker) {
+    WorkerEwmas& w = model.per_worker[worker];
+    (cold_start ? w.cold : w.warm).fold(sample, config_.alpha);
+  }
   ++stats_.observations;
   if (cold_start) ++stats_.cold_observations;
 }
@@ -92,6 +102,23 @@ sim::SimTime DurationEstimator::predict(const std::string& function) const {
   return sim::SimTime::micros(static_cast<std::int64_t>(e.mean));
 }
 
+sim::SimTime DurationEstimator::predict(const std::string& function,
+                                        std::uint32_t worker) const {
+  if (!config_.per_worker || worker == kAnyWorker) return predict(function);
+  const auto it = models_.find(function);
+  if (it == models_.end()) {
+    ++stats_.prior_hits;
+    return config_.prior;
+  }
+  const Model& m = it->second;
+  const auto w = m.per_worker.find(worker);
+  if (w != m.per_worker.end() && w->second.warm.count > 0)
+    return sim::SimTime::micros(
+        static_cast<std::int64_t>(w->second.warm.mean));
+  const Ewma& e = m.warm.count > 0 ? m.warm : m.cold;
+  return sim::SimTime::micros(static_cast<std::int64_t>(e.mean));
+}
+
 sim::SimTime DurationEstimator::predict_cold(
     const std::string& function) const {
   const auto it = models_.find(function);
@@ -100,6 +127,24 @@ sim::SimTime DurationEstimator::predict_cold(
     return config_.prior;
   }
   const Model& m = it->second;
+  const Ewma& e = m.cold.count > 0 ? m.cold : m.warm;
+  return sim::SimTime::micros(static_cast<std::int64_t>(e.mean));
+}
+
+sim::SimTime DurationEstimator::predict_cold(const std::string& function,
+                                             std::uint32_t worker) const {
+  if (!config_.per_worker || worker == kAnyWorker)
+    return predict_cold(function);
+  const auto it = models_.find(function);
+  if (it == models_.end()) {
+    ++stats_.prior_hits;
+    return config_.prior;
+  }
+  const Model& m = it->second;
+  const auto w = m.per_worker.find(worker);
+  if (w != m.per_worker.end() && w->second.cold.count > 0)
+    return sim::SimTime::micros(
+        static_cast<std::int64_t>(w->second.cold.mean));
   const Ewma& e = m.cold.count > 0 ? m.cold : m.warm;
   return sim::SimTime::micros(static_cast<std::int64_t>(e.mean));
 }

@@ -9,11 +9,14 @@ CallScheduler::Cost CallScheduler::cost_at(const std::string& function,
   Cost c;
   c.cold = !is_warm(worker, function);
   c.backlog = ledger_.backlog(worker);
+  // Worker-qualified predictions: identical to the global model unless
+  // per-worker models are enabled and this (function, worker) pair has
+  // history of its own.
   if (c.cold) {
-    c.predicted = estimator_.predict_cold(function).ticks();
+    c.predicted = estimator_.predict_cold(function, worker).ticks();
     c.cost = c.backlog + c.predicted + config_.estimator.cold_overhead.ticks();
   } else {
-    c.predicted = estimator_.predict(function).ticks();
+    c.predicted = estimator_.predict(function, worker).ticks();
     c.cost = c.backlog + c.predicted;
   }
   return c;
@@ -34,10 +37,20 @@ CallScheduler::Decision CallScheduler::finalize(
   d.runner_up_cost_ticks = runner_up_cost;
   d.backlog_ticks = cost.backlog;
   d.candidates = static_cast<std::uint32_t>(candidates);
-  if (config_.deadline_classes &&
-      estimator_.predict(function) <= config_.short_class_bound) {
-    d.short_class = true;
-    ++stats_.short_class;
+  if (config_.deadline_classes) {
+    sim::SimTime metric = estimator_.predict(function);
+    if (config_.short_class_deviation_factor > 0.0) {
+      // Dispersion guard: high-variance functions must predict well
+      // under the bound before they may jump queues.
+      metric = metric + sim::SimTime::micros(static_cast<std::int64_t>(
+                            config_.short_class_deviation_factor *
+                            static_cast<double>(
+                                estimator_.deviation(function).ticks())));
+    }
+    if (metric <= config_.short_class_bound) {
+      d.short_class = true;
+      ++stats_.short_class;
+    }
   }
   ++stats_.decisions;
   if (d.expected_cold) ++stats_.cold_routed;
@@ -141,6 +154,15 @@ CallScheduler::Outcome CallScheduler::on_finished(CallId call,
                                                   const std::string& function,
                                                   std::int64_t actual_ticks,
                                                   bool cold_start) {
+  return on_finished(call, function, actual_ticks, cold_start,
+                     DurationEstimator::kAnyWorker);
+}
+
+CallScheduler::Outcome CallScheduler::on_finished(CallId call,
+                                                  const std::string& function,
+                                                  std::int64_t actual_ticks,
+                                                  bool cold_start,
+                                                  WorkerId worker) {
   Outcome out;
   BacklogLedger::Charge charge;
   out.had_charge = ledger_.release(call, &charge);
@@ -149,7 +171,8 @@ CallScheduler::Outcome CallScheduler::on_finished(CallId call,
   // error is a genuine forecast error even on the uncharged path.
   out.predicted_ticks = out.had_charge ? charge.predicted_ticks
                                        : estimator_.predict(function).ticks();
-  estimator_.observe(function, sim::SimTime::micros(actual_ticks), cold_start);
+  estimator_.observe(function, sim::SimTime::micros(actual_ticks), cold_start,
+                     worker);
   out.observed = true;
   out.actual_ticks = actual_ticks;
   out.abs_error_ticks = out.actual_ticks >= out.predicted_ticks

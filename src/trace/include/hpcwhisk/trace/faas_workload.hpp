@@ -31,6 +31,14 @@ class FaasLoadGenerator {
     /// true  => Poisson arrivals at the same mean rate.
     bool poisson{false};
     std::vector<std::string> functions;
+    /// Skewed popularity: with probability `hot_share` an arrival is
+    /// drawn (round-robin) from the first `hot_count` names instead of
+    /// the global round-robin — the few-hot-functions shape of
+    /// production FaaS traces, and the mix the lease tier feeds on.
+    /// The defaults make zero RNG draws, so existing arrival sequences
+    /// stay byte-identical.
+    double hot_share{0.0};
+    std::size_t hot_count{0};
   };
 
   FaasLoadGenerator(sim::Simulation& simulation, Config config, Sink sink,
@@ -52,6 +60,7 @@ class FaasLoadGenerator {
   sim::SimTime until_;
   std::uint64_t issued_{0};
   std::size_t next_function_{0};
+  std::size_t next_hot_{0};
   bool running_{false};
 };
 

@@ -40,10 +40,21 @@ void FaasLoadGenerator::arm_next() {
   }
   sim_.after(gap, [this] {
     if (!running_) return;
-    // Round-robin over the function names: with 100 distinct names this
-    // exercises every healthy invoker's topic (hash routing).
-    const std::string& fn = config_.functions[next_function_];
-    next_function_ = (next_function_ + 1) % config_.functions.size();
+    std::size_t pick;
+    if (config_.hot_share > 0.0 && config_.hot_count > 0 &&
+        rng_.bernoulli(config_.hot_share)) {
+      // Hot subset: its own round-robin over the first hot_count names.
+      const std::size_t n =
+          std::min(config_.hot_count, config_.functions.size());
+      pick = next_hot_ % n;
+      next_hot_ = (next_hot_ + 1) % n;
+    } else {
+      // Round-robin over the function names: with 100 distinct names this
+      // exercises every healthy invoker's topic (hash routing).
+      pick = next_function_;
+      next_function_ = (next_function_ + 1) % config_.functions.size();
+    }
+    const std::string& fn = config_.functions[pick];
     ++issued_;
     sink_(fn);
     arm_next();

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "hpcwhisk/lease/lease_manager.hpp"
 #include "hpcwhisk/mq/broker.hpp"
 #include "hpcwhisk/sched/scheduler.hpp"
 #include "hpcwhisk/sim/simulation.hpp"
@@ -98,6 +99,12 @@ class Controller {
     /// (and no scheduler is instantiated) for the legacy modes, whose
     /// decision logs stay byte-identical.
     sched::SchedConfig sched{};
+    /// Lease-based serving tier (rFaaS-style, PAPERS.md): hot functions
+    /// are granted time-bounded leases on a warm invoker and later calls
+    /// bypass the topic queue via the direct-invoke seam. Disabled by
+    /// default — no LeaseManager is instantiated and every legacy
+    /// decision log stays byte-identical.
+    lease::LeaseConfig lease{};
     /// Optional trace/metrics sink; null disables all instrumentation.
     obs::Observability* obs{nullptr};
   };
@@ -133,6 +140,22 @@ class Controller {
   /// Registers a new invoker; returns its id. Its topic is
   /// `invoker_topic_name(id)`.
   InvokerId register_invoker();
+
+  /// Bypass channel for leased calls: `ready(spec)` is polled before any
+  /// bookkeeping (so a refusal needs no rollback) and `invoke()` hands
+  /// the message straight to the invoker, skipping the topic queue.
+  /// `ready` sees the function spec so the invoker can refuse when its
+  /// pool has neither a warm container for the function nor eviction-free
+  /// admission headroom — a direct call then would cold-start at best and
+  /// storm the pool at worst, while the queue path can probe elsewhere.
+  /// The invoker installs its seam right after registering; the
+  /// controller drops it when the invoker leaves or goes unresponsive.
+  struct DirectSeam {
+    std::function<bool(const FunctionSpec&)> ready;
+    std::function<void(mq::Message)> invoke;
+  };
+  void set_direct_invoke(InvokerId id, DirectSeam seam);
+  void clear_direct_invoke(InvokerId id);
   void heartbeat(InvokerId id);
   /// The invoker announces it is departing: routing stops and the
   /// unpulled backlog of its topic moves to the fast lane.
@@ -171,6 +194,10 @@ class Controller {
   [[nodiscard]] const sched::CallScheduler* scheduler() const {
     return scheduler_.get();
   }
+  /// The lease manager, or nullptr when Config::lease.enabled is false.
+  [[nodiscard]] const lease::LeaseManager* lease_manager() const {
+    return leases_.get();
+  }
   /// Predicted outstanding work across all invokers, in ticks (0 without
   /// a scheduler). Sampled by the federation gateway's health snapshots.
   [[nodiscard]] std::int64_t expected_backlog_ticks() const {
@@ -195,6 +222,10 @@ class Controller {
     std::uint64_t requeued{0};
     std::uint64_t interrupted{0};
     std::uint64_t unresponsive_detected{0};
+    /// Lease tier (all zero unless Config::lease.enabled).
+    std::uint64_t lease_hits{0};     ///< calls served via the direct seam
+    std::uint64_t lease_granted{0};  ///< leases acquired on the route path
+    std::uint64_t lease_fallback{0};  ///< leased calls routed normally
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -225,6 +256,20 @@ class Controller {
   /// Picks the target invoker among `healthy` for `function`.
   [[nodiscard]] InvokerId route(const std::string& function,
                                 const std::vector<InvokerId>& healthy);
+
+  /// Serves an accepted call (records_.back()) through its lease's
+  /// direct seam: same bookkeeping, trace chain and decision-log entry
+  /// as the queue path, minus the topic publish.
+  SubmitResult submit_leased(const std::string& function,
+                             const FunctionSpec& spec, const lease::Lease& l,
+                             const DirectSeam& seam);
+
+  /// Arms the client-visible timeout for an accepted activation.
+  void arm_timeout(const FunctionSpec& spec, ActivationId id);
+
+  /// Drops every lease on `id` and forgets its direct seam (drain,
+  /// deregistration, watchdog kill). No-op when leasing is off.
+  void revoke_leases_on(InvokerId id);
 
   ActivationRecord& record(ActivationId id);
   void finish(ActivationRecord& rec, ActivationState state);
@@ -258,6 +303,14 @@ class Controller {
       completion_callbacks_;
   /// Present only for data-driven route modes.
   std::unique_ptr<sched::CallScheduler> scheduler_;
+  /// Present only when Config::lease.enabled.
+  std::unique_ptr<lease::LeaseManager> leases_;
+  /// Direct-invoke seams, indexed by InvokerId (default-constructed =
+  /// no seam). Only consulted when leasing is on.
+  std::vector<DirectSeam> direct_;
+  /// Scratch single-candidate list for charging leased calls through the
+  /// scheduler without a per-call allocation.
+  std::vector<InvokerId> lease_candidate_;
   /// Decision of the routing call currently inside submit(): carries the
   /// charge and the short-class verdict from route() to the publish.
   std::optional<sched::CallScheduler::Decision> pending_decision_;

@@ -99,6 +99,23 @@ class Invoker {
   /// executions with their preserved remaining time.
   void resume();
 
+  /// Whether a leased call for `spec` may be handed over right now:
+  /// alive, not departing, under the dispatch gate, and the pool either
+  /// holds a warm container for the function or can admit a new one
+  /// without evicting — a direct call must not trigger eviction storms
+  /// or capacity failures the queue path would have probed around.
+  /// Checked by the controller's direct seam *before* any hand-over, so
+  /// a refusal needs no rollback.
+  [[nodiscard]] bool can_direct_invoke(const FunctionSpec& spec) const {
+    return started_ && !draining_ && !dead_ && !stalled_ &&
+           running_.size() < config_.max_concurrent &&
+           (pool_.has_warm_idle(spec.name, spec.memory_mb) ||
+            pool_.can_admit(spec.memory_mb));
+  }
+  /// Direct hand-over of a leased call: starts execution immediately,
+  /// skipping the topic queue and the poll cadence entirely.
+  void direct_invoke(mq::Message msg);
+
   [[nodiscard]] InvokerId id() const { return id_; }
   [[nodiscard]] bool started() const { return started_; }
   [[nodiscard]] bool draining() const { return draining_; }
@@ -113,6 +130,7 @@ class Invoker {
     std::uint64_t capacity_failures{0};
     std::uint64_t interrupted{0};
     std::uint64_t dropped_undeliverable{0};
+    std::uint64_t direct_invocations{0};  ///< leased calls handed over
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -161,6 +179,8 @@ class Invoker {
   bool draining_{false};
   bool dead_{false};
   bool stalled_{false};
+  /// Last periodic reap_idle() sweep (keep-alive reap_interval > 0).
+  sim::SimTime last_reap_;
   sim::EventId resume_event_;
   std::function<void()> on_drained_;
   Counters counters_;

@@ -56,6 +56,8 @@ Controller::Controller(sim::Simulation& simulation, mq::Broker& broker,
     : sim_{simulation}, broker_{broker}, registry_{registry}, config_{config} {
   if (is_data_driven(config_.route_mode))
     scheduler_ = std::make_unique<sched::CallScheduler>(config_.sched);
+  if (config_.lease.enabled)
+    leases_ = std::make_unique<lease::LeaseManager>(config_.lease);
   sim_.every(config_.watchdog_interval, [this] { watchdog_sweep(); });
   HW_OBS_IF(config_.obs) {
     // Hot-path instruments resolved once; references stay valid for the
@@ -81,6 +83,17 @@ Controller::Controller(sim::Simulation& simulation, mq::Broker& broker,
           .set(counters_.sequence_invocations);
       m.gauge("whisk.controller.healthy_invokers")
           .set(static_cast<double>(healthy_count()));
+      if (leases_) {
+        const auto& ls = leases_->stats();
+        m.counter("whisk.lease.hits").set(counters_.lease_hits);
+        m.counter("whisk.lease.granted").set(ls.granted);
+        m.counter("whisk.lease.renewed").set(ls.renewed);
+        m.counter("whisk.lease.expired").set(ls.expired);
+        m.counter("whisk.lease.revoked").set(ls.revoked);
+        m.counter("whisk.lease.fallbacks").set(counters_.lease_fallback);
+        m.gauge("whisk.lease.active")
+            .set(static_cast<double>(leases_->lease_count()));
+      }
       if (scheduler_) {
         const auto& s = scheduler_->stats();
         m.counter("whisk.sched.decisions").set(s.decisions);
@@ -136,6 +149,28 @@ SubmitResult Controller::submit(const std::string& function) {
 
   records_.push_back(rec);
   ++counters_.accepted;
+
+  if (leases_) {
+    leases_->observe_arrival(function, sim_.now());
+    if (const lease::Lease* l = leases_->find(function, sim_.now())) {
+      const InvokerId worker = l->worker;
+      const bool usable = worker < invokers_.size() &&
+                          invokers_[worker].health == InvokerHealth::kHealthy &&
+                          worker < direct_.size() && direct_[worker].invoke;
+      if (!usable) {
+        // The leased worker is gone (or never exposed a seam): the lease
+        // is stale, not merely busy — revoke it and route normally.
+        leases_->revoke(function);
+        ++counters_.lease_fallback;
+      } else if (!direct_[worker].ready(spec)) {
+        // Worker alive but saturated: keep the lease (the burst will
+        // pass) and pay the queue path for this call only.
+        ++counters_.lease_fallback;
+      } else {
+        return submit_leased(function, spec, *l, direct_[worker]);
+      }
+    }
+  }
 
   const InvokerId target = route(function, healthy);
   records_.back().routed_to = target;
@@ -196,8 +231,63 @@ SubmitResult Controller::submit(const std::string& function) {
   }
   pending_decision_.reset();
 
-  // Arm the client-visible timeout.
+  // A hot function earns a lease on the invoker it just routed to, so
+  // its next call skips the queue entirely.
+  if (leases_ && leases_->tier(function) == lease::Tier::kHot &&
+      leases_->acquire(function, target, sim_.now()) != nullptr) {
+    ++counters_.lease_granted;
+  }
+
+  arm_timeout(spec, rec.id);
+  return SubmitResult{true, rec.id};
+}
+
+SubmitResult Controller::submit_leased(const std::string& function,
+                                       const FunctionSpec& spec,
+                                       const lease::Lease& l,
+                                       const DirectSeam& seam) {
+  ActivationRecord& rec = records_.back();
   const ActivationId act_id = rec.id;
+  const InvokerId target = l.worker;
+  rec.routed_to = target;
+  ++invokers_[target].in_flight;
+  if (scheduler_) {
+    // Charge the leased worker's ledger exactly as a routed call would
+    // be, so the conservation audit and backlog predictions stay honest.
+    lease_candidate_.assign(1, target);
+    const sched::CallScheduler::Decision d =
+        scheduler_->route_least_expected_work(function, lease_candidate_);
+    scheduler_->on_routed(act_id, d);
+  }
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record_chained(
+        obs::Cat::kActivation, obs::Phase::kAsyncBegin, "activation",
+        obs::Track::kController, 0, act_id, sim_.now(),
+        static_cast<double>(target));
+    config_.obs->trace.record_chained(
+        obs::Cat::kActivation, obs::Phase::kInstant, "lease_direct",
+        obs::Track::kController, 0, act_id, sim_.now(),
+        static_cast<double>(target), static_cast<double>(l.id));
+    obs::RouteDecision why;
+    why.call = act_id;
+    why.at = sim_.now();
+    why.policy = "lease";
+    why.function = function;
+    why.chosen = target;
+    why.candidates = 1;
+    config_.obs->decisions.record(std::move(why));
+  }
+  mq::Message msg;
+  msg.id = act_id;
+  msg.key = function;
+  leases_->on_hit(function, sim_.now());
+  ++counters_.lease_hits;
+  seam.invoke(std::move(msg));
+  arm_timeout(spec, act_id);
+  return SubmitResult{true, act_id};
+}
+
+void Controller::arm_timeout(const FunctionSpec& spec, ActivationId act_id) {
   timeout_events_[act_id] =
       sim_.after(spec.timeout, [this, act_id] {
         timeout_events_.erase(act_id);
@@ -207,8 +297,6 @@ SubmitResult Controller::submit(const std::string& function) {
           finish(r, ActivationState::kTimedOut);
         }
       });
-
-  return SubmitResult{true, act_id};
 }
 
 InvokerId Controller::route(const std::string& function,
@@ -296,6 +384,20 @@ InvokerId Controller::register_invoker() {
   return id;
 }
 
+void Controller::set_direct_invoke(InvokerId id, DirectSeam seam) {
+  if (id >= direct_.size()) direct_.resize(id + 1);
+  direct_[id] = std::move(seam);
+}
+
+void Controller::clear_direct_invoke(InvokerId id) {
+  if (id < direct_.size()) direct_[id] = DirectSeam{};
+}
+
+void Controller::revoke_leases_on(InvokerId id) {
+  clear_direct_invoke(id);
+  if (leases_) leases_->revoke_worker(id);
+}
+
 void Controller::heartbeat(InvokerId id) {
   if (id >= invokers_.size()) return;
   InvokerEntry& entry = invokers_[id];
@@ -314,6 +416,9 @@ void Controller::begin_drain(InvokerId id) {
   if (entry.health == InvokerHealth::kGone) return;
   entry.health = InvokerHealth::kDraining;
   healthy_dirty_ = true;
+  // A departing invoker cannot honor its leases; later calls of the
+  // leased functions route (and re-lease) elsewhere.
+  revoke_leases_on(id);
   move_backlog_to_fast_lane(id);
 }
 
@@ -321,6 +426,7 @@ void Controller::deregister(InvokerId id) {
   if (id >= invokers_.size()) return;
   invokers_[id].health = InvokerHealth::kGone;
   healthy_dirty_ = true;
+  revoke_leases_on(id);
   // Any message published between drain and deregistration is rescued.
   move_backlog_to_fast_lane(id);
   // Graceful departure already released charges via the requeue path;
@@ -483,8 +589,10 @@ void Controller::finish(ActivationRecord& rec, ActivationState state) {
                           rec.start_time != sim::SimTime::zero();
     const std::int64_t actual =
         executed ? (rec.end_time - rec.start_time).ticks() : -1;
-    const sched::CallScheduler::Outcome outcome =
-        scheduler_->on_finished(rec.id, rec.function, actual, rec.cold_start);
+    // executed_by doubles as the estimator's kAnyWorker sentinel (~0u)
+    // when the call never started anywhere.
+    const sched::CallScheduler::Outcome outcome = scheduler_->on_finished(
+        rec.id, rec.function, actual, rec.cold_start, rec.executed_by);
     if (outcome.observed) {
       HW_OBS_IF(config_.obs) {
         h_pred_error_->observe(static_cast<double>(outcome.abs_error_ticks));
@@ -561,6 +669,7 @@ void Controller::watchdog_sweep() {
       // as client timeouts. Its predicted backlog (and warm set) must not
       // survive it, or the router would keep avoiding a ghost.
       if (scheduler_) scheduler_->forget_worker(id);
+      revoke_leases_on(id);
       const std::vector<ActivationId> rescued = move_backlog_to_fast_lane(id);
       rescue_in_flight(id, rescued);
     }

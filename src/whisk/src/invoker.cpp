@@ -42,7 +42,10 @@ Invoker::Invoker(sim::Simulation& simulation, mq::Broker& broker,
 
 Invoker::~Invoker() {
   // The owner (pilot) must have ended the lifecycle; be safe regardless.
-  if (started_ && !dead_) stop_loops();
+  if (started_ && !dead_) {
+    stop_loops();
+    controller_.clear_direct_invoke(id_);
+  }
 }
 
 void Invoker::start() {
@@ -53,7 +56,26 @@ void Invoker::start() {
   // broker-free.
   own_topic_ = broker_.resolve(Controller::invoker_topic_name(id_)).get();
   fast_lane_ = &broker_.fast_lane();
+  // Install the lease bypass seam. Only consulted when the controller
+  // runs with leasing enabled; installing it unconditionally keeps the
+  // invoker oblivious to the controller's lease config.
+  controller_.set_direct_invoke(
+      id_, Controller::DirectSeam{
+               [this](const FunctionSpec& spec) {
+                 return can_direct_invoke(spec);
+               },
+               [this](mq::Message msg) { direct_invoke(std::move(msg)); }});
   start_loops();
+}
+
+void Invoker::direct_invoke(mq::Message msg) {
+  ++counters_.direct_invocations;
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record_chained(
+        obs::Cat::kActivation, obs::Phase::kInstant, "direct_invoke",
+        obs::Track::kInvoker, id_, msg.id, sim_.now());
+  }
+  begin_execution(std::move(msg));
 }
 
 void Invoker::start_loops() {
@@ -65,6 +87,12 @@ void Invoker::start_loops() {
 void Invoker::poll() {
   if (draining_ || dead_) return;
   pool_.maintain_prewarm(sim_.now());
+  const sim::SimTime reap_every = config_.pool.keep_alive.reap_interval;
+  if (reap_every > sim::SimTime::zero() &&
+      sim_.now() - last_reap_ >= reap_every) {
+    last_reap_ = sim_.now();
+    (void)pool_.reap_idle(sim_.now());
+  }
   // Fast lane first (highest priority), then the invoker's own topic.
   // Steady state — both empty — is decided by two relaxed atomic loads:
   // no topic locks, no allocation, on the simulation's most frequent
@@ -368,7 +396,11 @@ void Invoker::hard_kill() {
   running_.clear();
   buffer_.clear();
   pool_.clear();
-  // No controller interaction: the watchdog will notice the silence.
+  // No controller *protocol* interaction: the watchdog will notice the
+  // silence (and revoke any leases then). Dropping the seam here is pure
+  // memory safety — the callbacks captured `this`, and the pilot may
+  // destroy a hard-killed invoker before the watchdog fires.
+  if (started_) controller_.clear_direct_invoke(id_);
 }
 
 void Invoker::stop_loops() {

@@ -124,5 +124,60 @@ TEST(DurationEstimator, TracksFunctionsIndependently) {
   EXPECT_EQ(est.predict("long"), SimTime::seconds(30));
 }
 
+TEST(DurationEstimator, PerWorkerOffMakesOverloadsDelegate) {
+  // The worker-qualified overloads must be byte-identical to the global
+  // model while per_worker is off (the default) — routing decisions pin
+  // golden hashes on this.
+  DurationEstimator est;
+  for (int i = 0; i < 10; ++i) {
+    est.observe("fn", SimTime::millis(40), false, /*worker=*/3);
+  }
+  EXPECT_EQ(est.predict("fn", 3), est.predict("fn"));
+  EXPECT_EQ(est.predict("fn", 9), est.predict("fn"));
+  EXPECT_EQ(est.predict_cold("fn", 3), est.predict_cold("fn"));
+}
+
+TEST(DurationEstimator, PerWorkerModelCapturesNodeHeterogeneity) {
+  EstimatorConfig cfg;
+  cfg.per_worker = true;
+  DurationEstimator est{cfg};
+  // The same function runs 10 ms on worker 0 and 80 ms on the dilated
+  // worker 1 (CPU oversubscription).
+  for (int i = 0; i < 20; ++i) {
+    est.observe("fn", SimTime::millis(10), false, 0);
+    est.observe("fn", SimTime::millis(80), false, 1);
+  }
+  EXPECT_EQ(est.predict("fn", 0), SimTime::millis(10));
+  EXPECT_EQ(est.predict("fn", 1), SimTime::millis(80));
+  // The global model blends both; a worker without history answers from it.
+  EXPECT_EQ(est.predict("fn", 7), est.predict("fn"));
+  EXPECT_GT(est.predict("fn"), SimTime::millis(10));
+  EXPECT_LT(est.predict("fn"), SimTime::millis(80));
+}
+
+TEST(DurationEstimator, PerWorkerColdModelIsSeparateToo) {
+  EstimatorConfig cfg;
+  cfg.per_worker = true;
+  DurationEstimator est{cfg};
+  for (int i = 0; i < 10; ++i) {
+    est.observe("fn", SimTime::millis(10), /*cold_start=*/false, 0);
+    est.observe("fn", SimTime::millis(400), /*cold_start=*/true, 0);
+  }
+  EXPECT_EQ(est.predict("fn", 0), SimTime::millis(10));
+  EXPECT_EQ(est.predict_cold("fn", 0), SimTime::millis(400));
+}
+
+TEST(DurationEstimator, AnyWorkerSentinelNeverPopulatesPerWorker) {
+  EstimatorConfig cfg;
+  cfg.per_worker = true;
+  DurationEstimator est{cfg};
+  est.observe("fn", SimTime::millis(10), false, DurationEstimator::kAnyWorker);
+  est.observe("fn", SimTime::millis(10), false);  // 3-arg == kAnyWorker
+  // Lookups through the sentinel (and unknown workers) hit the global model.
+  EXPECT_EQ(est.predict("fn", DurationEstimator::kAnyWorker),
+            est.predict("fn"));
+  EXPECT_EQ(est.predict("fn", 0), est.predict("fn"));
+}
+
 }  // namespace
 }  // namespace hpcwhisk::sched

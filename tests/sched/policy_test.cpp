@@ -121,6 +121,75 @@ TEST(DeadlineClasses, DisabledByDefault) {
   EXPECT_FALSE(d.short_class);
 }
 
+TEST(DeadlineClasses, DeviationFactorGuardsDispersedFunctions) {
+  // Two functions with the same 200 ms mean (under the 250 ms bound):
+  // "steady" always takes 200 ms, "wild" alternates 40/360 ms. With the
+  // dispersion guard on, only the steady one may jump queues.
+  SchedConfig cfg = config_with(2.0, /*deadline=*/true);
+  cfg.short_class_deviation_factor = 1.0;
+  CallScheduler sched{cfg};
+  warm_up(sched, 0, "steady", SimTime::millis(200), 20, 1000);
+  for (int i = 0; i < 20; ++i) {
+    const CallId id = 2000 + static_cast<CallId>(i);
+    sched.on_started(id, 0, "wild");
+    (void)sched.on_finished(
+        id, "wild", SimTime::millis(i % 2 == 0 ? 40 : 360).ticks(), false);
+  }
+  EXPECT_LT(sched.estimator().predict("wild"), SimTime::millis(250));
+  EXPECT_GT(sched.estimator().deviation("wild"), SimTime::millis(50));
+  const auto steady = sched.route_least_expected_work("steady", kWorkers);
+  EXPECT_TRUE(steady.short_class);
+  const auto wild = sched.route_least_expected_work("wild", kWorkers);
+  EXPECT_FALSE(wild.short_class);
+}
+
+TEST(DeadlineClasses, ZeroDeviationFactorPreservesPlainBound) {
+  // factor 0 (the default) must reproduce the plain predict <= bound
+  // test even for a high-dispersion function.
+  CallScheduler sched{config_with(2.0, /*deadline=*/true)};
+  for (int i = 0; i < 20; ++i) {
+    const CallId id = 1000 + static_cast<CallId>(i);
+    sched.on_started(id, 0, "wild");
+    (void)sched.on_finished(
+        id, "wild", SimTime::millis(i % 2 == 0 ? 40 : 360).ticks(), false);
+  }
+  const auto d = sched.route_least_expected_work("wild", kWorkers);
+  EXPECT_TRUE(d.short_class);
+}
+
+TEST(PerWorkerRouting, PrefersTheWorkerThatRunsTheFunctionFaster) {
+  // Worker 1 is dilated (co-located HPC load): the same function takes
+  // 8x longer there. With per-worker models on, least-expected-work
+  // routes to the fast worker even though both are warm.
+  SchedConfig cfg;
+  cfg.estimator.per_worker = true;
+  CallScheduler sched{cfg};
+  for (int i = 0; i < 20; ++i) {
+    const CallId a = 1000 + static_cast<CallId>(2 * i);
+    sched.on_started(a, 0, "fn");
+    (void)sched.on_finished(a, "fn", SimTime::millis(10).ticks(), false, 0);
+    const CallId b = 1001 + static_cast<CallId>(2 * i);
+    sched.on_started(b, 1, "fn");
+    (void)sched.on_finished(b, "fn", SimTime::millis(80).ticks(), false, 1);
+  }
+  const auto d = sched.route_least_expected_work("fn", {0, 1});
+  EXPECT_EQ(d.worker, 0u);
+  // The blended global model would see both workers as identical; the
+  // per-worker prediction is what separates them.
+  EXPECT_EQ(d.predicted_ticks, SimTime::millis(10).ticks());
+}
+
+TEST(PerWorkerRouting, FourArgFinishKeepsGlobalBehavior) {
+  // The 4-arg on_finished (no worker attribution) must leave per-worker
+  // models empty: predictions equal the global model everywhere.
+  SchedConfig cfg;
+  cfg.estimator.per_worker = true;
+  CallScheduler sched{cfg};
+  warm_up(sched, 0, "fn", SimTime::millis(10), 5, 1000);
+  EXPECT_EQ(sched.estimator().predict("fn", 0),
+            sched.estimator().predict("fn"));
+}
+
 TEST(Lifecycle, FinishedReportsForecastErrorAgainstPinnedPrediction) {
   CallScheduler sched;
   warm_up(sched, 0, "fn", SimTime::millis(100), 10, 1000);

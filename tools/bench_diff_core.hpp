@@ -356,6 +356,18 @@ inline const std::vector<Rule>& default_rules() {
        0.05},
       {"obs_timeseries", "decisions_recorded", Direction::kHigherBetter, 0.5,
        0},
+      // qps_sweep (BENCH_serving.json): the lease tier must keep beating
+      // the controller->topic path at the top QPS step — lower p95 and
+      // cold-start rate, a majority lease hit rate — with slack for
+      // intended keep-alive / estimator drift.
+      {"qps_sweep", "acceptance.acceptance_ok", Direction::kRequireTrue},
+      {"qps_sweep", "acceptance.hit_rate_ok", Direction::kRequireTrue},
+      {"qps_sweep", "top.lease.p95_ms", Direction::kLowerBetter, 0.15, 0},
+      {"qps_sweep", "top.lease.cold_start_rate", Direction::kLowerBetter, 0,
+       0.05},
+      {"qps_sweep", "top.lease.hit_rate", Direction::kHigherBetter, 0, 0.05},
+      {"qps_sweep", "top.lease.revocation_rate", Direction::kLowerBetter, 0,
+       0.10},
   };
   return rules;
 }

@@ -165,6 +165,42 @@ if [[ "${SANITIZE:-0}" != "1" ]]; then
   cp "$BUILD_DIR/BENCH_routing.json" BENCH_routing.json
 fi
 
+# Serving leg: the open-loop QPS sweep over the hot-function mix must
+# emit a structurally valid BENCH_serving.json and satisfy the headline
+# acceptance — at the top QPS step the lease tier beats the
+# controller->topic path on p95 AND cold-start rate while serving a
+# majority of calls through the direct seam (the bench's exit code
+# enforces it).
+echo "== serving smoke =="
+HW_SERVING_OUT="$BUILD_DIR/BENCH_serving.json" \
+  "$BUILD_DIR"/bench/qps_sweep > /dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$BUILD_DIR/BENCH_serving.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+legs = doc["legs"]
+assert len(legs) >= 6, "expected baseline+lease legs per QPS step"
+lease_legs = 0
+for leg in legs:
+    assert leg["issued"] > 0 and leg["completed"] > 0, leg
+    assert 0.0 <= leg["cold_start_rate"] <= 1.0, leg
+    assert leg["p50_ms"] <= leg["p95_ms"] <= leg["p99_ms"], leg
+    if leg["mode"] == "lease":
+        lease_legs += 1
+        ls = leg["lease"]
+        assert ls["hits"] == 0 or ls["granted"] > 0, leg
+        assert 0.0 <= ls["hit_rate"] <= 1.0, leg
+assert lease_legs * 2 == len(legs), "unpaired lease/baseline legs"
+acc = doc["acceptance"]
+assert acc["acceptance_ok"], f"serving acceptance failed: {acc}"
+print(f"serving schema OK ({len(legs)} legs, {lease_legs} leased)")
+PYEOF
+fi
+bench_gate serving BENCH_serving.json "$BUILD_DIR/BENCH_serving.json"
+if [[ "${SANITIZE:-0}" != "1" ]]; then
+  cp "$BUILD_DIR/BENCH_serving.json" BENCH_serving.json
+fi
+
 # SimCheck leg: fuzz ~20 random chaos + federation seeds against the
 # invariant suite. A clean tree must sweep clean; any failure leaves a
 # shrunk, replayable repro JSON under $BUILD_DIR/simcheck-repros/ (the
