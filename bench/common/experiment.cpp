@@ -36,6 +36,15 @@ ExperimentConfig apply_env(ExperimentConfig cfg) {
     if (const auto parsed = runtime::keep_alive_policy_from_string(ka))
       cfg.keep_alive.policy = *parsed;
   }
+  if (std::getenv("HW_TRES") != nullptr) cfg.fidelity.tres = true;
+  if (std::getenv("HW_RESV") != nullptr) {
+    cfg.fidelity.tres = true;
+    cfg.fidelity.reservations = true;
+  }
+  if (std::getenv("HW_QOS") != nullptr) {
+    cfg.fidelity.tres = true;
+    cfg.fidelity.qos_preempt = true;
+  }
   return cfg;
 }
 
@@ -94,10 +103,55 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   sys_cfg.manager.fib_per_length = cfg.fib_per_length;
   sys_cfg.manager.replenish_interval = cfg.replenish_interval;
   if (!cfg.fib_lengths.empty()) sys_cfg.manager.fib_lengths = cfg.fib_lengths;
+
+  // Slurm-fidelity layer: nothing below runs unless fidelity.tres is on,
+  // so legacy configs keep their exact construction (golden-pinned).
+  if (cfg.fidelity.tres) {
+    sys_cfg.slurm.fidelity.tres_mode = true;
+    sys_cfg.slurm.fidelity.node_capacity = cfg.fidelity.node_capacity;
+    sys_cfg.manager.pilot_tres = cfg.fidelity.pilot_tres;
+    if (cfg.fidelity.qos_preempt) {
+      // pilot-low is sacrificial (dies before plain tier-0 pilots);
+      // pilot-high matches the HPC partition tier, so the longest-fib
+      // pilots are protected from HPC preemption (DESIGN.md §17).
+      sys_cfg.slurm.fidelity.qos.push_back({"pilot-low", -1, 0, 1.0});
+      sys_cfg.slurm.fidelity.qos.push_back({"pilot-high", 1, 0, 1.0});
+      sys_cfg.manager.pilot_qos = "pilot-low";
+      sys_cfg.manager.pilot_qos_long = "pilot-high";
+    }
+    if (cfg.fidelity.reservations) {
+      const std::uint32_t width =
+          cfg.fidelity.reservation_nodes > 0
+              ? cfg.fidelity.reservation_nodes
+              : std::max<std::uint32_t>(1, cfg.nodes / 16);
+      const sim::SimTime end_of_run = cfg.burn_in + cfg.window;
+      for (sim::SimTime at = cfg.fidelity.reservation_period; at < end_of_run;
+           at += cfg.fidelity.reservation_period) {
+        slurm::Reservation r;
+        r.name = "maint-" + std::to_string(at.ticks());
+        r.start = at;
+        r.end = at + cfg.fidelity.reservation_length;
+        r.nodes.resize(std::min(width, cfg.nodes));
+        for (std::uint32_t n = 0; n < r.nodes.size(); ++n) r.nodes[n] = n;
+        sys_cfg.slurm.fidelity.reservations.push_back(std::move(r));
+      }
+    }
+  }
   result.system = std::make_unique<core::HpcWhiskSystem>(simulation, sys_cfg);
   core::HpcWhiskSystem& system = *result.system;
 
   trace::HpcWorkloadGenerator::Config wl_cfg;
+  if (cfg.fidelity.tres) {
+    // Whole/half/quarter-node HPC mix: the partial nodes whose leftover
+    // TRES the fractional pilots harvest.
+    const slurm::TresVector full = cfg.fidelity.node_capacity;
+    const slurm::TresVector half{std::max(1u, full.cpus / 2),
+                                 std::max(1u, full.mem_mb / 2), full.gres / 2};
+    const slurm::TresVector quarter{std::max(1u, full.cpus / 4),
+                                    std::max(1u, full.mem_mb / 4),
+                                    full.gres / 4};
+    wl_cfg.tres_buckets = {{full, 0.5}, {half, 0.3}, {quarter, 0.2}};
+  }
   result.workload = std::make_unique<trace::HpcWorkloadGenerator>(
       simulation, system.slurm(), wl_cfg, sim::Rng{cfg.seed ^ 0x9E3779B9ULL});
 

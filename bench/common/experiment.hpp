@@ -16,6 +16,9 @@
 //   HW_LEASE=1          enable the lease-based serving tier
 //   HW_KEEPALIVE=<p>    container keep-alive policy by to_string name
 //                       (fixed, adaptive, hybrid)
+//   HW_TRES=1           per-TRES packing (fractional-node harvesting)
+//   HW_RESV=1           rolling maintenance reservations (implies TRES)
+//   HW_QOS=1            two-tier QOS pilot preemption (implies TRES)
 
 #include <cstdint>
 #include <memory>
@@ -105,6 +108,31 @@ struct ExperimentConfig {
   /// is designed for.
   double faas_hot_share{0.0};
   std::size_t faas_hot_functions{8};
+
+  /// Slurm-fidelity layer (ROADMAP item 4). Everything defaults OFF:
+  /// with `tres` false none of the other members are read and legacy
+  /// configs stay byte-identical (the golden decision-log pin enforces
+  /// this). The geometry mirrors the SimCheck sampler's center draw.
+  struct FidelityKnobs {
+    /// Per-TRES packing: nodes carry a capacity vector, HPC jobs draw a
+    /// whole/half/quarter-node mix, and pilots become fractional slices
+    /// that co-reside with prime work (fractional-node harvesting).
+    bool tres{false};
+    slurm::TresVector node_capacity{8, 32000, 0};
+    slurm::TresVector pilot_tres{2, 8000, 0};
+    /// Rolling maintenance windows: every `reservation_period`, the
+    /// first `reservation_nodes` nodes leave both supplies for
+    /// `reservation_length`. Requires `tres`.
+    bool reservations{false};
+    sim::SimTime reservation_period{sim::SimTime::hours(2)};
+    sim::SimTime reservation_length{sim::SimTime::minutes(15)};
+    std::uint32_t reservation_nodes{0};  ///< 0 = nodes/16
+    /// Two-tier QOS for pilots: short fib lengths ride "pilot-low",
+    /// the longest rides "pilot-high" (never evicted by a lower tier).
+    /// Requires `tres`.
+    bool qos_preempt{false};
+  };
+  FidelityKnobs fidelity{};
 };
 
 /// Applies HW_BENCH_QUICK / HW_SEED to a config.

@@ -1,0 +1,42 @@
+#pragma once
+// Shared spec -> fidelity-regime derivations. The runner builds the
+// system from these and the invariant suite re-derives the same values
+// when checking, so the promised TRES capacity and the reservation
+// window never need to be smuggled through the observation — they are a
+// pure function of the ScenarioSpec.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "hpcwhisk/check/scenario.hpp"
+#include "hpcwhisk/slurm/reservation.hpp"
+#include "hpcwhisk/slurm/tres.hpp"
+
+namespace hpcwhisk::check {
+
+/// Per-node capacity the spec promises (TRES mode). The tres-overcommit
+/// bug plant builds the system *larger* than this; the per-TRES
+/// invariant checks against this promise, which is how it catches it.
+[[nodiscard]] inline slurm::TresVector promised_capacity(
+    const ScenarioSpec& s) {
+  return {s.node_cpus, s.node_mem_mb, 0};
+}
+
+/// The single advance reservation a tres_mode+reservation spec declares:
+/// the first min(res_nodes, nodes) node ids, opening at res_start_frac
+/// of the horizon, for res_duration_min minutes. (The node-count clamp
+/// matters under shrinking: the ddmin geometry step halves spec.nodes
+/// without touching res_nodes.)
+[[nodiscard]] inline slurm::Reservation spec_reservation(
+    const ScenarioSpec& s) {
+  slurm::Reservation r;
+  r.name = "maint";
+  r.start = sim::SimTime::seconds(s.horizon.to_seconds() * s.res_start_frac);
+  r.end = r.start + sim::SimTime::minutes(s.res_duration_min);
+  const std::uint32_t count = std::min(s.res_nodes, s.nodes);
+  r.nodes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) r.nodes.push_back(i);
+  return r;
+}
+
+}  // namespace hpcwhisk::check

@@ -17,6 +17,15 @@
 //   backfill-priority        EASY backfill never delays an older,
 //                            higher-priority fixed job it could have run
 //   federation-conservation  every gateway call is placed exactly once
+//   tres-capacity            TRES mode: at every event, the allocated
+//                            TRES vectors on a node sum to <= the
+//                            *promised* per-node capacity (vector form
+//                            of no-double-allocation, which is skipped:
+//                            co-residency is the point of TRES mode)
+//   reservation-exclusion    TRES mode: nothing starts inside a declared
+//                            reservation window on a reserved node, and
+//                            jobs running at window-open are gone within
+//                            the partition grace
 
 #include <functional>
 #include <string>
@@ -56,5 +65,14 @@ class InvariantSuite {
   std::vector<std::string> names_;
   std::vector<Fn> fns_;
 };
+
+/// The per-TRES checkers, exposed as free functions so the fidelity
+/// bench can run exactly the shipped invariants against its own regimes
+/// (part of its acceptance contract) without dragging in the full suite.
+void check_tres_capacity(const ScenarioSpec& spec, const RunObservation& obs,
+                         std::vector<Violation>& out);
+void check_reservation_exclusion(const ScenarioSpec& spec,
+                                 const RunObservation& obs,
+                                 std::vector<Violation>& out);
 
 }  // namespace hpcwhisk::check

@@ -26,6 +26,8 @@ struct JobInfo {
   bool fixed{true};  ///< time_min == 0 (scheduler cannot resize)
   std::int64_t priority{0};
   std::uint32_t num_nodes{1};
+  /// Per-node TRES request (zero in legacy / whole-node mode).
+  slurm::TresVector tres;
   sim::SimTime time_limit;
   sim::SimTime time_min;
   sim::SimTime submit{sim::SimTime::max()};
@@ -48,6 +50,11 @@ struct JobInfo {
 /// Everything observed on one cluster.
 struct ClusterObservation {
   std::uint32_t node_count{0};
+  /// Per-node capacity the *spec promised* (zero in legacy mode). The
+  /// per-TRES invariants check against this, not what the system was
+  /// actually built with — that gap is exactly what the tres-overcommit
+  /// bug plant opens.
+  slurm::TresVector node_capacity{};
   std::vector<JobInfo> jobs;  ///< job-id order
   analysis::ConservationAudit::Result audit;
   whisk::Controller::Counters controller;

@@ -30,6 +30,15 @@ enum class BugPlant : std::uint8_t {
   /// promises `grace` — preempted pilots get SIGKILL far too early,
   /// violating the grace-respected invariant.
   kTruncateGrace,
+  /// TRES mode: build nodes with more capacity than the spec promises
+  /// (inflated by one pilot's request), so the scheduler co-locates more
+  /// work than the promised capacity admits — the per-TRES
+  /// no-double-allocation invariant must fire.
+  kTresOvercommit,
+  /// TRES mode: silently drop the spec's declared reservation window, so
+  /// jobs start (and keep running) inside it — the reservation-exclusion
+  /// invariant must fire.
+  kReservationIgnored,
 };
 
 [[nodiscard]] const char* to_string(BugPlant p);
@@ -90,6 +99,25 @@ struct ScenarioSpec {
   /// and bypass the topic via direct invoke. Every invariant (call
   /// conservation, grace, backlog hygiene) must hold with it on.
   bool lease_mode{false};
+  /// --- Slurm fidelity regime (sampled unconditionally, applied only
+  /// when tres_mode; defaults reproduce the legacy whole-node system) ---
+  /// Per-TRES scheduling: nodes carry a {cpus, mem} capacity vector,
+  /// HPC jobs request fractions, pilots co-reside on partial nodes.
+  bool tres_mode{false};
+  std::uint32_t node_cpus{8};
+  std::uint32_t node_mem_mb{32000};
+  std::uint32_t pilot_cpus{0};    ///< 0 = whole-node pilots
+  std::uint32_t pilot_mem_mb{0};
+  /// QOS preemption tiers: two pilot QOS classes (low preemptible first)
+  /// instead of the binary partition flag.
+  bool qos_preempt{false};
+  /// One advance reservation carving `res_nodes` nodes out of both
+  /// supplies for `res_duration_min` starting at `res_start_frac` of the
+  /// horizon.
+  bool reservation{false};
+  double res_start_frac{0.3};
+  std::uint32_t res_duration_min{6};
+  std::uint32_t res_nodes{1};
   std::vector<ScenarioFault> faults;
   BugPlant plant{BugPlant::kNone};
 

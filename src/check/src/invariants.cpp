@@ -1,6 +1,8 @@
 #include "hpcwhisk/check/invariants.hpp"
 
 #include <algorithm>
+
+#include "hpcwhisk/check/fidelity.hpp"
 #include <cstdio>
 #include <map>
 #include <numeric>
@@ -143,9 +145,12 @@ void check_node_timeline(const ScenarioSpec&, const RunObservation& obs,
   }
 }
 
-void check_no_double_allocation(const ScenarioSpec&,
+void check_no_double_allocation(const ScenarioSpec& spec,
                                 const RunObservation& obs,
                                 std::vector<Violation>& out) {
+  // TRES mode: jobs legitimately co-reside on partial nodes; the vector
+  // form (tres-capacity below) takes over.
+  if (spec.tres_mode) return;
   struct Hold {
     sim::SimTime start;
     sim::SimTime release;
@@ -223,7 +228,8 @@ void check_grace_respected(const ScenarioSpec& spec, const RunObservation& obs,
   }
 }
 
-void check_backfill_priority(const ScenarioSpec&, const RunObservation& obs,
+void check_backfill_priority(const ScenarioSpec& spec,
+                             const RunObservation& obs,
                              std::vector<Violation>& out) {
   // EASY backfill legality on the hpc partition: when job K received an
   // allocation, no older, strictly higher-priority fixed job P that was
@@ -252,6 +258,10 @@ void check_backfill_priority(const ScenarioSpec&, const RunObservation& obs,
         if (p->ended && p->end <= k->decision) continue;  // cancelled
         if (p->num_nodes > k->nodes.size()) continue;
         if (p->time_limit > k->granted_limit) continue;
+        // TRES mode: P provably fit K's allocation only if its per-node
+        // request fits inside what K actually took (the nodes may have
+        // had no free TRES beyond that).
+        if (spec.tres_mode && !p->tres.fits_within(k->tres)) continue;
         out.push_back(
             {"backfill-priority",
              job_tag(c, *k) + " backfilled at " +
@@ -304,6 +314,104 @@ void check_federation_conservation(const ScenarioSpec&,
 
 }  // namespace
 
+void check_tres_capacity(const ScenarioSpec& spec, const RunObservation& obs,
+                         std::vector<Violation>& out) {
+  if (!spec.tres_mode) return;
+  struct Ev {
+    sim::SimTime at;
+    bool is_start;
+    slurm::JobId id;
+    slurm::TresVector tres;
+  };
+  for (std::size_t c = 0; c < obs.clusters.size(); ++c) {
+    const ClusterObservation& co = obs.clusters[c];
+    const slurm::TresVector cap = co.node_capacity.is_zero()
+                                      ? promised_capacity(spec)
+                                      : co.node_capacity;
+    std::map<slurm::NodeId, std::vector<Ev>> events;
+    for (const JobInfo& j : co.jobs) {
+      if (j.start == sim::SimTime::max()) continue;
+      // Zero request = whole node (submit substitutes the capacity, so
+      // this only shows up for synthetic observations).
+      const slurm::TresVector tres = j.tres.is_zero() ? cap : j.tres;
+      const sim::SimTime release = j.ended ? j.end : obs.end_time;
+      for (const slurm::NodeId n : j.nodes) {
+        events[n].push_back({j.start, true, j.id, tres});
+        events[n].push_back({release, false, j.id, tres});
+      }
+    }
+    for (auto& [node, evs] : events) {
+      // Releases before starts at equal times: a preemption victim's end
+      // and its claimant's launch share a tick legitimately.
+      std::sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+        if (a.at != b.at) return a.at < b.at;
+        if (a.is_start != b.is_start) return !a.is_start;
+        return a.id < b.id;
+      });
+      slurm::TresVector used{};
+      for (const Ev& e : evs) {
+        if (!e.is_start) {
+          used -= e.tres;
+          continue;
+        }
+        used += e.tres;
+        if (!used.fits_within(cap)) {
+          out.push_back(
+              {"tres-capacity",
+               "c" + std::to_string(c) + " node " + std::to_string(node) +
+                   " allocated " + used.to_string() + " > promised " +
+                   cap.to_string() + " at " + std::to_string(e.at.ticks()) +
+                   " ticks (job " + std::to_string(e.id) + " launching)"});
+          break;  // one violation per node tells the story
+        }
+      }
+    }
+  }
+}
+
+void check_reservation_exclusion(const ScenarioSpec& spec,
+                                 const RunObservation& obs,
+                                 std::vector<Violation>& out) {
+  if (!spec.tres_mode || !spec.reservation) return;
+  const slurm::Reservation r = spec_reservation(spec);
+  const sim::SimTime hpc_grace = sim::SimTime::minutes(3);
+  for (std::size_t c = 0; c < obs.clusters.size(); ++c) {
+    for (const JobInfo& j : obs.clusters[c].jobs) {
+      if (j.start == sim::SimTime::max()) continue;
+      const bool on_reserved =
+          std::any_of(j.nodes.begin(), j.nodes.end(), [&](slurm::NodeId n) {
+            return std::find(r.nodes.begin(), r.nodes.end(), n) !=
+                   r.nodes.end();
+          });
+      if (!on_reserved) continue;
+      if (j.start >= r.start && j.start < r.end) {
+        out.push_back({"reservation-exclusion",
+                       job_tag(c, j) + " started at " +
+                           std::to_string(j.start.ticks()) +
+                           " ticks inside the reservation window [" +
+                           std::to_string(r.start.ticks()) + ", " +
+                           std::to_string(r.end.ticks()) + ")"});
+        continue;
+      }
+      if (j.start < r.start) {
+        // Running at window-open: must be preempted away within the
+        // partition grace.
+        const sim::SimTime grace =
+            j.partition == "pilot" ? spec.grace : hpc_grace;
+        const sim::SimTime deadline = r.start + grace;
+        const sim::SimTime gone = j.ended ? j.end : obs.end_time;
+        if (gone > deadline) {
+          out.push_back(
+              {"reservation-exclusion",
+               job_tag(c, j) + " survived " +
+                   std::to_string((gone - deadline).ticks()) +
+                   " ticks past the reservation-open grace deadline"});
+        }
+      }
+    }
+  }
+}
+
 InvariantSuite& InvariantSuite::add(std::string name, Fn fn) {
   names_.push_back(std::move(name));
   fns_.push_back(std::move(fn));
@@ -326,7 +434,9 @@ InvariantSuite InvariantSuite::standard() {
       .add("no-double-allocation", check_no_double_allocation)
       .add("grace-respected", check_grace_respected)
       .add("backfill-priority", check_backfill_priority)
-      .add("federation-conservation", check_federation_conservation);
+      .add("federation-conservation", check_federation_conservation)
+      .add("tres-capacity", check_tres_capacity)
+      .add("reservation-exclusion", check_reservation_exclusion);
   return suite;
 }
 

@@ -364,6 +364,26 @@ std::string write_repro(const Repro& repro) {
   out += s.deadline_classes ? "true" : "false";
   out += ",\n    \"lease_mode\": ";
   out += s.lease_mode ? "true" : "false";
+  out += ",\n    \"tres_mode\": ";
+  out += s.tres_mode ? "true" : "false";
+  out += ",\n    \"node_cpus\": ";
+  append_u64(out, s.node_cpus);
+  out += ",\n    \"node_mem_mb\": ";
+  append_u64(out, s.node_mem_mb);
+  out += ",\n    \"pilot_cpus\": ";
+  append_u64(out, s.pilot_cpus);
+  out += ",\n    \"pilot_mem_mb\": ";
+  append_u64(out, s.pilot_mem_mb);
+  out += ",\n    \"qos_preempt\": ";
+  out += s.qos_preempt ? "true" : "false";
+  out += ",\n    \"reservation\": ";
+  out += s.reservation ? "true" : "false";
+  out += ",\n    \"res_start_frac\": ";
+  append_double(out, s.res_start_frac);
+  out += ",\n    \"res_duration_min\": ";
+  append_u64(out, s.res_duration_min);
+  out += ",\n    \"res_nodes\": ";
+  append_u64(out, s.res_nodes);
   out += ",\n    \"plant\": ";
   append_escaped(out, to_string(s.plant));
   out += ",\n    \"faults\": [";
@@ -435,6 +455,37 @@ Repro parse_repro(std::string_view json) {
   }
   if (const JsonValue* lm = spec.find("lease_mode")) {
     s.lease_mode = as_bool(*lm);
+  }
+  // Slurm-fidelity fields postdate the v1 format too: each is optional
+  // with a legacy-meaning default (tres_mode off = the whole-node system
+  // every pre-fidelity repro was recorded against).
+  if (const JsonValue* v = spec.find("tres_mode")) s.tres_mode = as_bool(*v);
+  if (const JsonValue* v = spec.find("node_cpus")) {
+    s.node_cpus = static_cast<std::uint32_t>(as_u64(*v));
+  }
+  if (const JsonValue* v = spec.find("node_mem_mb")) {
+    s.node_mem_mb = static_cast<std::uint32_t>(as_u64(*v));
+  }
+  if (const JsonValue* v = spec.find("pilot_cpus")) {
+    s.pilot_cpus = static_cast<std::uint32_t>(as_u64(*v));
+  }
+  if (const JsonValue* v = spec.find("pilot_mem_mb")) {
+    s.pilot_mem_mb = static_cast<std::uint32_t>(as_u64(*v));
+  }
+  if (const JsonValue* v = spec.find("qos_preempt")) {
+    s.qos_preempt = as_bool(*v);
+  }
+  if (const JsonValue* v = spec.find("reservation")) {
+    s.reservation = as_bool(*v);
+  }
+  if (const JsonValue* v = spec.find("res_start_frac")) {
+    s.res_start_frac = as_double(*v);
+  }
+  if (const JsonValue* v = spec.find("res_duration_min")) {
+    s.res_duration_min = static_cast<std::uint32_t>(as_u64(*v));
+  }
+  if (const JsonValue* v = spec.find("res_nodes")) {
+    s.res_nodes = static_cast<std::uint32_t>(as_u64(*v));
   }
   s.plant = bug_plant_from_string(as_string(require(spec, "plant")));
   const JsonValue& faults = require(spec, "faults");

@@ -1,8 +1,11 @@
 #include "hpcwhisk/check/runner.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <utility>
+
+#include "hpcwhisk/check/fidelity.hpp"
 
 #include "hpcwhisk/obs/trace.hpp"
 #include "hpcwhisk/sim/simulation.hpp"
@@ -81,6 +84,7 @@ void record_job_event(std::map<slurm::JobId, JobInfo>& jobs,
       info.fixed = rec.spec.time_min == sim::SimTime::zero();
       info.priority = rec.spec.priority;
       info.num_nodes = rec.spec.num_nodes;
+      info.tres = rec.spec.tres_per_node;
       info.time_limit = rec.spec.time_limit;
       info.time_min = rec.spec.time_min;
       info.submit = ev.when;
@@ -140,6 +144,31 @@ core::HpcWhiskSystem::Config system_config(const ScenarioSpec& spec,
   cfg.controller.route_mode = spec.route_mode;
   cfg.controller.sched.deadline_classes = spec.deadline_classes;
   cfg.controller.lease.enabled = spec.lease_mode;
+  if (spec.tres_mode) {
+    auto& fid = cfg.slurm.fidelity;
+    fid.tres_mode = true;
+    fid.node_capacity = promised_capacity(spec);
+    const slurm::TresVector pilot_tres{spec.pilot_cpus, spec.pilot_mem_mb, 0};
+    if (spec.plant == BugPlant::kTresOvercommit) {
+      // Plant: build the nodes larger than the spec promises (one extra
+      // pilot's worth), so the scheduler legitimately packs beyond the
+      // promised capacity and the per-TRES invariant must catch it.
+      fid.node_capacity += pilot_tres;
+    }
+    cfg.manager.pilot_tres = pilot_tres;
+    if (spec.qos_preempt) {
+      // Two pilot tiers below every HPC partition tier: low dies first,
+      // high (the longest fib class / all var pilots' partition default
+      // stays tier 0) is preempted only when low supply is exhausted.
+      fid.qos.push_back({"pilot-low", -1, 0, 1.0});
+      fid.qos.push_back({"pilot-high", 0, 0, 1.0});
+      cfg.manager.pilot_qos = "pilot-low";
+      cfg.manager.pilot_qos_long = "pilot-high";
+    }
+    if (spec.reservation && spec.plant != BugPlant::kReservationIgnored) {
+      cfg.slurm.fidelity.reservations.push_back(spec_reservation(spec));
+    }
+  }
   for (const ScenarioFault& f : spec.faults) {
     if (f.cluster == cluster) cfg.faults.add(f.event);
   }
@@ -150,6 +179,16 @@ trace::HpcWorkloadGenerator::Config hpc_config(const ScenarioSpec& spec) {
   trace::HpcWorkloadGenerator::Config cfg;
   cfg.backlog_target = spec.hpc_backlog;
   cfg.lull_probability_per_tick = spec.lull_probability;
+  if (spec.tres_mode) {
+    // Mixed fractional requests so nodes host prime work AND leave TRES
+    // room for pilots — the co-residency regime under test.
+    const slurm::TresVector full = promised_capacity(spec);
+    const slurm::TresVector half{std::max(1u, full.cpus / 2),
+                                 std::max(1u, full.mem_mb / 2), 0};
+    const slurm::TresVector quarter{std::max(1u, full.cpus / 4),
+                                    std::max(1u, full.mem_mb / 4), 0};
+    cfg.tres_buckets = {{full, 0.5}, {half, 0.3}, {quarter, 0.2}};
+  }
   return cfg;
 }
 
@@ -224,6 +263,7 @@ RunObservation run_single(const ScenarioSpec& spec) {
   obs.end_time = sim.now();
   obs.faas_issued = faas.issued();
   obs.clusters.push_back(collect_cluster(probes[0], system, sim.now()));
+  if (spec.tres_mode) obs.clusters[0].node_capacity = promised_capacity(spec);
   obs.decision_log = std::move(probes[0].log);
   obs.decision_hash = obs::fnv1a(obs.decision_log);
   return obs;
@@ -277,6 +317,9 @@ RunObservation run_federated(const ScenarioSpec& spec) {
   for (std::uint32_t i = 0; i < spec.clusters; ++i) {
     obs.clusters.push_back(
         collect_cluster(probes[i], gateway.cluster(i), sim.now()));
+    if (spec.tres_mode) {
+      obs.clusters.back().node_capacity = promised_capacity(spec);
+    }
     obs.decision_log += probes[i].log;
   }
   obs.decision_log += gateway.decision_log();

@@ -1,5 +1,6 @@
 #include "hpcwhisk/check/scenario.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -11,6 +12,8 @@ const char* to_string(BugPlant p) {
   switch (p) {
     case BugPlant::kNone: return "none";
     case BugPlant::kTruncateGrace: return "truncate-grace";
+    case BugPlant::kTresOvercommit: return "tres-overcommit";
+    case BugPlant::kReservationIgnored: return "reservation-ignored";
   }
   return "?";
 }
@@ -18,6 +21,8 @@ const char* to_string(BugPlant p) {
 BugPlant bug_plant_from_string(std::string_view name) {
   if (name == "none") return BugPlant::kNone;
   if (name == "truncate-grace") return BugPlant::kTruncateGrace;
+  if (name == "tres-overcommit") return BugPlant::kTresOvercommit;
+  if (name == "reservation-ignored") return BugPlant::kReservationIgnored;
   throw std::invalid_argument("unknown bug plant: " + std::string{name});
 }
 
@@ -88,6 +93,25 @@ ScenarioSpec ScenarioSpec::sample(std::uint64_t seed,
   s.route_mode = kRouteModes[rng.uniform_int(0, 5)];
   s.deadline_classes = rng.bernoulli(0.5);
   s.lease_mode = rng.bernoulli(0.3);
+
+  // Slurm fidelity regime (appended after lease_mode). Every draw is
+  // unconditional — even when tres_mode comes up false — so the draw
+  // count is fixed and future appended fields stay stable for old seeds.
+  s.tres_mode = rng.bernoulli(0.45);
+  s.node_cpus = static_cast<std::uint32_t>(rng.uniform_int(4, 16));
+  s.node_mem_mb =
+      static_cast<std::uint32_t>(rng.uniform_int(16, 64)) * 1000u;
+  s.pilot_cpus = static_cast<std::uint32_t>(
+      rng.uniform_int(1, std::max<std::int64_t>(1, s.node_cpus / 2)));
+  // Pilot memory tracks its cpu share of the node, so neither axis is
+  // trivially the sole binding constraint.
+  s.pilot_mem_mb = s.node_mem_mb / s.node_cpus * s.pilot_cpus;
+  s.qos_preempt = rng.bernoulli(0.4);
+  s.reservation = rng.bernoulli(0.35);
+  s.res_start_frac = 0.2 + 0.05 * static_cast<double>(rng.uniform_int(0, 8));
+  s.res_duration_min = static_cast<std::uint32_t>(rng.uniform_int(4, 10));
+  s.res_nodes = static_cast<std::uint32_t>(
+      rng.uniform_int(1, std::max<std::int64_t>(2, s.nodes / 4)));
   return s;
 }
 
@@ -100,6 +124,11 @@ std::string ScenarioSpec::summary() const {
       << faas_functions << " route=" << whisk::to_string(route_mode);
   if (deadline_classes) out << "+dl";
   if (lease_mode) out << "+lease";
+  if (tres_mode) {
+    out << "+tres(" << node_cpus << "c/" << pilot_cpus << "c)";
+    if (qos_preempt) out << "+qos";
+    if (reservation) out << "+resv";
+  }
   out << " faults=" << faults.size();
   if (plant != BugPlant::kNone) out << " plant=" << to_string(plant);
   return out.str();

@@ -54,6 +54,19 @@ class JobManager {
     /// Hard cap on queued pilot jobs (Sec. III-D: never above 100).
     std::size_t max_queued{100};
     std::string partition{"pilot"};
+
+    /// Per-pilot TRES request (slurm fidelity/TRES mode). Zero means
+    /// "whole node", reproducing the legacy exclusive pilots; a
+    /// fractional request lets pilots co-reside with prime HPC work.
+    slurm::TresVector pilot_tres{};
+    /// QOS stamped on every pilot (empty = none: pilots sit at their
+    /// partition's preempt tier, the legacy semantics).
+    std::string pilot_qos;
+    /// When non-empty and the fib model is active, pilots of the
+    /// *longest* fib length class get this QOS instead — a protected
+    /// pilot tier whose workers are preempted last (QOS regime of the
+    /// fidelity bench). Deterministic: no extra RNG draws.
+    std::string pilot_qos_long;
     /// Warm-up model (Sec. IV-B: median 12.48 s, P95 26.5 s).
     double warmup_median_s{12.48};
     double warmup_p95_s{26.5};

@@ -214,6 +214,12 @@ void JobManager::submit_pilot(sim::SimTime length, bool variable) {
   // Longer declared length => higher priority within the pilot tier,
   // making Slurm greedy towards long holes (Sec. III-D b).
   spec.priority = variable ? 0 : length / sim::SimTime::minutes(1);
+  spec.tres_per_node = config_.pilot_tres;
+  spec.qos = config_.pilot_qos;
+  if (!config_.pilot_qos_long.empty() && !variable &&
+      !config_.fib_lengths.empty() && length == config_.fib_lengths.back()) {
+    spec.qos = config_.pilot_qos_long;
+  }
   spec.on_start = [this](const slurm::JobRecord& rec) { on_pilot_start(rec); };
   spec.on_sigterm = [this](const slurm::JobRecord& rec) {
     on_pilot_sigterm(rec);

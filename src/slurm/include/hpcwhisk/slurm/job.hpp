@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "hpcwhisk/sim/time.hpp"
+#include "hpcwhisk/slurm/tres.hpp"
 
 namespace hpcwhisk::slurm {
 
@@ -67,6 +68,19 @@ struct JobSpec {
   /// job manager maps longer pilot lengths to higher priorities.
   std::int64_t priority{0};
 
+  /// Per-node TRES request (TRES mode only). All-zero means "whole
+  /// node": submit() substitutes the configured node capacity, which
+  /// reproduces legacy exclusive allocation for that job.
+  TresVector tres_per_node{};
+
+  /// QOS name (fidelity mode). Empty means no QOS: the job's preempt
+  /// tier falls back to its partition's priority tier, reproducing the
+  /// legacy binary preemption semantics.
+  std::string qos;
+
+  /// Fair-share accounting bucket. Empty means the partition name.
+  std::string account;
+
   /// Fired when the job starts on its allocation.
   std::function<void(const JobRecord&)> on_start;
   /// Fired when the job receives SIGTERM (grace period begins). Only
@@ -85,6 +99,16 @@ struct JobRecord {
   JobState state{JobState::kPending};
   std::int32_t priority_tier{0};
   bool preemptible{false};
+
+  /// Preemption ordering tier: QOS tier when the job carries a
+  /// registered QOS, else the partition priority tier. Strictly-higher
+  /// tiers may preempt this job (TRES mode); legacy mode keeps its
+  /// binary tier-0-victim rule.
+  std::int32_t preempt_tier{0};
+  /// Queue priority after QOS bonus and fair-share debit. Equals
+  /// spec.priority exactly when both knobs are off, so legacy decision
+  /// logs are byte-identical.
+  std::int64_t effective_priority{0};
 
   sim::SimTime submit_time;
   sim::SimTime start_time;

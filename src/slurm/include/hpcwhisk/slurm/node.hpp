@@ -3,8 +3,10 @@
 // Slurm-level monitoring perspective (idle / HPC / pilot / down).
 
 #include <cstdint>
+#include <vector>
 
 #include "hpcwhisk/slurm/job.hpp"
+#include "hpcwhisk/slurm/tres.hpp"
 
 namespace hpcwhisk::slurm {
 
@@ -31,6 +33,14 @@ struct Node {
   NodeId id{0};
   NodeState state{NodeState::kIdle};
   JobId running_job{0};  ///< valid iff state == kAllocated
+
+  // --- TRES mode only (Config::fidelity.tres_mode). In legacy mode the
+  // vectors stay empty/zero and `running_job` is the single owner; in
+  // TRES mode several jobs can co-reside on partial allocations and
+  // `running_job` mirrors the first entry of `running_jobs` (or 0).
+  TresVector capacity{};   ///< total TRES this node offers
+  TresVector allocated{};  ///< Σ per-node TRES of running/completing jobs
+  std::vector<JobId> running_jobs{};
 };
 
 }  // namespace hpcwhisk::slurm

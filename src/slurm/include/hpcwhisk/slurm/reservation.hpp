@@ -1,0 +1,31 @@
+#pragma once
+// Advance reservations / maintenance windows (slurmctld/reservation.c):
+// a named [start, end) window over an explicit node set, carving those
+// nodes out of both the prime HPC supply and the pilot supply.
+//
+// Semantics (fidelity mode):
+//  * the scheduler never launches a job on a reserved node unless the
+//    job's granted limit *plus its grace window* ends before the window
+//    opens (so not even a SIGKILL deadline can spill into the window);
+//  * when the window opens, any job still on the node (possible only if
+//    the reservation was registered after the job launched) is preempted
+//    with its partition grace, and the node leaves service (reported
+//    down, like a maintenance drain);
+//  * when the window closes the node returns to the idle pool.
+
+#include <string>
+#include <vector>
+
+#include "hpcwhisk/sim/time.hpp"
+#include "hpcwhisk/slurm/job.hpp"
+
+namespace hpcwhisk::slurm {
+
+struct Reservation {
+  std::string name;
+  sim::SimTime start;
+  sim::SimTime end;
+  std::vector<NodeId> nodes;
+};
+
+}  // namespace hpcwhisk::slurm

@@ -32,6 +32,9 @@
 #include "hpcwhisk/slurm/job.hpp"
 #include "hpcwhisk/slurm/node.hpp"
 #include "hpcwhisk/slurm/partition.hpp"
+#include "hpcwhisk/slurm/qos.hpp"
+#include "hpcwhisk/slurm/reservation.hpp"
+#include "hpcwhisk/slurm/tres.hpp"
 
 namespace hpcwhisk::obs {
 struct Observability;
@@ -128,6 +131,26 @@ class Slurmctld {
     sim::SimTime launch_latency{sim::SimTime::millis(200)};
     /// Optional trace/metrics sink; null disables all instrumentation.
     obs::Observability* obs{nullptr};
+
+    /// Opt-in fidelity extensions (ROADMAP item 4). Everything here is
+    /// default-off; with the defaults the scheduler's decision log is
+    /// byte-identical to the pre-fidelity golden hashes.
+    struct Fidelity {
+      /// Per-TRES packing: nodes carry a TresVector capacity, jobs a
+      /// per-node request, and several jobs (prime HPC work + pilots)
+      /// can share one node. Switches scheduling to the TRES pass.
+      bool tres_mode{false};
+      /// Capacity of every node (required non-zero when tres_mode).
+      TresVector node_capacity{};
+      /// Usage-decayed fair-share priority (applies in both modes).
+      FairShareConfig fair_share{};
+      /// Registered QOS levels; jobs reference them by JobSpec::qos.
+      std::vector<Qos> qos{};
+      /// Advance reservations active from t=0 (more can be added at
+      /// runtime via add_reservation). TRES mode only.
+      std::vector<Reservation> reservations{};
+    };
+    Fidelity fidelity{};
   };
 
   Slurmctld(sim::Simulation& simulation, Config config,
@@ -166,6 +189,11 @@ class Slurmctld {
   void drain_node(NodeId id);
   [[nodiscard]] bool is_draining(NodeId id) const;
 
+  /// Registers an advance reservation / maintenance window (TRES mode).
+  /// Windows starting in the past apply immediately; node ids must be
+  /// valid and end must be after start.
+  void add_reservation(Reservation r);
+
   // --- Introspection -----------------------------------------------------
 
   [[nodiscard]] const JobRecord& job(JobId id) const;
@@ -195,6 +223,26 @@ class Slurmctld {
     [[nodiscard]] std::uint32_t available() const { return idle + pilot; }
   };
   [[nodiscard]] StateTotals state_totals() const;
+
+  // --- Fidelity introspection (all cheap; meaningful in TRES mode) -------
+
+  [[nodiscard]] bool tres_mode() const { return tres_on_; }
+  /// Declared capacity of `id` (zero vector in legacy mode).
+  [[nodiscard]] const TresVector& node_capacity(NodeId id) const;
+  /// Currently unallocated TRES on `id` (zero vector in legacy mode).
+  [[nodiscard]] TresVector node_free(NodeId id) const;
+  /// Cluster-wide TRES occupancy split by observed role.
+  struct TresTotals {
+    TresVector capacity;  ///< Σ capacity over non-down nodes
+    TresVector hpc;       ///< Σ allocations held by tier>0 jobs
+    TresVector pilot;     ///< Σ allocations held by tier-0 pilots
+  };
+  [[nodiscard]] TresTotals tres_totals() const;
+  /// Decayed fair-share usage (node-seconds) of `account` as of now.
+  [[nodiscard]] double account_usage(const std::string& account) const;
+  /// Priority debit currently applied to submissions from `account`.
+  [[nodiscard]] std::int64_t fair_share_debit(
+      const std::string& account) const;
 
   /// Ground-truth observer: invoked on every observed-state transition.
   /// The initial state of every node (idle at t=0) is not announced.
@@ -299,9 +347,47 @@ class Slurmctld {
     JobId id;
     std::vector<NodeId> nodes;
     sim::SimTime granted_limit;
+    /// Legacy mode: victim *nodes* still to drain (decremented by
+    /// node_freed). TRES mode: victim *jobs* still to end (decremented
+    /// via victim_claims_ in finish_job).
     std::size_t nodes_missing{0};
   };
   void node_freed(NodeId id);
+
+  // --- TRES-mode scheduling pipeline -------------------------------------
+  // A parallel implementation of the pass; the legacy pass body is never
+  // entered when tres_mode is on and vice versa, so the golden decision
+  // logs of legacy configs cannot shift.
+  void run_sched_pass_tres(bool periodic);
+  bool try_start_tres(JobRecord& rec,
+                      const std::vector<sim::SimTime>& res_next_start,
+                      sim::SimTime shadow);
+  /// EASY shadow time for the head blocked job: the earliest instant at
+  /// which `rec`'s full nodes×TRES request fits on the planning
+  /// timeline. max() when beyond the backfill window (unconstrained).
+  [[nodiscard]] sim::SimTime tres_shadow_time(
+      const JobRecord& rec,
+      const std::vector<sim::SimTime>& res_next_start) const;
+  void place_pilots_tres(const std::vector<sim::SimTime>& res_next_start,
+                         bool periodic);
+  /// Fills per-node "next reservation window opens at" (max() if none).
+  void build_reservation_deadlines(std::vector<sim::SimTime>& out) const;
+  [[nodiscard]] bool reservation_allows(
+      const std::vector<sim::SimTime>& res_next_start, NodeId node,
+      sim::SimTime limit_plus_grace) const;
+  /// A claimed victim ended: decrement every waiting claimant, launching
+  /// (or, if a reservation closed in, requeueing) those now complete.
+  void victim_ended_tres(JobId victim);
+  void drop_claim_tres(JobId claimant);
+  void reservation_window_begin(std::size_t index);
+  void reservation_window_end(std::size_t index);
+
+  // --- Fair-share / QOS ---------------------------------------------------
+  /// Charges `rec`'s node-seconds to its account (decaying first).
+  void charge_fair_share(const JobRecord& rec);
+  [[nodiscard]] double decayed_usage(const std::string& account) const;
+  [[nodiscard]] std::int64_t debit_for_usage(double usage) const;
+  [[nodiscard]] const Qos* find_qos(const std::string& name) const;
 
 
   sim::Simulation& sim_;
@@ -350,6 +436,25 @@ class Slurmctld {
   std::vector<sim::SimTime> pilot_start_scratch_;
   std::vector<NodeId> cold_first_scratch_;
   std::vector<NodeId> unused_nodes_scratch_;
+
+  // --- Fidelity state ----------------------------------------------------
+  bool tres_on_{false};
+  bool qos_on_{false};
+  std::unordered_map<std::string, Qos> qos_;
+  /// Decayed per-account usage; `last` is the decay reference point.
+  struct AccountUsage {
+    double usage{0.0};
+    sim::SimTime last{sim::SimTime::zero()};
+  };
+  std::unordered_map<std::string, AccountUsage> usage_;
+  std::vector<Reservation> reservations_;
+  /// TRES mode: victim job -> claimant(s) waiting on its TRES. A
+  /// multi-node victim can be claimed by several claimants at once.
+  std::unordered_multimap<JobId, JobId> victim_claims_;
+  /// Pass scratch: per-node next-reservation-start and node candidates.
+  std::vector<sim::SimTime> res_deadline_scratch_;
+  std::vector<std::pair<std::uint64_t, NodeId>> tres_cand_scratch_;
+  std::vector<JobId> victim_jobs_scratch_;
 };
 
 }  // namespace hpcwhisk::slurm

@@ -1,0 +1,151 @@
+#pragma once
+// The canonical seeded scheduler trace behind the golden decision-log
+// pin: a 2-hour mixed workload (fixed + variable HPC jobs, a replenished
+// tier-0 pilot pool) drives Slurmctld with production-default pass
+// cadence, and every launch decision (time, job, granted limit, exact
+// node set) plus every end reason folds into an FNV-1a hash.
+//
+// Shared between tests/slurm/sched_golden_test (the pin itself) and
+// bench/ablation_fidelity (whose acceptance contract re-asserts the pin
+// to prove the fidelity knobs are opt-in: legacy configs must stay
+// byte-identical). The optional config hook lets callers spell out
+// "all fidelity knobs off" explicitly and still demand kGoldenHash.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hpcwhisk/obs/trace.hpp"
+#include "hpcwhisk/sim/rng.hpp"
+#include "hpcwhisk/sim/simulation.hpp"
+#include "hpcwhisk/slurm/slurmctld.hpp"
+
+namespace hpcwhisk::slurm::testing {
+
+/// Captured from the pre-optimization scheduler (PR 2 baseline). A
+/// failure against these means scheduling *decisions* changed, not just
+/// their cost.
+inline constexpr std::uint64_t kGoldenHash = 0xd9c33b629e8bafacULL;
+inline constexpr std::size_t kGoldenLogBytes = 7045;
+
+inline std::vector<Partition> golden_partitions() {
+  Partition hpc;
+  hpc.name = "hpc";
+  hpc.priority_tier = 1;
+  Partition pilot;
+  pilot.name = "pilot";
+  pilot.priority_tier = 0;
+  pilot.preempt_mode = PreemptMode::kCancel;
+  pilot.grace_time = sim::SimTime::minutes(3);
+  return {hpc, pilot};
+}
+
+struct GoldenOutcome {
+  std::uint64_t hash{0};
+  std::size_t log_bytes{0};
+  std::string head;  // first log lines, for mismatch triage
+  Slurmctld::Counters counters;
+};
+
+/// Runs the seeded trace and returns the decision-log digest. All
+/// randomness flows through one Rng in a fixed draw order, so the log is
+/// a pure function of (seed, config, scheduler behavior). `mutate`, when
+/// set, edits the production-default config before construction.
+inline GoldenOutcome run_golden_trace(
+    std::uint64_t seed,
+    const std::function<void(Slurmctld::Config&)>& mutate = {}) {
+  sim::Simulation sim;
+  Slurmctld::Config cfg;  // production defaults: 30 s passes, 20 s gap
+  cfg.node_count = 48;
+  if (mutate) mutate(cfg);
+  Slurmctld ctld{sim, cfg, golden_partitions()};
+  sim::Rng rng{seed};
+  std::string log;
+  const sim::SimTime end = sim::SimTime::hours(2);
+
+  const auto record = [&log](const char tag, const JobRecord& rec,
+                             sim::SimTime at, EndReason reason) {
+    log += tag;
+    log += ' ';
+    log += std::to_string(rec.id);
+    log += ' ';
+    log += std::to_string(at.ticks());
+    if (tag == 'S') {
+      log += ' ';
+      log += std::to_string(rec.granted_limit.ticks());
+      for (const NodeId n : rec.nodes) {
+        log += ' ';
+        log += std::to_string(n);
+      }
+    } else {
+      log += ' ';
+      log += to_string(reason);
+    }
+    log += '\n';
+  };
+
+  const auto instrument = [&](JobSpec spec) {
+    spec.on_start = [&, record](const JobRecord& rec) {
+      record('S', rec, rec.start_time, EndReason::kCompleted);
+    };
+    spec.on_end = [&, record](const JobRecord& rec, EndReason reason) {
+      record('E', rec, rec.end_time, reason);
+    };
+    return spec;
+  };
+
+  // Tier-0 pilot pool: 12 variable-length pilots up front, each replaced
+  // 10 s after it leaves (mirrors the job manager's replenishment).
+  std::function<void()> submit_pilot = [&] {
+    JobSpec spec;
+    spec.partition = "pilot";
+    spec.num_nodes = 1;
+    spec.time_limit = sim::SimTime::minutes(120);
+    spec.time_min = sim::SimTime::minutes(4);
+    spec = instrument(std::move(spec));
+    auto on_end = std::move(spec.on_end);
+    spec.on_end = [&, on_end](const JobRecord& rec, EndReason reason) {
+      on_end(rec, reason);
+      if (sim.now() < end) {
+        sim.after(sim::SimTime::seconds(10), [&] { submit_pilot(); });
+      }
+    };
+    ctld.submit(std::move(spec));
+  };
+  for (int i = 0; i < 12; ++i) submit_pilot();
+
+  // HPC arrivals: Poisson (mean 40 s) mix of fixed and variable jobs
+  // whose declared limits overshoot their true runtimes (the slack that
+  // drives backfill and reservations).
+  std::function<void()> arrive = [&] {
+    if (sim.now() >= end) return;
+    JobSpec spec;
+    spec.partition = "hpc";
+    spec.num_nodes = static_cast<std::uint32_t>(rng.uniform_int(1, 8));
+    const double limit_min = static_cast<double>(rng.uniform_int(6, 60));
+    spec.time_limit = sim::SimTime::minutes(limit_min);
+    spec.actual_runtime =
+        sim::SimTime::minutes(limit_min * rng.uniform(0.3, 1.0));
+    spec.priority = rng.uniform_int(0, 3);
+    if (rng.bernoulli(0.2)) {
+      spec.time_min = sim::SimTime::minutes(4);
+      spec.actual_runtime = sim::SimTime::max();  // var jobs run to grant
+    }
+    ctld.submit(instrument(std::move(spec)));
+    sim.after(sim::SimTime::seconds(rng.exponential(40.0)), arrive);
+  };
+  sim.after(sim::SimTime::seconds(rng.exponential(40.0)), arrive);
+
+  sim.run_until(end);
+
+  GoldenOutcome out;
+  out.hash = obs::fnv1a(log);
+  out.log_bytes = log.size();
+  out.head = log.substr(0, 400);
+  out.counters = ctld.counters();
+  return out;
+}
+
+}  // namespace hpcwhisk::slurm::testing

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 #include "hpcwhisk/obs/observability.hpp"
@@ -76,6 +77,25 @@ Slurmctld::Slurmctld(sim::Simulation& simulation, Config config,
   last_freed_.assign(config_.node_count, sim::SimTime::zero());
   draining_.assign(config_.node_count, false);
   last_pass_reserved_from_.assign(config_.node_count, sim::SimTime::max());
+
+  // Fidelity extensions (ROADMAP item 4); everything below is inert with
+  // the default-constructed Fidelity block.
+  tres_on_ = config_.fidelity.tres_mode;
+  if (tres_on_) {
+    if (config_.fidelity.node_capacity.is_zero())
+      throw std::invalid_argument(
+          "Slurmctld: tres_mode requires a non-zero node_capacity");
+    for (Node& node : nodes_) node.capacity = config_.fidelity.node_capacity;
+  }
+  for (const Qos& q : config_.fidelity.qos) {
+    if (q.name.empty())
+      throw std::invalid_argument("Slurmctld: QOS with empty name");
+    if (!qos_.emplace(q.name, q).second)
+      throw std::invalid_argument("Slurmctld: duplicate QOS " + q.name);
+  }
+  qos_on_ = !qos_.empty();
+  for (const Reservation& r : config_.fidelity.reservations) add_reservation(r);
+
   sim_.every(config_.sched_interval, [this] { run_sched_pass(true); });
   HW_OBS_IF(config_.obs) {
     config_.obs->metrics.add_collector([this](obs::MetricsRegistry& m) {
@@ -95,7 +115,9 @@ Slurmctld::Slurmctld(sim::Simulation& simulation, Config config,
 
 void Slurmctld::enqueue_pending(std::int32_t tier, const JobRecord& rec) {
   auto& q = pending_[tier];
-  const QueueEntry entry{rec.spec.priority, rec.id};
+  // effective_priority == spec.priority when QOS and fair-share are off,
+  // so legacy queue orderings (and golden decision logs) are unchanged.
+  const QueueEntry entry{rec.effective_priority, rec.id};
   q.insert(std::upper_bound(q.begin(), q.end(), entry), entry);
 }
 
@@ -120,6 +142,19 @@ JobId Slurmctld::submit(JobSpec spec) {
     throw std::invalid_argument("Slurmctld::submit: limit exceeds partition max");
   if (spec.time_min > spec.time_limit)
     throw std::invalid_argument("Slurmctld::submit: time_min > time_limit");
+  if (tres_on_) {
+    // All-zero request means "whole node" (legacy exclusive semantics).
+    if (spec.tres_per_node.is_zero()) {
+      spec.tres_per_node = config_.fidelity.node_capacity;
+    } else if (!spec.tres_per_node.fits_within(config_.fidelity.node_capacity)) {
+      throw std::invalid_argument(
+          "Slurmctld::submit: TRES request exceeds node capacity");
+    }
+  }
+  const Qos* qos = find_qos(spec.qos);
+  if (!spec.qos.empty() && qos_on_ && qos == nullptr)
+    throw std::invalid_argument("Slurmctld::submit: unknown QOS '" + spec.qos +
+                                "'");
 
   JobRecord rec;
   rec.id = next_job_id_++;
@@ -127,6 +162,13 @@ JobId Slurmctld::submit(JobSpec spec) {
   rec.preemptible = part.preempt_mode == PreemptMode::kCancel;
   rec.submit_time = sim_.now();
   rec.spec = std::move(spec);
+  rec.preempt_tier = qos ? qos->preempt_tier : part.priority_tier;
+  rec.effective_priority = rec.spec.priority + (qos ? qos->priority_weight : 0);
+  if (config_.fidelity.fair_share.enabled) {
+    const std::string& account =
+        rec.spec.account.empty() ? rec.spec.partition : rec.spec.account;
+    rec.effective_priority -= debit_for_usage(decayed_usage(account));
+  }
   const JobId id = rec.id;
   const bool is_var = rec.spec.time_min > sim::SimTime::zero();
   const std::int32_t tier = rec.priority_tier;
@@ -174,28 +216,39 @@ void Slurmctld::set_node_down(NodeId id) {
   Node& node = nodes_.at(id);
   if (node.state == NodeState::kDown) return;
   if (node.state == NodeState::kAllocated) {
-    JobRecord& rec = jobs_.at(node.running_job);
-    ++counters_.node_failures;
-    finish_job(rec, EndReason::kNodeFailed);
+    if (tres_on_) {
+      // Keep claimants off this node while its jobs collapse (a victim
+      // ending here must not complete a claim onto a dying node).
+      draining_[id] = true;
+      std::vector<JobId> doomed = node.running_jobs;
+      ++counters_.node_failures;
+      for (const JobId jid : doomed) {
+        const auto jit = jobs_.find(jid);
+        if (jit != jobs_.end() && jit->second.is_active())
+          finish_job(jit->second, EndReason::kNodeFailed);
+      }
+    } else {
+      JobRecord& rec = jobs_.at(node.running_job);
+      ++counters_.node_failures;
+      finish_job(rec, EndReason::kNodeFailed);
+    }
   }
   // A pending launch claiming this node can no longer be satisfied here;
   // requeue the claimant.
   const auto claim = node_claims_.find(id);
   if (claim != node_claims_.end()) {
     const JobId claimant = claim->second;
-    for (auto it = pending_launches_.begin(); it != pending_launches_.end();
-         ++it) {
-      if (it->id != claimant) continue;
-      for (const NodeId n : it->nodes) node_claims_.erase(n);
-      pending_launches_.erase(it);
-      break;
-    }
+    drop_claim_tres(claimant);
     JobRecord& rec = jobs_.at(claimant);
     rec.state = JobState::kPending;
     enqueue_pending(rec.priority_tier, rec);
   }
   node.state = NodeState::kDown;
   node.running_job = 0;
+  if (tres_on_) {
+    node.allocated = TresVector{};
+    node.running_jobs.clear();
+  }
   announce(id);
   request_schedule();
 }
@@ -210,6 +263,17 @@ void Slurmctld::fail_node(NodeId id, sim::SimTime grace) {
   }
   if (grace <= sim::SimTime::zero() || node.state != NodeState::kAllocated) {
     set_node_down(id);
+    return;
+  }
+  if (tres_on_) {
+    ++counters_.node_failures;
+    draining_[id] = true;
+    std::vector<JobId> doomed = node.running_jobs;
+    for (const JobId jid : doomed) {
+      JobRecord& rec = jobs_.at(jid);
+      if (rec.state == JobState::kRunning)
+        begin_grace(rec, EndReason::kNodeFailed, grace);
+    }
     return;
   }
   JobRecord& rec = jobs_.at(node.running_job);
@@ -290,6 +354,14 @@ ObservedNodeState Slurmctld::observed_state(NodeId id) const {
     case NodeState::kIdle:
       return ObservedNodeState::kIdle;
     case NodeState::kAllocated: {
+      if (tres_on_) {
+        // Prime HPC work dominates the observed role: the paper's sinfo
+        // perspective reports a shared node as busy with HPC.
+        for (const JobId jid : node.running_jobs) {
+          if (jobs_.at(jid).priority_tier != 0) return ObservedNodeState::kHpc;
+        }
+        return ObservedNodeState::kPilot;
+      }
       const JobRecord& rec = jobs_.at(node.running_job);
       return rec.priority_tier == 0 ? ObservedNodeState::kPilot
                                     : ObservedNodeState::kHpc;
@@ -318,6 +390,10 @@ std::size_t Slurmctld::available_node_count() const {
     if (node.state == NodeState::kIdle) {
       ++n;
     } else if (node.state == NodeState::kAllocated) {
+      if (tres_on_) {
+        if (observed_state(node.id) == ObservedNodeState::kPilot) ++n;
+        continue;
+      }
       const JobRecord& rec = jobs_.at(node.running_job);
       if (rec.priority_tier == 0) ++n;
     }
@@ -367,16 +443,35 @@ void Slurmctld::build_availability_into(std::int32_t tier,
     if (node.state == NodeState::kDown) {
       hpc_free = pilot_free = sim::SimTime::max();
     } else if (node.state == NodeState::kAllocated) {
-      const JobRecord& rec = jobs_.at(node.running_job);
-      sim::SimTime expected = rec.expected_end();
-      if (rec.state == JobState::kCompleting)
-        expected = std::min(expected, rec.end_time);
-      expected = std::max(expected, now);
-      pilot_free = expected;
-      // Preemptible lower-tier jobs are transparent to higher tiers.
-      const bool preemptable_by_us =
-          rec.preemptible && rec.priority_tier < tier;
-      hpc_free = preemptable_by_us ? now : expected;
+      if (tres_on_) {
+        // Free when the *last* co-resident job is expected out; the node
+        // is transparent to `tier` only if every job on it is
+        // preemptable by that tier.
+        sim::SimTime expected_max = now;
+        bool all_preemptable = true;
+        for (const JobId jid : node.running_jobs) {
+          const JobRecord& rec = jobs_.at(jid);
+          sim::SimTime expected = rec.expected_end();
+          if (rec.state == JobState::kCompleting)
+            expected = std::min(expected, rec.end_time);
+          expected_max = std::max(expected_max, std::max(expected, now));
+          if (!(rec.preemptible && rec.preempt_tier < tier))
+            all_preemptable = false;
+        }
+        pilot_free = expected_max;
+        hpc_free = all_preemptable ? now : expected_max;
+      } else {
+        const JobRecord& rec = jobs_.at(node.running_job);
+        sim::SimTime expected = rec.expected_end();
+        if (rec.state == JobState::kCompleting)
+          expected = std::min(expected, rec.end_time);
+        expected = std::max(expected, now);
+        pilot_free = expected;
+        // Preemptible lower-tier jobs are transparent to higher tiers.
+        const bool preemptable_by_us =
+            rec.preemptible && rec.priority_tier < tier;
+        hpc_free = preemptable_by_us ? now : expected;
+      }
     }
     // Claimed nodes are spoken for until the claimant's expected end.
     if (any_claims) {
@@ -402,6 +497,12 @@ Slurmctld::Availability Slurmctld::availability_snapshot(
 }
 
 void Slurmctld::run_sched_pass(bool periodic) {
+  if (tres_on_) {
+    // TRES mode runs a parallel pass implementation; the legacy body
+    // below is never entered, so legacy decision logs cannot shift.
+    run_sched_pass_tres(periodic);
+    return;
+  }
   ++counters_.sched_passes;
   const std::uint64_t started_before = counters_.started;
   const sim::SimTime now = sim_.now();
@@ -706,10 +807,19 @@ void Slurmctld::launch(JobRecord& rec, std::vector<NodeId> nodes,
   rec.nodes = std::move(nodes);
   for (const NodeId n : rec.nodes) {
     Node& node = nodes_.at(n);
-    assert(node.state == NodeState::kIdle);
-    node.state = NodeState::kAllocated;
-    node.running_job = rec.id;
-    announce(n);
+    if (tres_on_) {
+      const ObservedNodeState prev = observed_state(n);
+      node.allocated += rec.spec.tres_per_node;
+      node.running_jobs.push_back(rec.id);
+      node.state = NodeState::kAllocated;
+      node.running_job = node.running_jobs.front();
+      if (observed_state(n) != prev) announce(n);
+    } else {
+      assert(node.state == NodeState::kIdle);
+      node.state = NodeState::kAllocated;
+      node.running_job = rec.id;
+      announce(n);
+    }
   }
   ++counters_.started;
   notify_job(JobEventKind::kLaunched, rec);
@@ -844,6 +954,8 @@ void Slurmctld::finish_job(JobRecord& rec, EndReason reason) {
   notify_job(JobEventKind::kEnded, rec, sim::SimTime::zero(),
              sim::SimTime::zero(), reason);
   if (was_active) free_nodes(rec);
+  if (was_active && config_.fidelity.fair_share.enabled) charge_fair_share(rec);
+  if (tres_on_) victim_ended_tres(rec.id);
   if (rec.spec.on_end) rec.spec.on_end(rec, reason);
   if (was_active) request_schedule();
 }
@@ -852,6 +964,29 @@ void Slurmctld::free_nodes(const JobRecord& rec) {
   for (const NodeId n : rec.nodes) {
     Node& node = nodes_.at(n);
     if (node.state == NodeState::kDown) continue;  // failed underneath us
+    if (tres_on_) {
+      auto& rj = node.running_jobs;
+      const auto it = std::find(rj.begin(), rj.end(), rec.id);
+      if (it == rj.end()) continue;
+      const ObservedNodeState prev = observed_state(n);
+      rj.erase(it);
+      node.allocated -= rec.spec.tres_per_node;
+      if (rj.empty()) {
+        node.allocated = TresVector{};
+        node.running_job = 0;
+        if (draining_[n]) {
+          node.state = NodeState::kDown;
+        } else {
+          node.state = NodeState::kIdle;
+          last_freed_[n] = sim_.now();
+        }
+      } else {
+        node.running_job = rj.front();
+      }
+      if (observed_state(n) != prev) announce(n);
+      // Claims complete via victim_ended_tres, not per-node node_freed.
+      continue;
+    }
     if (node.running_job != rec.id) continue;
     if (draining_[n]) {
       // Maintenance hand-over: the node leaves service instead of going
@@ -886,6 +1021,546 @@ void Slurmctld::node_freed(NodeId id) {
     }
     return;
   }
+}
+
+// --- TRES-mode scheduling ---------------------------------------------------
+
+void Slurmctld::build_reservation_deadlines(
+    std::vector<sim::SimTime>& out) const {
+  out.assign(nodes_.size(), sim::SimTime::max());
+  if (reservations_.empty()) return;
+  const sim::SimTime now = sim_.now();
+  for (const Reservation& r : reservations_) {
+    if (r.end <= now) continue;
+    const sim::SimTime from = std::max(r.start, now);
+    for (const NodeId n : r.nodes) out[n] = std::min(out[n], from);
+  }
+}
+
+bool Slurmctld::reservation_allows(
+    const std::vector<sim::SimTime>& res_next_start, NodeId node,
+    sim::SimTime limit_plus_grace) const {
+  return res_next_start[node] == sim::SimTime::max() ||
+         sim_.now() + limit_plus_grace <= res_next_start[node];
+}
+
+void Slurmctld::run_sched_pass_tres(bool periodic) {
+  ++counters_.sched_passes;
+  const std::uint64_t started_before = counters_.started;
+  const sim::SimTime now = sim_.now();
+  last_pass_ = now;
+
+  std::vector<sim::SimTime>& res_next = res_deadline_scratch_;
+  build_reservation_deadlines(res_next);
+
+  // Phase 1: HPC tiers, highest first, strict priority order with EASY
+  // backfill: once the head job of a tier is blocked, later jobs may
+  // start only if they end before its shadow time.
+  for (auto& [tier, queue] : pending_) {
+    if (tier == 0) break;  // pilots handled in phase 2
+    std::vector<QueueEntry>& still_pending = still_pending_scratch_;
+    still_pending.clear();
+    still_pending.reserve(queue.size());
+    sim::SimTime shadow = sim::SimTime::max();
+    bool head_blocked = false;
+    std::size_t examined = 0;
+    for (const QueueEntry& entry : queue) {
+      JobRecord& rec = jobs_.at(entry.id);
+      if (examined++ >= config_.backfill_depth) {
+        still_pending.push_back(entry);
+        continue;
+      }
+      if (try_start_tres(rec, res_next, shadow)) continue;
+      if (!head_blocked) {
+        head_blocked = true;
+        shadow = tres_shadow_time(rec, res_next);
+      }
+      still_pending.push_back(entry);
+    }
+    queue.swap(still_pending);
+  }
+
+  // Phase 2: pilots pack into whatever TRES is left — including partial
+  // nodes already running prime HPC work (fractional-node harvesting).
+  place_pilots_tres(res_next, periodic);
+
+  HW_OBS_IF(config_.obs) {
+    config_.obs->trace.record(
+        obs::Cat::kSched, obs::Phase::kInstant, "sched_pass",
+        obs::Track::kSlurmctld, 0, counters_.sched_passes, now,
+        periodic ? 1.0 : 0.0,
+        static_cast<double>(counters_.started - started_before));
+  }
+}
+
+bool Slurmctld::try_start_tres(JobRecord& rec,
+                               const std::vector<sim::SimTime>& res_next_start,
+                               sim::SimTime shadow) {
+  const sim::SimTime now = sim_.now();
+  const bool is_var = rec.spec.time_min > sim::SimTime::zero();
+  const sim::SimTime limit = is_var ? rec.spec.time_min : rec.spec.time_limit;
+  const Partition& part = partition_of(rec);
+  const sim::SimTime fence = limit + part.grace_time;
+  // EASY legality: backfilled jobs must end before the head job's shadow.
+  if (shadow != sim::SimTime::max() && now + limit > shadow) return false;
+
+  const TresVector want = rec.spec.tres_per_node;
+
+  const auto node_usable = [&](const Node& node) {
+    return node.state != NodeState::kDown && !draining_[node.id] &&
+           !node_claims_.contains(node.id) &&
+           reservation_allows(res_next_start, node.id, fence);
+  };
+
+  // Nodes whose free TRES fits right now, best-fit first (least free
+  // cpus): partial nodes fill up before idle nodes are broken open,
+  // keeping whole-node holes for multi-node jobs and cold pilots.
+  std::vector<std::pair<std::uint64_t, NodeId>>& cand = tres_cand_scratch_;
+  cand.clear();
+  for (const Node& node : nodes_) {
+    if (!node_usable(node)) continue;
+    const TresVector free = node.capacity - node.allocated;
+    if (!want.fits_within(free)) continue;
+    cand.emplace_back((std::uint64_t{free.cpus} << 32) | node.id, node.id);
+  }
+  std::sort(cand.begin(), cand.end());
+  std::vector<NodeId>& chosen = chosen_scratch_;
+  chosen.clear();
+  for (const auto& [key, n] : cand) {
+    if (chosen.size() == rec.spec.num_nodes) break;
+    chosen.push_back(n);
+  }
+
+  // Local (not scratch): victim callbacks below can re-enter the
+  // scheduler (a drained pilot may exit synchronously).
+  std::vector<JobId> victims;
+  if (chosen.size() < rec.spec.num_nodes) {
+    // QOS preemption: complete the allocation on nodes where evicting
+    // strictly-lower-tier preemptible jobs frees enough TRES. Lowest
+    // tier dies first; youngest first within a tier (least accumulated
+    // serving time lost, as in the legacy victim order).
+    struct Victim {
+      std::int32_t tier;
+      sim::SimTime start;
+      JobId id;
+      TresVector tres;
+    };
+    std::vector<Victim> evict;
+    for (const Node& node : nodes_) {
+      if (chosen.size() == rec.spec.num_nodes) break;
+      if (!node_usable(node)) continue;
+      TresVector freeable = node.capacity - node.allocated;
+      if (want.fits_within(freeable)) continue;  // already in `chosen`
+      evict.clear();
+      for (const JobId jid : node.running_jobs) {
+        const JobRecord& v = jobs_.at(jid);
+        if (!v.preemptible || !v.is_active()) continue;
+        if (v.preempt_tier >= rec.preempt_tier) continue;
+        evict.push_back({v.preempt_tier, v.start_time, jid, v.spec.tres_per_node});
+      }
+      std::sort(evict.begin(), evict.end(),
+                [](const Victim& a, const Victim& b) {
+                  if (a.tier != b.tier) return a.tier < b.tier;
+                  if (a.start != b.start) return a.start > b.start;
+                  return a.id > b.id;
+                });
+      std::size_t used = 0;
+      for (const Victim& v : evict) {
+        if (want.fits_within(freeable)) break;
+        freeable += v.tres;
+        ++used;
+      }
+      if (!want.fits_within(freeable)) continue;
+      chosen.push_back(node.id);
+      for (std::size_t i = 0; i < used; ++i) victims.push_back(evict[i].id);
+    }
+    if (chosen.size() < rec.spec.num_nodes) return false;
+    // A multi-node victim can be credited to several chosen nodes.
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+  }
+
+  // Variable-length jobs: size into the gap before the earliest upcoming
+  // reservation window on the chosen nodes (the SIGKILL deadline must
+  // clear the window, hence the grace subtraction).
+  sim::SimTime granted = rec.spec.time_limit;
+  if (is_var) {
+    sim::SimTime horizon = sim::SimTime::max();
+    for (const NodeId n : chosen)
+      horizon = std::min(horizon, res_next_start[n]);
+    if (horizon != sim::SimTime::max()) {
+      granted =
+          std::clamp(floor_to_slot(horizon - now - part.grace_time, config_.slot),
+                     rec.spec.time_min, rec.spec.time_limit);
+    }
+  }
+
+  if (victims.empty()) {
+    launch(rec, std::move(chosen), granted);
+    return true;
+  }
+
+  PendingLaunch pl;
+  pl.id = rec.id;
+  pl.nodes = chosen;
+  pl.granted_limit = granted;
+  pl.nodes_missing = victims.size();  // victim *jobs* in TRES mode
+  for (const NodeId n : chosen) node_claims_[n] = rec.id;
+  for (const JobId v : victims) victim_claims_.emplace(v, rec.id);
+  pending_launches_.push_back(std::move(pl));
+  notify_job(JobEventKind::kClaimed, rec);
+
+  for (const JobId v : victims) {
+    JobRecord& victim = jobs_.at(v);
+    if (victim.state == JobState::kRunning)
+      begin_grace(victim, EndReason::kPreempted);
+    // kCompleting victims are already draining; the claim waits for them.
+  }
+  return true;
+}
+
+sim::SimTime Slurmctld::tres_shadow_time(
+    const JobRecord& rec,
+    const std::vector<sim::SimTime>& res_next_start) const {
+  const sim::SimTime now = sim_.now();
+  const bool is_var = rec.spec.time_min > sim::SimTime::zero();
+  const sim::SimTime limit = is_var ? rec.spec.time_min : rec.spec.time_limit;
+  const sim::SimTime fence = limit + partition_of(rec).grace_time;
+  const TresVector want = rec.spec.tres_per_node;
+
+  // Per-node earliest fit time: walk the node's jobs by expected end,
+  // accumulating frees until the request fits. Planning free-TRES only
+  // grows over time, so the walk is exact on declared limits.
+  std::vector<std::pair<sim::SimTime, NodeId>> fits;
+  std::vector<std::pair<sim::SimTime, TresVector>> ends;
+  for (const Node& node : nodes_) {
+    if (node.state == NodeState::kDown || draining_[node.id]) continue;
+    if (node_claims_.contains(node.id)) continue;
+    if (!reservation_allows(res_next_start, node.id, fence)) continue;
+    TresVector free = node.capacity - node.allocated;
+    if (want.fits_within(free)) {
+      fits.emplace_back(now, node.id);
+      continue;
+    }
+    ends.clear();
+    for (const JobId jid : node.running_jobs) {
+      const JobRecord& j = jobs_.at(jid);
+      sim::SimTime expected = j.expected_end();
+      if (j.state == JobState::kCompleting)
+        expected = std::min(expected, j.end_time);
+      ends.emplace_back(std::max(expected, now), j.spec.tres_per_node);
+    }
+    std::sort(ends.begin(), ends.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [end, tres] : ends) {
+      free += tres;
+      if (want.fits_within(free)) {
+        fits.emplace_back(end, node.id);
+        break;
+      }
+    }
+  }
+  if (fits.size() < rec.spec.num_nodes) return sim::SimTime::max();
+  std::nth_element(fits.begin(), fits.begin() + (rec.spec.num_nodes - 1),
+                   fits.end());
+  const sim::SimTime shadow = fits[rec.spec.num_nodes - 1].first;
+  if (shadow > now + config_.backfill_window) return sim::SimTime::max();
+  return std::max(shadow, now);
+}
+
+void Slurmctld::place_pilots_tres(
+    const std::vector<sim::SimTime>& res_next_start, bool periodic) {
+  const auto tier0 = pending_.find(0);
+  if (tier0 == pending_.end() || tier0->second.empty()) return;
+  auto& queue = tier0->second;
+
+  const sim::SimTime now = sim_.now();
+  bool var_allowed = !config_.var_jobs_periodic_only || periodic;
+  if (var_allowed && config_.var_jobs_periodic_only &&
+      now - last_var_pass_ < config_.var_pass_period) {
+    var_allowed = false;
+  }
+  if (var_allowed && config_.var_jobs_periodic_only) last_var_pass_ = now;
+
+  // Candidate order: most free cpus first (whole idle nodes before
+  // partial ones), coldest first within a level — the fractional-
+  // harvesting analogue of the legacy cold-first pilot policy.
+  std::vector<NodeId>& order = cold_first_scratch_;
+  order.clear();
+  for (const Node& node : nodes_) {
+    if (node.state == NodeState::kDown || draining_[node.id]) continue;
+    if (node_claims_.contains(node.id)) continue;
+    if ((node.capacity - node.allocated).is_zero()) continue;
+    // The fresh-idle gate only guards fully idle nodes: partial nodes
+    // are already pinned down by their HPC resident.
+    if (node.state == NodeState::kIdle &&
+        now - last_freed_[node.id] < config_.pilot_min_idle) {
+      continue;
+    }
+    order.push_back(node.id);
+  }
+  std::sort(order.begin(), order.end(), [this](NodeId a, NodeId b) {
+    const std::uint32_t fa = nodes_[a].capacity.cpus - nodes_[a].allocated.cpus;
+    const std::uint32_t fb = nodes_[b].capacity.cpus - nodes_[b].allocated.cpus;
+    if (fa != fb) return fa > fb;
+    if (last_freed_[a] != last_freed_[b]) return last_freed_[a] < last_freed_[b];
+    return a < b;
+  });
+
+  for (const NodeId nid : order) {
+    if (queue.empty()) break;
+    Node& node = nodes_[nid];
+    bool progress = true;
+    while (progress && !queue.empty()) {
+      progress = false;
+      const TresVector free = node.capacity - node.allocated;
+      if (free.is_zero()) break;
+      for (auto it = queue.begin(); it != queue.end(); ++it) {
+        JobRecord& rec = jobs_.at(it->id);
+        assert(rec.spec.num_nodes == 1 &&
+               "tier-0 pilots are single-node by design");
+        const bool is_var = rec.spec.time_min > sim::SimTime::zero();
+        if (is_var && !var_allowed) continue;
+        if (!rec.spec.tres_per_node.fits_within(free)) continue;
+        const Partition& part = partition_of(rec);
+        // Fixed pilots need their whole declared limit (plus grace) to
+        // clear any upcoming window; variable ones shrink into the gap.
+        const sim::SimTime feas =
+            (is_var ? rec.spec.time_min : rec.spec.time_limit) +
+            part.grace_time;
+        if (!reservation_allows(res_next_start, nid, feas)) continue;
+        sim::SimTime granted = rec.spec.time_limit;
+        if (is_var && res_next_start[nid] != sim::SimTime::max()) {
+          const sim::SimTime hole = res_next_start[nid] - now - part.grace_time;
+          granted = std::clamp(floor_to_slot(hole, config_.slot),
+                               rec.spec.time_min, rec.spec.time_limit);
+        }
+        queue.erase(it);
+        launch(rec, {nid}, granted);
+        progress = true;
+        break;
+      }
+    }
+  }
+}
+
+void Slurmctld::victim_ended_tres(JobId victim) {
+  if (victim_claims_.empty()) return;
+  const auto range = victim_claims_.equal_range(victim);
+  if (range.first == range.second) return;
+  std::vector<JobId> claimants;
+  for (auto it = range.first; it != range.second; ++it)
+    claimants.push_back(it->second);
+  victim_claims_.erase(victim);
+
+  for (const JobId claimant : claimants) {
+    const auto plit =
+        std::find_if(pending_launches_.begin(), pending_launches_.end(),
+                     [claimant](const PendingLaunch& p) {
+                       return p.id == claimant;
+                     });
+    if (plit == pending_launches_.end()) continue;
+    assert(plit->nodes_missing > 0);
+    if (--plit->nodes_missing != 0) continue;
+
+    PendingLaunch pl = std::move(*plit);
+    pending_launches_.erase(plit);
+    for (const NodeId n : pl.nodes) node_claims_.erase(n);
+    JobRecord& rec = jobs_.at(pl.id);
+
+    // Re-check the world: a reservation window or node failure may have
+    // closed in while the victims drained.
+    build_reservation_deadlines(res_deadline_scratch_);
+    const Partition& part = partition_of(rec);
+    const sim::SimTime fence = pl.granted_limit + part.grace_time;
+    bool ok = true;
+    for (const NodeId n : pl.nodes) {
+      const Node& node = nodes_[n];
+      if (node.state == NodeState::kDown || draining_[n] ||
+          !reservation_allows(res_deadline_scratch_, n, fence) ||
+          !rec.spec.tres_per_node.fits_within(node.capacity - node.allocated)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      rec.state = JobState::kPending;
+      enqueue_pending(rec.priority_tier, rec);
+      request_schedule();
+      continue;
+    }
+    launch(rec, std::move(pl.nodes), pl.granted_limit);
+  }
+}
+
+void Slurmctld::drop_claim_tres(JobId claimant) {
+  for (auto it = pending_launches_.begin(); it != pending_launches_.end();
+       ++it) {
+    if (it->id != claimant) continue;
+    for (const NodeId n : it->nodes) node_claims_.erase(n);
+    pending_launches_.erase(it);
+    break;
+  }
+  for (auto it = victim_claims_.begin(); it != victim_claims_.end();) {
+    it = it->second == claimant ? victim_claims_.erase(it) : std::next(it);
+  }
+}
+
+// --- Reservations -----------------------------------------------------------
+
+void Slurmctld::add_reservation(Reservation r) {
+  if (!tres_on_)
+    throw std::invalid_argument(
+        "Slurmctld::add_reservation: requires fidelity.tres_mode");
+  if (r.end <= r.start)
+    throw std::invalid_argument("Slurmctld::add_reservation: empty window");
+  for (const NodeId n : r.nodes) {
+    if (n >= nodes_.size())
+      throw std::invalid_argument("Slurmctld::add_reservation: bad node id");
+  }
+  const std::size_t index = reservations_.size();
+  reservations_.push_back(std::move(r));
+  const Reservation& res = reservations_.back();
+  const sim::SimTime now = sim_.now();
+  if (res.end <= now) return;  // already over; keep for the record only
+  sim_.at(std::max(res.start, now),
+          [this, index] { reservation_window_begin(index); });
+  sim_.at(res.end, [this, index] { reservation_window_end(index); });
+}
+
+void Slurmctld::reservation_window_begin(std::size_t index) {
+  const Reservation res = reservations_[index];  // copy: callbacks re-enter
+  for (const NodeId id : res.nodes) {
+    Node& node = nodes_.at(id);
+    if (node.state == NodeState::kDown) continue;
+    draining_[id] = true;
+    // A claimant waiting on this node can no longer be satisfied here.
+    const auto claim = node_claims_.find(id);
+    if (claim != node_claims_.end()) {
+      const JobId claimant = claim->second;
+      drop_claim_tres(claimant);
+      JobRecord& crec = jobs_.at(claimant);
+      crec.state = JobState::kPending;
+      enqueue_pending(crec.priority_tier, crec);
+    }
+    if (node.state == NodeState::kIdle) {
+      node.state = NodeState::kDown;
+      announce(id);
+      continue;
+    }
+    // Jobs still on the node (the reservation was registered after they
+    // launched): preempt with the partition grace. Completing jobs are
+    // already on their way out.
+    std::vector<JobId> doomed = node.running_jobs;
+    for (const JobId jid : doomed) {
+      const auto jit = jobs_.find(jid);
+      if (jit != jobs_.end() && jit->second.state == JobState::kRunning)
+        begin_grace(jit->second, EndReason::kPreempted);
+    }
+  }
+}
+
+void Slurmctld::reservation_window_end(std::size_t index) {
+  const Reservation res = reservations_[index];
+  const sim::SimTime now = sim_.now();
+  for (const NodeId id : res.nodes) {
+    // Another still-open window may cover the node; stay out if so.
+    bool still_reserved = false;
+    for (std::size_t i = 0; i < reservations_.size(); ++i) {
+      if (i == index) continue;
+      const Reservation& other = reservations_[i];
+      if (other.start <= now && now < other.end &&
+          std::find(other.nodes.begin(), other.nodes.end(), id) !=
+              other.nodes.end()) {
+        still_reserved = true;
+        break;
+      }
+    }
+    if (!still_reserved) set_node_up(id);
+  }
+}
+
+// --- Fair-share / QOS -------------------------------------------------------
+
+const Qos* Slurmctld::find_qos(const std::string& name) const {
+  if (name.empty() || !qos_on_) return nullptr;
+  const auto it = qos_.find(name);
+  return it == qos_.end() ? nullptr : &it->second;
+}
+
+double Slurmctld::decayed_usage(const std::string& account) const {
+  const auto it = usage_.find(account);
+  if (it == usage_.end()) return 0.0;
+  const FairShareConfig& fs = config_.fidelity.fair_share;
+  if (fs.half_life <= sim::SimTime::zero()) return it->second.usage;
+  const double dt = (sim_.now() - it->second.last).to_seconds();
+  const double hl = fs.half_life.to_seconds();
+  return it->second.usage * std::exp2(-dt / hl);
+}
+
+std::int64_t Slurmctld::debit_for_usage(double usage) const {
+  const FairShareConfig& fs = config_.fidelity.fair_share;
+  if (!fs.enabled || usage <= 0.0) return 0;
+  const double frac = usage / (usage + fs.usage_norm);
+  return std::llround(static_cast<double>(fs.weight) * frac);
+}
+
+void Slurmctld::charge_fair_share(const JobRecord& rec) {
+  const FairShareConfig& fs = config_.fidelity.fair_share;
+  if (!fs.enabled) return;
+  const sim::SimTime elapsed = rec.end_time - rec.start_time;
+  if (elapsed <= sim::SimTime::zero()) return;
+  double node_seconds =
+      elapsed.to_seconds() * static_cast<double>(rec.spec.num_nodes);
+  if (tres_on_ && config_.fidelity.node_capacity.cpus > 0) {
+    // Fractional allocations are charged in proportion to the cpu share
+    // actually held (cons_tres billing weights, cpu axis only).
+    node_seconds *= static_cast<double>(rec.spec.tres_per_node.cpus) /
+                    static_cast<double>(config_.fidelity.node_capacity.cpus);
+  }
+  if (const Qos* q = find_qos(rec.spec.qos)) node_seconds *= q->usage_factor;
+  const std::string& account =
+      rec.spec.account.empty() ? rec.spec.partition : rec.spec.account;
+  const double decayed = decayed_usage(account);
+  AccountUsage& au = usage_[account];
+  au.usage = decayed + node_seconds;
+  au.last = sim_.now();
+}
+
+// --- Fidelity introspection -------------------------------------------------
+
+const TresVector& Slurmctld::node_capacity(NodeId id) const {
+  return nodes_.at(id).capacity;
+}
+
+TresVector Slurmctld::node_free(NodeId id) const {
+  const Node& node = nodes_.at(id);
+  return node.capacity - node.allocated;
+}
+
+Slurmctld::TresTotals Slurmctld::tres_totals() const {
+  TresTotals t;
+  for (const Node& node : nodes_) {
+    if (node.state == NodeState::kDown) continue;
+    t.capacity += node.capacity;
+    for (const JobId jid : node.running_jobs) {
+      const JobRecord& rec = jobs_.at(jid);
+      if (rec.priority_tier == 0) {
+        t.pilot += rec.spec.tres_per_node;
+      } else {
+        t.hpc += rec.spec.tres_per_node;
+      }
+    }
+  }
+  return t;
+}
+
+double Slurmctld::account_usage(const std::string& account) const {
+  return decayed_usage(account);
+}
+
+std::int64_t Slurmctld::fair_share_debit(const std::string& account) const {
+  return debit_for_usage(decayed_usage(account));
 }
 
 void Slurmctld::announce(NodeId node) {

@@ -29,6 +29,9 @@ struct TraceJob {
   std::uint32_t num_nodes{1};
   sim::SimTime time_limit;
   sim::SimTime runtime;
+  /// Per-node TRES request (zero = whole node; only meaningful when the
+  /// target Slurmctld runs in TRES mode). Not persisted by save_trace.
+  slurm::TresVector tres_per_node{};
 };
 
 class HpcWorkloadGenerator {
@@ -77,6 +80,18 @@ class HpcWorkloadGenerator {
     std::string partition{"hpc"};
     /// Scale limits by this factor (1.0 = Fig. 2 calibration).
     double limit_scale{1.0};
+
+    /// Per-node TRES mix (TRES-mode clusters): {request, weight} pairs;
+    /// each job draws one bucket. Empty means whole-node jobs AND no
+    /// extra RNG draws — committed decision-log hashes of legacy
+    /// configs depend on the draw sequence staying put.
+    struct TresBucket {
+      slurm::TresVector tres;
+      double weight;
+    };
+    std::vector<TresBucket> tres_buckets;
+    /// QOS stamped on every generated job (empty = none).
+    std::string qos;
   };
 
   HpcWorkloadGenerator(sim::Simulation& simulation, slurm::Slurmctld& ctld,

@@ -63,6 +63,16 @@ TraceJob HpcWorkloadGenerator::draw_job() {
   // Small test clusters: a job can never exceed the machine.
   job.num_nodes = std::min(job.num_nodes, ctld_.node_count());
 
+  // TRES mix: guarded on a non-empty bucket set so legacy configs keep
+  // their exact RNG draw sequence (committed decision-log hashes).
+  if (!config_.tres_buckets.empty()) {
+    std::vector<double> tres_weights;
+    tres_weights.reserve(config_.tres_buckets.size());
+    for (const auto& b : config_.tres_buckets) tres_weights.push_back(b.weight);
+    job.tres_per_node =
+        config_.tres_buckets[rng_.weighted_index(tres_weights)].tres;
+  }
+
   const double limit_min = limit_cdf_.sample(rng_) * config_.limit_scale;
   job.time_limit = sim::SimTime::minutes(std::max(2.0, limit_min));
 
@@ -132,6 +142,8 @@ void HpcWorkloadGenerator::submit_one() {
   spec.num_nodes = job.num_nodes;
   spec.time_limit = job.time_limit;
   spec.actual_runtime = job.runtime;
+  spec.tres_per_node = job.tres_per_node;
+  spec.qos = config_.qos;
   ++pending_now_;
   pending_demand_ += job.num_nodes;
   const std::uint32_t nodes = job.num_nodes;

@@ -62,9 +62,10 @@ TEST(InvariantSuite, CleanObservationPasses) {
 TEST(InvariantSuite, StandardCatalogueNames) {
   const auto suite = InvariantSuite::standard();
   const auto& names = suite.names();
-  ASSERT_EQ(names.size(), 8u);
+  ASSERT_EQ(names.size(), 10u);
   EXPECT_EQ(names.front(), "activation-conservation");
-  EXPECT_EQ(names.back(), "federation-conservation");
+  EXPECT_EQ(names[8], "tres-capacity");
+  EXPECT_EQ(names.back(), "reservation-exclusion");
 }
 
 TEST(InvariantSuite, FlagsAuditViolations) {

@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 
+#include "hpcwhisk/check/runner.hpp"
+
 namespace hpcwhisk {
 namespace {
 
@@ -60,6 +62,57 @@ TEST(Repro, RoundTripPreservesRouteModeAndDeadlineClasses) {
   const check::Repro parsed = check::parse_repro(check::write_repro(repro));
   EXPECT_EQ(parsed.spec.route_mode, whisk::RouteMode::kSjfAffinity);
   EXPECT_TRUE(parsed.spec.deadline_classes);
+}
+
+TEST(Repro, RoundTripPreservesFidelityFields) {
+  check::Repro repro = make_repro();
+  repro.spec.tres_mode = true;
+  repro.spec.node_cpus = 12;
+  repro.spec.node_mem_mb = 48000;
+  repro.spec.pilot_cpus = 5;
+  repro.spec.pilot_mem_mb = 20000;
+  repro.spec.qos_preempt = true;
+  repro.spec.reservation = true;
+  repro.spec.res_start_frac = 0.35;
+  repro.spec.res_duration_min = 7;
+  repro.spec.res_nodes = 3;
+  repro.spec.plant = check::BugPlant::kTresOvercommit;
+  const check::Repro parsed = check::parse_repro(check::write_repro(repro));
+  EXPECT_EQ(parsed.spec, repro.spec);
+  EXPECT_EQ(parsed.spec.plant, check::BugPlant::kTresOvercommit);
+}
+
+TEST(Repro, ParsesPreFidelityReprosWithDefaults) {
+  // Repros written before the Slurm-fidelity layer lack the TRES /
+  // QOS / reservation fields; they must parse and mean what they always
+  // meant (all fidelity off).
+  std::string json = check::write_repro(make_repro());
+  for (const auto field :
+       {"\"tres_mode\"", "\"node_cpus\"", "\"node_mem_mb\"", "\"pilot_cpus\"",
+        "\"pilot_mem_mb\"", "\"qos_preempt\"", "\"reservation\"",
+        "\"res_start_frac\"", "\"res_duration_min\"", "\"res_nodes\""}) {
+    const std::size_t start = json.find(field);
+    ASSERT_NE(start, std::string::npos) << field;
+    const std::size_t line_start = json.rfind(",\n", start);
+    const std::size_t line_end = json.find(",\n", start);
+    ASSERT_NE(line_start, std::string::npos);
+    ASSERT_NE(line_end, std::string::npos);
+    json.erase(line_start, line_end - line_start);
+  }
+  const check::Repro parsed = check::parse_repro(json);
+  EXPECT_FALSE(parsed.spec.tres_mode);
+  EXPECT_FALSE(parsed.spec.qos_preempt);
+  EXPECT_FALSE(parsed.spec.reservation);
+  EXPECT_EQ(parsed.spec.node_cpus, 8u);
+  EXPECT_EQ(parsed.spec.node_mem_mb, 32000u);
+  EXPECT_EQ(parsed.spec.pilot_cpus, 0u);
+
+  // A v1 repro replays deterministically with the fidelity defaults.
+  check::Repro replayable = parsed;
+  replayable.spec.plant = check::BugPlant::kNone;
+  const auto run_a = check::run_scenario(replayable.spec);
+  const auto run_b = check::run_scenario(replayable.spec);
+  EXPECT_EQ(run_a.decision_hash, run_b.decision_hash);
 }
 
 TEST(Repro, ParsesPreRouteModeReprosWithDefaults) {

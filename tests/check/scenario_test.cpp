@@ -74,10 +74,65 @@ TEST(ScenarioSpec, ElementsCountsFaultsFunctionsAndClusters) {
 
 TEST(ScenarioSpec, BugPlantStringsRoundTrip) {
   for (const auto plant :
-       {check::BugPlant::kNone, check::BugPlant::kTruncateGrace}) {
+       {check::BugPlant::kNone, check::BugPlant::kTruncateGrace,
+        check::BugPlant::kTresOvercommit, check::BugPlant::kReservationIgnored}) {
     EXPECT_EQ(check::bug_plant_from_string(check::to_string(plant)), plant);
   }
-  EXPECT_THROW(check::bug_plant_from_string("nope"), std::invalid_argument);
+  EXPECT_THROW((void)check::bug_plant_from_string("nope"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpec, SamplesFidelityRegimes) {
+  // The fidelity draws (TRES geometry, QOS preemption, reservations) are
+  // sampled often enough that a modest campaign visits every regime.
+  std::size_t tres = 0, qos = 0, resv = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const auto s = check::ScenarioSpec::sample(seed);
+    if (!s.tres_mode) continue;
+    ++tres;
+    qos += s.qos_preempt ? 1 : 0;
+    resv += s.reservation ? 1 : 0;
+    // Geometry sanity: a pilot slice always fits inside a node.
+    EXPECT_GE(s.node_cpus, 4u);
+    EXPECT_LE(s.node_cpus, 16u);
+    EXPECT_GE(s.pilot_cpus, 1u);
+    EXPECT_LE(s.pilot_cpus, s.node_cpus / 2 > 0 ? s.node_cpus / 2 : 1u);
+    EXPECT_LE(s.pilot_mem_mb, s.node_mem_mb);
+    if (s.reservation) {
+      EXPECT_GE(s.res_start_frac, 0.2);
+      EXPECT_LE(s.res_start_frac, 0.6 + 1e-9);
+      EXPECT_GE(s.res_duration_min, 4u);
+      EXPECT_LE(s.res_duration_min, 10u);
+      EXPECT_GE(s.res_nodes, 1u);
+    }
+  }
+  EXPECT_GT(tres, 50u);
+  EXPECT_GT(qos, 15u);
+  EXPECT_GT(resv, 15u);
+}
+
+TEST(ScenarioSpec, FidelityDrawsAreSeedDeterministic) {
+  // The fidelity fields are drawn unconditionally (fixed draw count), so
+  // a seed's pre-fidelity fields are what they were before the fields
+  // existed, and the fidelity block itself is reproducible.
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const auto a = check::ScenarioSpec::sample(seed, {.chaos = true});
+    const auto b = check::ScenarioSpec::sample(seed, {.chaos = true});
+    EXPECT_EQ(a.tres_mode, b.tres_mode);
+    EXPECT_EQ(a.node_cpus, b.node_cpus);
+    EXPECT_EQ(a.pilot_cpus, b.pilot_cpus);
+    EXPECT_EQ(a.qos_preempt, b.qos_preempt);
+    EXPECT_EQ(a.reservation, b.reservation);
+    EXPECT_EQ(a.res_start_frac, b.res_start_frac);
+  }
+}
+
+TEST(ScenarioSpec, SummaryMentionsFidelityRegime) {
+  // Seed 6 is the first tres_mode draw (fidelity_check_test relies on
+  // it); its summary must say so.
+  const auto s = check::ScenarioSpec::sample(6);
+  ASSERT_TRUE(s.tres_mode);
+  EXPECT_NE(s.summary().find("+tres"), std::string::npos);
 }
 
 TEST(ScenarioSpec, SamplesEveryRouteModeAndDeadlineClasses) {

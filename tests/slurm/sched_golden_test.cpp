@@ -1,155 +1,30 @@
-// Golden decision-log pin for the scheduler hot path: a seeded 2-hour
-// mixed trace (fixed + variable HPC jobs, a replenished tier-0 pilot
-// pool) drives Slurmctld with production-default pass cadence, and every
+// Golden decision-log pin for the scheduler hot path: the shared seeded
+// trace (slurm/testing/golden_trace.hpp) drives Slurmctld and every
 // launch decision (time, job, granted limit, exact node set) plus every
 // end reason is folded into an FNV-1a hash. The hash is captured once
 // and must survive any performance refactor of run_sched_pass /
 // build_availability byte-for-byte: an optimization that changes any
 // decision — order, sizing, placement or reservation effect — fails here.
+//
+// It must equally survive the Slurm-fidelity generalization (per-TRES
+// packing, fair-share, QOS tiers, reservations): the LegacyKnobsOff leg
+// spells the fidelity defaults out explicitly and demands the same hash,
+// pinning the contract that all new semantics are opt-in.
 
 #include <gtest/gtest.h>
 
-#include <functional>
-#include <string>
-#include <string_view>
-
-#include "hpcwhisk/obs/trace.hpp"
-#include "hpcwhisk/sim/rng.hpp"
-#include "hpcwhisk/slurm/slurmctld.hpp"
+#include "hpcwhisk/slurm/testing/golden_trace.hpp"
 
 namespace hpcwhisk::slurm {
 namespace {
 
-using sim::Rng;
-using sim::SimTime;
-using sim::Simulation;
-
-// The repo's canonical decision-log digest; bench/obs_report folds its
-// traced-vs-untraced determinism log through the same function.
-using obs::fnv1a;
-
-std::vector<Partition> partitions() {
-  Partition hpc;
-  hpc.name = "hpc";
-  hpc.priority_tier = 1;
-  Partition pilot;
-  pilot.name = "pilot";
-  pilot.priority_tier = 0;
-  pilot.preempt_mode = PreemptMode::kCancel;
-  pilot.grace_time = SimTime::minutes(3);
-  return {hpc, pilot};
-}
-
-struct TraceOutcome {
-  std::uint64_t hash{0};
-  std::size_t log_bytes{0};
-  std::string head;  // first log lines, for mismatch triage
-  Slurmctld::Counters counters;
-};
-
-/// Runs the seeded trace and returns the decision-log digest. All
-/// randomness flows through one Rng in a fixed draw order, so the log is
-/// a pure function of (seed, scheduler behavior).
-TraceOutcome run_trace(std::uint64_t seed) {
-  Simulation sim;
-  Slurmctld::Config cfg;  // production defaults: 30 s passes, 20 s gap
-  cfg.node_count = 48;
-  Slurmctld ctld{sim, cfg, partitions()};
-  Rng rng{seed};
-  std::string log;
-  const SimTime end = SimTime::hours(2);
-
-  const auto record = [&log](const char tag, const JobRecord& rec,
-                             SimTime at, EndReason reason) {
-    log += tag;
-    log += ' ';
-    log += std::to_string(rec.id);
-    log += ' ';
-    log += std::to_string(at.ticks());
-    if (tag == 'S') {
-      log += ' ';
-      log += std::to_string(rec.granted_limit.ticks());
-      for (const NodeId n : rec.nodes) {
-        log += ' ';
-        log += std::to_string(n);
-      }
-    } else {
-      log += ' ';
-      log += to_string(reason);
-    }
-    log += '\n';
-  };
-
-  const auto instrument = [&](JobSpec spec) {
-    spec.on_start = [&, record](const JobRecord& rec) {
-      record('S', rec, rec.start_time, EndReason::kCompleted);
-    };
-    spec.on_end = [&, record](const JobRecord& rec, EndReason reason) {
-      record('E', rec, rec.end_time, reason);
-    };
-    return spec;
-  };
-
-  // Tier-0 pilot pool: 12 variable-length pilots up front, each replaced
-  // 10 s after it leaves (mirrors the job manager's replenishment).
-  std::function<void()> submit_pilot = [&] {
-    JobSpec spec;
-    spec.partition = "pilot";
-    spec.num_nodes = 1;
-    spec.time_limit = SimTime::minutes(120);
-    spec.time_min = SimTime::minutes(4);
-    spec = instrument(std::move(spec));
-    auto on_end = std::move(spec.on_end);
-    spec.on_end = [&, on_end](const JobRecord& rec, EndReason reason) {
-      on_end(rec, reason);
-      if (sim.now() < end) {
-        sim.after(SimTime::seconds(10), [&] { submit_pilot(); });
-      }
-    };
-    ctld.submit(std::move(spec));
-  };
-  for (int i = 0; i < 12; ++i) submit_pilot();
-
-  // HPC arrivals: Poisson (mean 40 s) mix of fixed and variable jobs
-  // whose declared limits overshoot their true runtimes (the slack that
-  // drives backfill and reservations).
-  std::function<void()> arrive = [&] {
-    if (sim.now() >= end) return;
-    JobSpec spec;
-    spec.partition = "hpc";
-    spec.num_nodes = static_cast<std::uint32_t>(rng.uniform_int(1, 8));
-    const double limit_min = static_cast<double>(rng.uniform_int(6, 60));
-    spec.time_limit = SimTime::minutes(limit_min);
-    spec.actual_runtime =
-        SimTime::minutes(limit_min * rng.uniform(0.3, 1.0));
-    spec.priority = rng.uniform_int(0, 3);
-    if (rng.bernoulli(0.2)) {
-      spec.time_min = SimTime::minutes(4);
-      spec.actual_runtime = SimTime::max();  // var jobs run to their grant
-    }
-    ctld.submit(instrument(std::move(spec)));
-    sim.after(SimTime::seconds(rng.exponential(40.0)), arrive);
-  };
-  sim.after(SimTime::seconds(rng.exponential(40.0)), arrive);
-
-  sim.run_until(end);
-
-  TraceOutcome out;
-  out.hash = fnv1a(log);
-  out.log_bytes = log.size();
-  out.head = log.substr(0, 400);
-  out.counters = ctld.counters();
-  return out;
-}
-
-// Captured from the pre-optimization scheduler (PR 2 baseline). If this
-// test fails after a perf change, the change altered scheduling
-// *decisions*, not just their cost.
-constexpr std::uint64_t kGoldenHash = 0xd9c33b629e8bafacULL;
-constexpr std::size_t kGoldenLogBytes = 7045;
+using testing::GoldenOutcome;
+using testing::kGoldenHash;
+using testing::kGoldenLogBytes;
+using testing::run_golden_trace;
 
 TEST(SchedGolden, DecisionLogMatchesBaseline) {
-  const TraceOutcome out = run_trace(42);
+  const GoldenOutcome out = run_golden_trace(42);
   EXPECT_EQ(out.hash, kGoldenHash)
       << "decision log diverged (" << out.log_bytes << " bytes, expected "
       << kGoldenLogBytes << ").\nactual hash: 0x" << std::hex << out.hash
@@ -162,16 +37,35 @@ TEST(SchedGolden, DecisionLogMatchesBaseline) {
   EXPECT_GT(out.counters.sched_passes, 200u);
 }
 
+TEST(SchedGolden, LegacyKnobsOffKeepsBaseline) {
+  // Every fidelity knob at its documented "off" value, written out long
+  // hand (not just defaulted) so this leg fails loudly if any knob's
+  // neutral value ever stops being neutral.
+  const GoldenOutcome out = run_golden_trace(42, [](Slurmctld::Config& cfg) {
+    cfg.fidelity.tres_mode = false;
+    cfg.fidelity.node_capacity = TresVector{};
+    cfg.fidelity.fair_share.enabled = false;
+    cfg.fidelity.qos.clear();
+    cfg.fidelity.reservations.clear();
+  });
+  EXPECT_EQ(out.hash, kGoldenHash)
+      << "fidelity knobs at their off values changed legacy decisions;"
+         " hash 0x"
+      << std::hex << out.hash << std::dec << "\nlog head:\n"
+      << out.head;
+  EXPECT_EQ(out.log_bytes, kGoldenLogBytes);
+}
+
 TEST(SchedGolden, SameSeedTwiceIsIdentical) {
-  const TraceOutcome a = run_trace(7);
-  const TraceOutcome b = run_trace(7);
+  const GoldenOutcome a = run_golden_trace(7);
+  const GoldenOutcome b = run_golden_trace(7);
   EXPECT_EQ(a.hash, b.hash);
   EXPECT_EQ(a.log_bytes, b.log_bytes);
 }
 
 TEST(SchedGolden, DifferentSeedsDiverge) {
-  const TraceOutcome a = run_trace(7);
-  const TraceOutcome c = run_trace(8);
+  const GoldenOutcome a = run_golden_trace(7);
+  const GoldenOutcome c = run_golden_trace(8);
   EXPECT_NE(a.hash, c.hash);
 }
 

@@ -368,6 +368,26 @@ inline const std::vector<Rule>& default_rules() {
       {"qps_sweep", "top.lease.hit_rate", Direction::kHigherBetter, 0, 0.05},
       {"qps_sweep", "top.lease.revocation_rate", Direction::kLowerBetter, 0,
        0.10},
+      // ablation_fidelity (BENCH_fidelity.json): the four acceptance
+      // flags are the hard gate (regimes diverge, golden pin intact,
+      // SimCheck clean); the per-regime aggregates get slack for
+      // intended scheduler drift, and the TRES harvest advantage over
+      // legacy must not silently erode.
+      {"ablation_fidelity", "acceptance.acceptance_ok",
+       Direction::kRequireTrue},
+      {"ablation_fidelity", "acceptance.golden_hash_ok",
+       Direction::kRequireTrue},
+      {"ablation_fidelity", "acceptance.simcheck_clean",
+       Direction::kRequireTrue},
+      {"ablation_fidelity", "golden.hash", Direction::kExact},
+      {"ablation_fidelity", "simcheck.failures", Direction::kLowerBetter, 0,
+       0},
+      {"ablation_fidelity", "regimes.*.harvested_node_s",
+       Direction::kHigherBetter, 0.15, 0},
+      {"ablation_fidelity", "regimes.*.p95_ms", Direction::kLowerBetter, 0.15,
+       0},
+      {"ablation_fidelity", "regimes.*.harvest_efficiency",
+       Direction::kHigherBetter, 0, 0.05},
   };
   return rules;
 }
